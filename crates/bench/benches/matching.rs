@@ -1,0 +1,147 @@
+//! Benchmarks of module matching and workflow repair — the machinery behind
+//! Figure 8 and the §6 repair numbers.
+//!
+//! * `map_parameters/*` — 1-to-1 parameter-mapping cost (strict vs
+//!   subsuming).
+//! * `compare/aligned_examples` — the paper's method: aligned example
+//!   generation + replay.
+//! * `compare/trace_similarity_baseline` — the earlier provenance-trace
+//!   similarity method ([4] in the paper) as an ablation.
+//! * `figure8_matching_study` — the full 72-legacy matching study on a
+//!   reduced corpus.
+//! * `repair_small_repository` — end-to-end decay + repair on a small plan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dex_core::baseline::trace_similarity;
+use dex_core::matching::{compare_modules, map_parameters, MappingMode};
+use dex_core::{generate_examples, GenerationConfig};
+use dex_pool::build_synthetic_pool;
+use dex_repair::{
+    build_corpus, generate_repository, repair_repository, run_matching_study, RepositoryPlan,
+};
+use dex_values::classify::classify_concept;
+use std::hint::black_box;
+
+fn bench_mapping(c: &mut Criterion) {
+    let universe = dex_universe::build();
+    let ontology = &universe.ontology;
+    let target = universe
+        .catalog
+        .descriptor(&"dr:get_protein_sequence_ebi".into())
+        .unwrap();
+    let strict_candidate = universe
+        .catalog
+        .descriptor(&"dr:get_protein_sequence_ddbj".into())
+        .unwrap();
+    let subsuming_candidate = universe
+        .catalog
+        .descriptor(&"dr:get_biological_sequence".into())
+        .unwrap();
+    let mut group = c.benchmark_group("map_parameters");
+    group.bench_function("strict", |b| {
+        b.iter(|| {
+            map_parameters(
+                black_box(target),
+                black_box(strict_candidate),
+                ontology,
+                MappingMode::Strict,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("subsuming", |b| {
+        b.iter(|| {
+            map_parameters(
+                black_box(target),
+                black_box(subsuming_candidate),
+                ontology,
+                MappingMode::Subsuming,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_compare(c: &mut Criterion) {
+    let universe = dex_universe::build();
+    let ontology = &universe.ontology;
+    let pool = build_synthetic_pool(ontology, 6, 42);
+    let config = GenerationConfig::default();
+    let a = universe.catalog.get(&"da:align_seq_ebi".into()).unwrap().clone();
+    let b_mod = universe.catalog.get(&"da:align_seq_ddbj".into()).unwrap().clone();
+
+    let mut group = c.benchmark_group("compare");
+    group.bench_function("aligned_examples", |bench| {
+        bench.iter(|| {
+            compare_modules(
+                black_box(a.as_ref()),
+                black_box(b_mod.as_ref()),
+                ontology,
+                &pool,
+                &config,
+            )
+            .unwrap()
+        })
+    });
+
+    let ea = generate_examples(a.as_ref(), ontology, &pool, &config)
+        .unwrap()
+        .examples;
+    let eb = generate_examples(b_mod.as_ref(), ontology, &pool, &config)
+        .unwrap()
+        .examples;
+    group.bench_function("trace_similarity_baseline", |bench| {
+        bench.iter(|| trace_similarity(black_box(&ea), black_box(&eb), classify_concept))
+    });
+    group.finish();
+}
+
+fn bench_repair(c: &mut Criterion) {
+    let mut universe = dex_universe::build();
+    let pool = build_synthetic_pool(&universe.ontology, 40, 77);
+    let plan = RepositoryPlan::small(1);
+    let repository = generate_repository(&universe, &pool, &plan);
+    let corpus = build_corpus(&universe, &repository, &pool);
+    universe.decay();
+
+    let mut group = c.benchmark_group("repair");
+    group.sample_size(10);
+    group.bench_function("figure8_matching_study", |b| {
+        b.iter(|| {
+            run_matching_study(
+                black_box(&universe.catalog),
+                black_box(&corpus),
+                &universe.ontology,
+            )
+        })
+    });
+    let study = run_matching_study(&universe.catalog, &corpus, &universe.ontology);
+    group.bench_function("repair_small_repository", |b| {
+        b.iter(|| {
+            repair_repository(
+                black_box(&repository),
+                &universe.catalog,
+                &study,
+                &corpus,
+                &universe.ontology,
+            )
+        })
+    });
+    group.finish();
+
+    // Keep the un-decayed path benchmarked too: repository + corpus builds.
+    let universe2 = dex_universe::build();
+    let mut group = c.benchmark_group("corpus");
+    group.sample_size(10);
+    group.bench_function("generate_small_repository", |b| {
+        b.iter(|| generate_repository(black_box(&universe2), &pool, &plan))
+    });
+    group.bench_function("build_corpus_small", |b| {
+        b.iter(|| build_corpus(black_box(&universe2), &repository, &pool))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping, bench_compare, bench_repair);
+criterion_main!(benches);

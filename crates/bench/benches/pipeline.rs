@@ -1,0 +1,148 @@
+//! Benchmarks of the data-example pipeline — the machinery behind Tables
+//! 1–2 and the §4.3 coverage result.
+//!
+//! * `partition_plan/*` — ontology-based equivalence partitioning cost as
+//!   the annotation concept widens (the combination-explosion axis).
+//! * `generate/*` — end-to-end example generation for a leaf-annotated
+//!   module, a broad-annotation module (19 partitions), and a multi-input
+//!   module.
+//! * `generate/random_baseline` — ablation: the non-partitioned random
+//!   generator from the related work, at equal example count.
+//! * `table1_table2_scoring` — scoring all 252 modules against their
+//!   behavior oracles (the evaluation loop of §4.3).
+//! * `coverage_measurement` — output-partition classification cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dex_core::baseline::generate_random_examples;
+use dex_core::coverage::measure_coverage;
+use dex_core::metrics::score;
+use dex_core::{generate_examples, input_partition_plan, GenerationConfig};
+use dex_pool::build_synthetic_pool;
+use dex_universe::SpecOracle;
+use dex_values::classify::classify_concept;
+use std::hint::black_box;
+
+fn bench_partition_plan(c: &mut Criterion) {
+    let universe = dex_universe::build();
+    let ontology = &universe.ontology;
+    let mut group = c.benchmark_group("partition_plan");
+    for module in [
+        "dr:get_uniprot_record",   // leaf input: 1 partition
+        "da:align_seq_ebi",        // BiologicalSequence: 4 partitions
+        "dr:get_genes_by_enzyme",  // leaf in, broad out
+        "mi:normalize_identifier_v0", // Identifier: 19 partitions
+    ] {
+        let descriptor = universe.catalog.descriptor(&module.into()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(module), &descriptor, |b, d| {
+            b.iter(|| input_partition_plan(black_box(d), black_box(ontology)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_generate(c: &mut Criterion) {
+    let universe = dex_universe::build();
+    let ontology = &universe.ontology;
+    let pool = build_synthetic_pool(ontology, 6, 42);
+    let config = GenerationConfig::default();
+    let mut group = c.benchmark_group("generate");
+    for module in [
+        "dr:get_uniprot_record",
+        "da:align_seq_ebi",
+        "mi:normalize_identifier_v0",
+        "da:search_simple", // 3 inputs
+    ] {
+        let handle = universe.catalog.get(&module.into()).unwrap().clone();
+        group.bench_function(BenchmarkId::from_parameter(module), |b| {
+            b.iter(|| {
+                generate_examples(
+                    black_box(handle.as_ref()),
+                    black_box(ontology),
+                    black_box(&pool),
+                    black_box(&config),
+                )
+                .unwrap()
+            })
+        });
+    }
+    // Ablation: random (non-partitioned) selection at matched example count.
+    let handle = universe
+        .catalog
+        .get(&"mi:normalize_identifier_v0".into())
+        .unwrap()
+        .clone();
+    group.bench_function("random_baseline_19_examples", |b| {
+        b.iter(|| {
+            generate_random_examples(
+                black_box(handle.as_ref()),
+                black_box(ontology),
+                black_box(&pool),
+                19,
+                7,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let universe = dex_universe::build();
+    let ontology = &universe.ontology;
+    let pool = build_synthetic_pool(ontology, 6, 42);
+    let config = GenerationConfig::default();
+    // Pre-generate all example sets once (the expensive part is scored
+    // separately above).
+    let reports: Vec<_> = universe
+        .available_ids()
+        .into_iter()
+        .map(|id| {
+            let handle = universe.catalog.get(&id).unwrap();
+            let report = generate_examples(handle.as_ref(), ontology, &pool, &config).unwrap();
+            (id, report)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("evaluation");
+    group.sample_size(20);
+    group.bench_function("table1_table2_scoring_252_modules", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for (id, report) in &reports {
+                let oracle = SpecOracle::new(&universe.specs[id]);
+                let s = score(&report.examples, &oracle);
+                acc += s.completeness + s.conciseness;
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("coverage_measurement_252_modules", |b| {
+        b.iter(|| {
+            let mut covered = 0usize;
+            for (id, report) in &reports {
+                let descriptor = universe.catalog.descriptor(id).unwrap();
+                let cov =
+                    measure_coverage(descriptor, &report.examples, ontology, classify_concept)
+                        .unwrap();
+                covered += cov.covered();
+            }
+            black_box(covered)
+        })
+    });
+    group.bench_function("generate_all_252_modules", |b| {
+        b.iter(|| {
+            let mut produced = 0usize;
+            for id in universe.available_ids() {
+                let handle = universe.catalog.get(&id).unwrap();
+                let report =
+                    generate_examples(handle.as_ref(), ontology, &pool, &config).unwrap();
+                produced += report.examples.len();
+            }
+            black_box(produced)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition_plan, bench_generate, bench_scoring);
+criterion_main!(benches);

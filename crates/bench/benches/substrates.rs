@@ -1,0 +1,112 @@
+//! Benchmarks of the substrates: ontology queries, pool lookups, value
+//! synthesis/classification, workflow enactment and the user study (the
+//! machinery behind Table 3, Figure 5 and every other experiment's inner
+//! loops).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dex_core::GenerationConfig;
+use dex_ontology::mygrid;
+use dex_pool::build_synthetic_pool;
+use dex_registry::annotate_catalog;
+use dex_study::run_user_study;
+use dex_values::{synth, StructuralType};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_ontology(c: &mut Criterion) {
+    let onto = mygrid::ontology();
+    let root = onto.id("BioinformaticsData").unwrap();
+    let dna = onto.id("DNASequence").unwrap();
+    let go = onto.id("GOTerm").unwrap();
+    let identifier = onto.id("Identifier").unwrap();
+    let mut group = c.benchmark_group("ontology");
+    group.bench_function("subsumes", |b| {
+        b.iter(|| onto.subsumes(black_box(root), black_box(dna)))
+    });
+    group.bench_function("partitions_of_identifier", |b| {
+        b.iter(|| onto.partitions_of(black_box(identifier)))
+    });
+    group.bench_function("lca", |b| b.iter(|| onto.lca(black_box(dna), black_box(go))));
+    group.bench_function("parse_mygrid_text", |b| {
+        b.iter(|| dex_ontology::text::parse(black_box(mygrid::MYGRID_TEXT)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let onto = mygrid::ontology();
+    let mut group = c.benchmark_group("pool");
+    group.bench_function("build_synthetic_6_per_concept", |b| {
+        b.iter(|| build_synthetic_pool(black_box(&onto), 6, 42))
+    });
+    let pool = build_synthetic_pool(&onto, 6, 42);
+    group.bench_function("get_instance_realization", |b| {
+        b.iter(|| {
+            pool.get_instance(
+                black_box("UniprotAccession"),
+                black_box(&StructuralType::Text),
+                0,
+            )
+        })
+    });
+    group.bench_function("instances_of_subsumption", |b| {
+        b.iter(|| pool.instances_of(black_box("Identifier"), &onto).count())
+    });
+    group.finish();
+}
+
+fn bench_values(c: &mut Criterion) {
+    let mut group = c.benchmark_group("values");
+    group.bench_function("synthesize_uniprot_record", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| synth::synthesize(black_box("UniprotRecord"), &mut rng).unwrap())
+    });
+    let mut rng = StdRng::seed_from_u64(7);
+    let record = synth::synthesize("UniprotRecord", &mut rng).unwrap();
+    group.bench_function("classify_record", |b| {
+        b.iter(|| dex_values::classify::classify_concept(black_box(&record)))
+    });
+    let acc = synth::synthesize("GOTerm", &mut rng).unwrap();
+    group.bench_function("classify_accession", |b| {
+        b.iter(|| dex_values::classify::classify_concept(black_box(&acc)))
+    });
+    group.finish();
+}
+
+fn bench_study_and_universe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("universe");
+    group.sample_size(10);
+    group.bench_function("build_324_modules", |b| {
+        b.iter(dex_universe::build)
+    });
+    group.finish();
+
+    let universe = dex_universe::build();
+    let pool = build_synthetic_pool(&universe.ontology, 4, 9);
+    let (registry, _) = annotate_catalog(
+        &universe.catalog,
+        &universe.ontology,
+        &pool,
+        &GenerationConfig::default(),
+    );
+    let examples: std::collections::BTreeMap<_, _> = registry
+        .entries()
+        .filter_map(|(id, e)| e.examples.clone().map(|x| (id.clone(), x)))
+        .collect();
+    let mut group = c.benchmark_group("study");
+    group.sample_size(20);
+    group.bench_function("figure5_user_study", |b| {
+        b.iter(|| run_user_study(black_box(&universe), black_box(&examples)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ontology,
+    bench_pool,
+    bench_values,
+    bench_study_and_universe
+);
+criterion_main!(benches);

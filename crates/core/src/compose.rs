@@ -1,0 +1,230 @@
+//! Data-example-guided module composition — the paper's second §8 future
+//! work item ("how to use data examples to implicitly guide module
+//! composition").
+//!
+//! Interface annotations alone over-approximate composability: an output
+//! annotated `UniprotAccession` is *semantically* acceptable to any module
+//! consuming `DatabaseAccession`, but the downstream module may still
+//! reject the concrete values (wrong sub-syntax, out-of-range settings,
+//! unparseable payloads). Data examples close that gap empirically: feed
+//! the upstream module's example **outputs** into the downstream module's
+//! input and count normal terminations.
+
+use crate::example::ExampleSet;
+use dex_modules::{BlackBox, ModuleCatalog, ModuleId};
+use dex_ontology::Ontology;
+use dex_values::Value;
+
+/// Empirical composability of `upstream → downstream` on one input slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompositionScore {
+    /// Index of the upstream output feeding the downstream input.
+    pub upstream_output: usize,
+    /// Index of the downstream input being fed.
+    pub downstream_input: usize,
+    /// Example outputs attempted.
+    pub attempted: usize,
+    /// Normal terminations.
+    pub accepted: usize,
+}
+
+impl CompositionScore {
+    /// Acceptance ratio in `[0, 1]`; `0.0` when nothing was attempted.
+    pub fn ratio(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.attempted as f64
+        }
+    }
+}
+
+/// Tests one candidate wiring empirically: every example output of the
+/// upstream set is fed into `downstream`'s input slot (other inputs are
+/// `Null`, so optional parameters default; modules with further mandatory
+/// inputs are fed that slot's declared default-compatible value only when
+/// optional — otherwise the probe invocation fails and scores accordingly).
+pub fn composition_score(
+    upstream_examples: &ExampleSet,
+    upstream_output: usize,
+    downstream: &dyn BlackBox,
+    downstream_input: usize,
+) -> CompositionScore {
+    let inputs_len = downstream.descriptor().inputs.len();
+    let mut attempted = 0usize;
+    let mut accepted = 0usize;
+    for example in upstream_examples.iter() {
+        let Some(binding) = example.outputs.get(upstream_output) else {
+            continue;
+        };
+        attempted += 1;
+        let mut inputs = vec![Value::Null; inputs_len];
+        inputs[downstream_input] = binding.value.clone();
+        if downstream.invoke(&inputs).is_ok() {
+            accepted += 1;
+        }
+    }
+    CompositionScore {
+        upstream_output,
+        downstream_input,
+        attempted,
+        accepted,
+    }
+}
+
+/// A downstream suggestion: a module and the best-scoring wiring found.
+#[derive(Debug, Clone)]
+pub struct CompositionSuggestion {
+    /// The suggested downstream module.
+    pub module: ModuleId,
+    /// Best wiring found.
+    pub score: CompositionScore,
+}
+
+/// Ranks every available catalog module as a downstream continuation of
+/// `upstream_examples`, trying each (output, input) pair whose annotations
+/// are subsumption-compatible, and keeping modules with at least one
+/// accepted probe. Results are sorted by acceptance ratio (descending),
+/// ties broken by module id for determinism.
+pub fn suggest_downstream(
+    upstream: &dyn BlackBox,
+    upstream_examples: &ExampleSet,
+    catalog: &ModuleCatalog,
+    ontology: &Ontology,
+) -> Vec<CompositionSuggestion> {
+    let mut suggestions: Vec<CompositionSuggestion> = Vec::new();
+    let upstream_outputs = &upstream.descriptor().outputs;
+    for (id, candidate) in catalog.iter_available() {
+        if id == &upstream.descriptor().id {
+            continue;
+        }
+        let mut best: Option<CompositionScore> = None;
+        for (o, out_param) in upstream_outputs.iter().enumerate() {
+            for (i, in_param) in candidate.descriptor().inputs.iter().enumerate() {
+                let semantic_ok =
+                    match (ontology.id(&in_param.semantic), ontology.id(&out_param.semantic)) {
+                        (Some(t), Some(s)) => ontology.subsumes(t, s),
+                        _ => false,
+                    };
+                if !semantic_ok || !in_param.structural.accepts(&out_param.structural) {
+                    continue;
+                }
+                let score = composition_score(upstream_examples, o, candidate.as_ref(), i);
+                if score.accepted > 0
+                    && best
+                        .as_ref()
+                        .map(|b| score.ratio() > b.ratio())
+                        .unwrap_or(true)
+                {
+                    best = Some(score);
+                }
+            }
+        }
+        if let Some(score) = best {
+            suggestions.push(CompositionSuggestion {
+                module: id.clone(),
+                score,
+            });
+        }
+    }
+    suggestions.sort_by(|a, b| {
+        b.score
+            .ratio()
+            .partial_cmp(&a.score.ratio())
+            .expect("ratios are finite")
+            .then_with(|| a.module.cmp(&b.module))
+    });
+    suggestions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_examples, GenerationConfig};
+    use dex_pool::build_synthetic_pool;
+
+    #[test]
+    fn retrieval_feeds_conversion() {
+        // get_uniprot_record's outputs (Uniprot records) must be accepted
+        // by conv_uniprot_fasta.
+        let universe = dex_universe::build();
+        let pool = build_synthetic_pool(&universe.ontology, 4, 3);
+        let up = universe.catalog.get(&"dr:get_uniprot_record".into()).unwrap();
+        let report = generate_examples(
+            up.as_ref(),
+            &universe.ontology,
+            &pool,
+            &GenerationConfig::default(),
+        )
+        .unwrap();
+        let down = universe.catalog.get(&"ft:conv_uniprot_fasta".into()).unwrap();
+        let score = composition_score(&report.examples, 0, down.as_ref(), 0);
+        assert_eq!(score.attempted, 1);
+        assert_eq!(score.accepted, 1);
+        assert_eq!(score.ratio(), 1.0);
+    }
+
+    #[test]
+    fn mismatched_payload_scores_zero() {
+        // Feeding a Uniprot *record* into a GenBank parser fails.
+        let universe = dex_universe::build();
+        let pool = build_synthetic_pool(&universe.ontology, 4, 3);
+        let up = universe.catalog.get(&"dr:get_uniprot_record".into()).unwrap();
+        let report = generate_examples(
+            up.as_ref(),
+            &universe.ontology,
+            &pool,
+            &GenerationConfig::default(),
+        )
+        .unwrap();
+        let down = universe.catalog.get(&"ft:conv_genbank_fasta".into()).unwrap();
+        let score = composition_score(&report.examples, 0, down.as_ref(), 0);
+        assert_eq!(score.accepted, 0);
+        assert_eq!(score.ratio(), 0.0);
+    }
+
+    #[test]
+    fn suggestions_are_ranked_and_annotation_compatible() {
+        let universe = dex_universe::build();
+        let pool = build_synthetic_pool(&universe.ontology, 4, 3);
+        let up = universe
+            .catalog
+            .get(&"da:get_most_similar_protein".into())
+            .unwrap();
+        let report = generate_examples(
+            up.as_ref(),
+            &universe.ontology,
+            &pool,
+            &GenerationConfig::default(),
+        )
+        .unwrap();
+        let suggestions =
+            suggest_downstream(up.as_ref(), &report.examples, &universe.catalog, &universe.ontology);
+        assert!(!suggestions.is_empty());
+        // Ratios are sorted descending.
+        for pair in suggestions.windows(2) {
+            assert!(pair[0].score.ratio() >= pair[1].score.ratio());
+        }
+        // The obvious continuation (retrieve the record behind the
+        // accession) is among the perfect-score suggestions.
+        let perfect: Vec<&str> = suggestions
+            .iter()
+            .filter(|s| s.score.ratio() == 1.0)
+            .map(|s| s.module.as_str())
+            .collect();
+        assert!(
+            perfect.contains(&"dr:get_uniprot_record"),
+            "perfect suggestions: {perfect:?}"
+        );
+    }
+
+    #[test]
+    fn empty_examples_attempt_nothing() {
+        let universe = dex_universe::build();
+        let down = universe.catalog.get(&"ft:conv_uniprot_fasta".into()).unwrap();
+        let empty = ExampleSet::new("up".into());
+        let score = composition_score(&empty, 0, down.as_ref(), 0);
+        assert_eq!(score.attempted, 0);
+        assert_eq!(score.ratio(), 0.0);
+    }
+}

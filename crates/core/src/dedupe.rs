@@ -1,0 +1,232 @@
+//! Redundancy detection over data examples — the paper's §8 future work
+//! ("we envisage examining the use of record linkage techniques … for
+//! detecting redundant data examples").
+//!
+//! Two data examples are redundant when they describe the same class of
+//! behavior (§4.2). Without ground-truth specs, redundancy must be
+//! *suspected* from the examples themselves. Following the record-linkage
+//! framing, we compare the **outputs** of two examples with a similarity
+//! made of two signals:
+//!
+//! 1. **concept agreement** — both outputs classify to the same most
+//!    specific concept (same kind of artifact);
+//! 2. **shape similarity** — Jaccard similarity over the outputs' token
+//!    *shapes* (letters → `A`, digits → `9`, other kept), which captures
+//!    "same format, different payload" — the signature of over-partitioned
+//!    inputs routed through identical behavior.
+//!
+//! Payload-identity is deliberately ignored: a retrieval module returns a
+//! *different* record for every accession while performing the *same*
+//! task, so raw value equality would find nothing.
+
+use crate::coverage::ValueClassifier;
+use crate::example::{DataExample, ExampleSet};
+use dex_values::Value;
+use std::collections::HashSet;
+
+/// Tuning for redundancy suspicion.
+#[derive(Debug, Clone)]
+pub struct DedupeConfig {
+    /// Minimum shape similarity for two same-concept outputs to be
+    /// suspected redundant.
+    pub shape_threshold: f64,
+}
+
+impl Default for DedupeConfig {
+    fn default() -> Self {
+        DedupeConfig {
+            shape_threshold: 0.7,
+        }
+    }
+}
+
+/// The token-shape of a value: letters collapse to `A`, digits to `9`.
+/// `"P12345"` and `"Q99999"` share the shape `A99999`… almost — `P1…` has
+/// shape `A99999` and so does `Q9…`, which is the point.
+fn shape(value: &Value) -> String {
+    let text = value.to_string();
+    text.chars()
+        .map(|c| {
+            if c.is_ascii_alphabetic() {
+                'A'
+            } else if c.is_ascii_digit() {
+                '9'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+/// Jaccard similarity over 3-gram shingles of the shapes.
+fn shape_similarity(a: &Value, b: &Value) -> f64 {
+    let grams = |s: &str| -> HashSet<String> {
+        let chars: Vec<char> = s.chars().collect();
+        if chars.len() < 3 {
+            return std::iter::once(s.to_string()).collect();
+        }
+        chars.windows(3).map(|w| w.iter().collect()).collect()
+    };
+    let (sa, sb) = (shape(a), shape(b));
+    let (ga, gb) = (grams(&sa), grams(&sb));
+    if ga.is_empty() && gb.is_empty() {
+        return 1.0;
+    }
+    let inter = ga.intersection(&gb).count() as f64;
+    let union = ga.union(&gb).count() as f64;
+    inter / union
+}
+
+/// Whether two examples are suspected to describe the same behavior class.
+pub fn suspected_redundant(
+    a: &DataExample,
+    b: &DataExample,
+    classifier: ValueClassifier,
+    config: &DedupeConfig,
+) -> bool {
+    if a.outputs.len() != b.outputs.len() {
+        return false;
+    }
+    a.outputs.iter().zip(&b.outputs).all(|(x, y)| {
+        classifier(&x.value) == classifier(&y.value)
+            && shape_similarity(&x.value, &y.value) >= config.shape_threshold
+    })
+}
+
+/// Report of a redundancy scan.
+#[derive(Debug, Clone)]
+pub struct DedupeReport {
+    /// Index pairs `(kept, duplicate)` suspected redundant.
+    pub suspected_pairs: Vec<(usize, usize)>,
+    /// The pruned example set: the first representative of every suspected
+    /// cluster survives.
+    pub pruned: ExampleSet,
+}
+
+/// Scans an example set, greedily clustering suspected-redundant examples
+/// and keeping each cluster's first representative.
+pub fn detect_redundant(
+    examples: &ExampleSet,
+    classifier: ValueClassifier,
+    config: &DedupeConfig,
+) -> DedupeReport {
+    let mut representatives: Vec<usize> = Vec::new();
+    let mut suspected_pairs: Vec<(usize, usize)> = Vec::new();
+    let mut pruned = ExampleSet::new(examples.module.clone());
+
+    for (i, example) in examples.examples.iter().enumerate() {
+        match representatives
+            .iter()
+            .find(|&&r| suspected_redundant(&examples.examples[r], example, classifier, config))
+        {
+            Some(&r) => suspected_pairs.push((r, i)),
+            None => {
+                representatives.push(i);
+                pruned.examples.push(example.clone());
+            }
+        }
+    }
+    DedupeReport {
+        suspected_pairs,
+        pruned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example::Binding;
+    use dex_values::classify::classify_concept;
+
+    fn example(output: &str) -> DataExample {
+        DataExample::new(
+            vec![Binding::new("in", Value::text("x"))],
+            vec![Binding::new("out", Value::text(output))],
+            vec!["C".into()],
+        )
+    }
+
+    #[test]
+    fn same_syntax_different_payload_is_redundant() {
+        let a = example("GO:0008150");
+        let b = example("GO:0001234");
+        assert!(suspected_redundant(
+            &a,
+            &b,
+            classify_concept,
+            &DedupeConfig::default()
+        ));
+    }
+
+    #[test]
+    fn different_concepts_are_not_redundant() {
+        let a = example("GO:0008150"); // GO term
+        let b = example("ACGTACGTAAA"); // DNA
+        assert!(!suspected_redundant(
+            &a,
+            &b,
+            classify_concept,
+            &DedupeConfig::default()
+        ));
+    }
+
+    #[test]
+    fn pruning_keeps_one_per_cluster() {
+        let mut set = ExampleSet::new("m".into());
+        set.examples.push(example("GO:0008150"));
+        set.examples.push(example("GO:0001234"));
+        set.examples.push(example("ACGTACGTAAA"));
+        set.examples.push(example("GO:0009999"));
+        let report = detect_redundant(&set, classify_concept, &DedupeConfig::default());
+        assert_eq!(report.pruned.len(), 2);
+        assert_eq!(report.suspected_pairs, vec![(0, 1), (0, 3)]);
+    }
+
+    #[test]
+    fn empty_set_is_trivially_clean() {
+        let set = ExampleSet::new("m".into());
+        let report = detect_redundant(&set, classify_concept, &DedupeConfig::default());
+        assert!(report.suspected_pairs.is_empty());
+        assert!(report.pruned.is_empty());
+    }
+
+    #[test]
+    fn shape_similarity_basics() {
+        let a = Value::text("P12345");
+        let b = Value::text("Q99999");
+        assert!(shape_similarity(&a, &b) > 0.99);
+        let c = Value::text("path:map00010");
+        assert!(shape_similarity(&a, &c) < 0.5);
+        assert_eq!(shape_similarity(&Value::text(""), &Value::text("")), 1.0);
+    }
+
+    /// On the synthetic universe, pruning an over-partitioned module's
+    /// examples recovers (approximately) its true class count, and pruning
+    /// a concise module's examples removes nothing.
+    #[test]
+    fn pruning_approximates_true_classes_on_the_universe() {
+        use crate::generate::{generate_examples, GenerationConfig};
+        let universe = dex_universe::build();
+        let pool = dex_pool::build_synthetic_pool(&universe.ontology, 4, 3);
+        let config = GenerationConfig::default();
+
+        // record_to_fasta_ebi: 6 examples, 1 true class.
+        let m = universe.catalog.get(&"ft:record_to_fasta_ebi".into()).unwrap();
+        let report =
+            generate_examples(m.as_ref(), &universe.ontology, &pool, &config).unwrap();
+        assert_eq!(report.examples.len(), 6);
+        let deduped = detect_redundant(&report.examples, classify_concept, &DedupeConfig::default());
+        assert!(
+            deduped.pruned.len() <= 2,
+            "over-partitioned module kept {} examples",
+            deduped.pruned.len()
+        );
+
+        // A concise retrieval module: 1 example, nothing to prune.
+        let m = universe.catalog.get(&"dr:get_uniprot_record".into()).unwrap();
+        let report =
+            generate_examples(m.as_ref(), &universe.ontology, &pool, &config).unwrap();
+        let deduped = detect_redundant(&report.examples, classify_concept, &DedupeConfig::default());
+        assert_eq!(deduped.pruned.len(), report.examples.len());
+    }
+}

@@ -1,0 +1,122 @@
+//! Human-facing rendering of data examples.
+//!
+//! The §5 study showed users the module name, its annotated parameters and
+//! the data examples. This module renders exactly that view — a markdown
+//! document per module — so registries and CLIs can present examples the
+//! way the study participants saw them.
+
+use crate::example::ExampleSet;
+use dex_modules::ModuleDescriptor;
+
+/// Width at which long values are elided in tables.
+const CELL_WIDTH: usize = 48;
+
+/// Renders the study view of one module: header, annotated interface and
+/// an examples table.
+pub fn to_markdown(descriptor: &ModuleDescriptor, examples: &ExampleSet) -> String {
+    let mut out = format!("## {}\n\n", descriptor.name);
+    out.push_str(&format!("*supplied as a {}*\n\n", descriptor.kind));
+
+    out.push_str("**Inputs**\n\n");
+    for p in &descriptor.inputs {
+        out.push_str(&format!(
+            "- `{}`: {} ({}{})\n",
+            p.name,
+            p.semantic,
+            p.structural,
+            if p.optional { ", optional" } else { "" }
+        ));
+    }
+    out.push_str("\n**Outputs**\n\n");
+    for p in &descriptor.outputs {
+        out.push_str(&format!("- `{}`: {} ({})\n", p.name, p.semantic, p.structural));
+    }
+
+    out.push_str(&format!("\n**Data examples ({})**\n\n", examples.len()));
+    if examples.is_empty() {
+        out.push_str("*none generated*\n");
+        return out;
+    }
+    let headers: Vec<&str> = descriptor
+        .inputs
+        .iter()
+        .chain(&descriptor.outputs)
+        .map(|p| p.name.as_str())
+        .collect();
+    out.push_str(&format!("| {} |\n", headers.join(" | ")));
+    out.push_str(&format!(
+        "|{}\n",
+        headers.iter().map(|_| "---|").collect::<String>()
+    ));
+    for example in examples.iter() {
+        let cells: Vec<String> = example
+            .inputs
+            .iter()
+            .chain(&example.outputs)
+            .map(|b| escape_cell(&b.value.preview(CELL_WIDTH)))
+            .collect();
+        out.push_str(&format!("| {} |\n", cells.join(" | ")));
+    }
+    out
+}
+
+fn escape_cell(s: &str) -> String {
+    s.replace('|', "\\|")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example::{Binding, DataExample};
+    use dex_modules::{ModuleKind, Parameter};
+    use dex_values::{StructuralType, Value};
+
+    fn fixture() -> (ModuleDescriptor, ExampleSet) {
+        let descriptor = ModuleDescriptor::new(
+            "m",
+            "GetRecord",
+            ModuleKind::SoapService,
+            vec![Parameter::required(
+                "accession",
+                StructuralType::Text,
+                "UniprotAccession",
+            )],
+            vec![Parameter::required(
+                "record",
+                StructuralType::Text,
+                "UniprotRecord",
+            )],
+        );
+        let mut set = ExampleSet::new("m".into());
+        set.examples.push(DataExample::new(
+            vec![Binding::new("accession", Value::text("P12345"))],
+            vec![Binding::new("record", Value::text("ID P12345 | protein"))],
+            vec!["UniprotAccession".into()],
+        ));
+        (descriptor, set)
+    }
+
+    #[test]
+    fn markdown_contains_interface_and_examples() {
+        let (d, set) = fixture();
+        let md = to_markdown(&d, &set);
+        assert!(md.contains("## GetRecord"));
+        assert!(md.contains("`accession`: UniprotAccession"));
+        assert!(md.contains("| accession | record |"));
+        assert!(md.contains("P12345"));
+    }
+
+    #[test]
+    fn pipes_in_values_are_escaped() {
+        let (d, set) = fixture();
+        let md = to_markdown(&d, &set);
+        assert!(md.contains("\\|"), "{md}");
+    }
+
+    #[test]
+    fn empty_set_renders_placeholder() {
+        let (d, _) = fixture();
+        let md = to_markdown(&d, &ExampleSet::new("m".into()));
+        assert!(md.contains("*none generated*"));
+    }
+}

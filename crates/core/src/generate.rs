@@ -1,0 +1,433 @@
+//! The data-example generation heuristic (paper §3.2): partition → select →
+//! invoke → construct.
+
+use crate::error::GenerationError;
+use crate::example::{Binding, DataExample, ExampleSet};
+use crate::partition::{input_partition_plan, PartitionPlan};
+use dex_modules::BlackBox;
+use dex_ontology::Ontology;
+use dex_pool::InstancePool;
+use dex_values::Value;
+
+/// Tuning knobs for the generator.
+#[derive(Debug, Clone)]
+pub struct GenerationConfig {
+    /// Hard cap on the cartesian product of input partitions; exceeding it
+    /// aborts generation with [`GenerationError::TooManyCombinations`]
+    /// rather than hammering a (in the paper's world: remote, metered)
+    /// module with thousands of invocations.
+    pub max_combinations: usize,
+    /// How many alternative value selections to try for a combination whose
+    /// invocation is rejected, before recording the combination as failed.
+    /// Each retry advances every input's pool pick by one.
+    pub retries_per_combination: usize,
+    /// Base offset into each partition's realization list. `0` picks the
+    /// first conforming instance; the matcher uses identical offsets for two
+    /// modules to obtain *aligned* examples (§6: "we choose the same values
+    /// for both i and i′").
+    pub value_offset: usize,
+}
+
+impl Default for GenerationConfig {
+    fn default() -> Self {
+        GenerationConfig {
+            max_combinations: 4096,
+            retries_per_combination: 3,
+            value_offset: 0,
+        }
+    }
+}
+
+/// Everything the generator learned about a module.
+#[derive(Debug, Clone)]
+pub struct GenerationReport {
+    /// The constructed data examples, `∆(m)`.
+    pub examples: ExampleSet,
+    /// The partition plan the examples were generated against.
+    pub plan: PartitionPlan,
+    /// Input partitions (input index, concept name) for which the pool held
+    /// no structurally compatible realization.
+    pub unvalued_partitions: Vec<(usize, String)>,
+    /// Partition combinations whose every attempted invocation failed
+    /// (concept names per input).
+    pub failed_combinations: Vec<Vec<String>>,
+    /// Total module invocations attempted.
+    pub invocations: usize,
+}
+
+impl GenerationReport {
+    /// Fraction of input partitions covered by at least one example,
+    /// in `[0, 1]`; `1.0` for a module with no partitions.
+    pub fn input_partition_coverage(&self, ontology: &Ontology) -> f64 {
+        let total = self.plan.partition_count();
+        if total == 0 {
+            return 1.0;
+        }
+        let mut covered = std::collections::HashSet::new();
+        for example in self.examples.iter() {
+            for (input_idx, concept) in example.input_partitions.iter().enumerate() {
+                if ontology.id(concept).is_some() {
+                    covered.insert((input_idx, concept.clone()));
+                }
+            }
+        }
+        covered.len() as f64 / total as f64
+    }
+}
+
+/// Runs the full §3.2 procedure for one module:
+///
+/// 1. partition the domain of every input using its semantic annotation;
+/// 2. for each partition select a structurally compatible realization from
+///    the annotated pool;
+/// 3. invoke the module on every combination of selected values;
+/// 4. keep combinations that terminate normally as data examples.
+///
+/// Deterministic: same module, ontology, pool and config always produce the
+/// same report.
+pub fn generate_examples(
+    module: &dyn BlackBox,
+    ontology: &Ontology,
+    pool: &InstancePool,
+    config: &GenerationConfig,
+) -> Result<GenerationReport, GenerationError> {
+    let descriptor = module.descriptor();
+    let plan = input_partition_plan(descriptor, ontology)?;
+
+    let combos = plan.combination_count();
+    if combos > config.max_combinations {
+        return Err(GenerationError::TooManyCombinations {
+            combinations: combos,
+            cap: config.max_combinations,
+        });
+    }
+
+    // Phase 2: candidate values per (input, partition). For each we remember
+    // whether *any* structurally compatible realization exists; individual
+    // picks happen per attempt so retries can advance through the pool.
+    let mut unvalued: Vec<(usize, String)> = Vec::new();
+    for (i, parts) in plan.per_input.iter().enumerate() {
+        for &p in parts {
+            let concept = ontology.concept_name(p);
+            if pool
+                .get_instance(concept, &descriptor.inputs[i].structural, 0)
+                .is_none()
+            {
+                unvalued.push((i, concept.to_string()));
+            }
+        }
+    }
+
+    let mut examples = ExampleSet::new(descriptor.id.clone());
+    let mut failed: Vec<Vec<String>> = Vec::new();
+    let mut invocations = 0usize;
+
+    // Phases 3 + 4: invoke each combination, retrying with later pool picks
+    // on rejection.
+    'combos: for combo in plan.combinations() {
+        let concept_names: Vec<String> = combo
+            .iter()
+            .enumerate()
+            .map(|(i, &pi)| ontology.concept_name(plan.per_input[i][pi]).to_string())
+            .collect();
+
+        for attempt in 0..=config.retries_per_combination {
+            let skip = config.value_offset + attempt;
+            let mut values: Vec<Value> = Vec::with_capacity(combo.len());
+            let mut complete = true;
+            for (i, concept) in concept_names.iter().enumerate() {
+                // Fall back to the base offset and then to the first pick
+                // when the pool is shallower than the requested depth, so a
+                // non-zero `value_offset` never starves a partition that has
+                // at least one realization.
+                let inst = pool
+                    .get_instance(concept, &descriptor.inputs[i].structural, skip)
+                    .or_else(|| {
+                        pool.get_instance(
+                            concept,
+                            &descriptor.inputs[i].structural,
+                            config.value_offset,
+                        )
+                    })
+                    .or_else(|| {
+                        pool.get_instance(concept, &descriptor.inputs[i].structural, 0)
+                    });
+                match inst {
+                    Some(inst) => values.push(inst.value.clone()),
+                    None => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if !complete {
+                // Some partition has no realization at all; the combination
+                // can never be fed.
+                failed.push(concept_names);
+                continue 'combos;
+            }
+
+            invocations += 1;
+            match module.invoke(&values) {
+                Ok(outputs) => {
+                    let inputs = descriptor
+                        .inputs
+                        .iter()
+                        .zip(&values)
+                        .map(|(p, v)| Binding::new(p.name.clone(), v.clone()))
+                        .collect();
+                    let outputs = descriptor
+                        .outputs
+                        .iter()
+                        .zip(outputs)
+                        .map(|(p, v)| Binding::new(p.name.clone(), v))
+                        .collect();
+                    examples
+                        .examples
+                        .push(DataExample::new(inputs, outputs, concept_names));
+                    continue 'combos;
+                }
+                Err(_) if attempt < config.retries_per_combination => continue,
+                Err(_) => {
+                    failed.push(concept_names);
+                    continue 'combos;
+                }
+            }
+        }
+    }
+
+    Ok(GenerationReport {
+        examples,
+        plan,
+        unvalued_partitions: unvalued,
+        failed_combinations: failed,
+        invocations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_modules::{FnModule, InvocationError, ModuleDescriptor, ModuleKind, Parameter};
+    use dex_ontology::mygrid;
+    use dex_pool::build_synthetic_pool;
+    use dex_values::formats::sequence::{classify, SequenceKind};
+    use dex_values::StructuralType;
+
+    fn fixture() -> (Ontology, InstancePool) {
+        let onto = mygrid::ontology();
+        let pool = build_synthetic_pool(&onto, 5, 11);
+        (onto, pool)
+    }
+
+    /// A module that reports the kind of the sequence it was given.
+    fn seq_kind_module() -> FnModule {
+        FnModule::new(
+            ModuleDescriptor::new(
+                "op:seqkind",
+                "SeqKind",
+                ModuleKind::LocalProgram,
+                vec![Parameter::required(
+                    "seq",
+                    StructuralType::Text,
+                    "BiologicalSequence",
+                )],
+                vec![Parameter::required("kind", StructuralType::Text, "Document")],
+            ),
+            |inputs| {
+                let s = inputs[0].as_text().expect("validated text");
+                let kind = classify(s)
+                    .ok_or_else(|| InvocationError::rejected("not a sequence"))?;
+                Ok(vec![Value::text(format!("{kind:?}"))])
+            },
+        )
+    }
+
+    #[test]
+    fn generates_one_example_per_partition() {
+        let (onto, pool) = fixture();
+        let m = seq_kind_module();
+        let report =
+            generate_examples(&m, &onto, &pool, &GenerationConfig::default()).unwrap();
+        assert_eq!(report.examples.len(), 4, "one per partition");
+        assert!(report.failed_combinations.is_empty());
+        assert!(report.unvalued_partitions.is_empty());
+        assert_eq!(report.input_partition_coverage(&onto), 1.0);
+        // Each example records the partition it covers.
+        let partitions: Vec<&str> = report
+            .examples
+            .iter()
+            .map(|e| e.input_partitions[0].as_str())
+            .collect();
+        assert_eq!(
+            partitions,
+            vec![
+                "BiologicalSequence",
+                "DNASequence",
+                "RNASequence",
+                "ProteinSequence"
+            ]
+        );
+    }
+
+    #[test]
+    fn outputs_reflect_module_behavior() {
+        let (onto, pool) = fixture();
+        let m = seq_kind_module();
+        let report =
+            generate_examples(&m, &onto, &pool, &GenerationConfig::default()).unwrap();
+        let by_partition: std::collections::HashMap<&str, &str> = report
+            .examples
+            .iter()
+            .map(|e| {
+                (
+                    e.input_partitions[0].as_str(),
+                    e.outputs[0].value.as_text().unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(by_partition["DNASequence"], "Dna");
+        assert_eq!(by_partition["ProteinSequence"], "Protein");
+        assert_eq!(by_partition["BiologicalSequence"], "Generic");
+    }
+
+    /// A module that rejects protein sequences: the protein partition must
+    /// appear in `failed_combinations`, not as an example.
+    #[test]
+    fn rejected_combinations_are_recorded_not_exampled() {
+        let (onto, pool) = fixture();
+        let m = FnModule::new(
+            ModuleDescriptor::new(
+                "op:nuconly",
+                "NucleotideOnly",
+                ModuleKind::RestService,
+                vec![Parameter::required(
+                    "seq",
+                    StructuralType::Text,
+                    "BiologicalSequence",
+                )],
+                vec![Parameter::required("out", StructuralType::Text, "Document")],
+            ),
+            |inputs| {
+                let s = inputs[0].as_text().unwrap();
+                match classify(s) {
+                    Some(SequenceKind::Protein) | None => {
+                        Err(InvocationError::rejected("nucleotides only"))
+                    }
+                    Some(_) => Ok(vec![Value::text("ok")]),
+                }
+            },
+        );
+        let report =
+            generate_examples(&m, &onto, &pool, &GenerationConfig::default()).unwrap();
+        assert_eq!(report.examples.len(), 3);
+        assert_eq!(report.failed_combinations.len(), 1);
+        assert_eq!(report.failed_combinations[0], vec!["ProteinSequence"]);
+        // Retries were attempted for the failing combination.
+        assert!(report.invocations > 4);
+    }
+
+    #[test]
+    fn combination_cap_enforced() {
+        let (onto, pool) = fixture();
+        let m = seq_kind_module();
+        let config = GenerationConfig {
+            max_combinations: 2,
+            ..GenerationConfig::default()
+        };
+        assert!(matches!(
+            generate_examples(&m, &onto, &pool, &config),
+            Err(GenerationError::TooManyCombinations {
+                combinations: 4,
+                cap: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (onto, pool) = fixture();
+        let m = seq_kind_module();
+        let a = generate_examples(&m, &onto, &pool, &GenerationConfig::default()).unwrap();
+        let b = generate_examples(&m, &onto, &pool, &GenerationConfig::default()).unwrap();
+        assert_eq!(a.examples, b.examples);
+    }
+
+    #[test]
+    fn value_offset_changes_selected_values() {
+        let (onto, pool) = fixture();
+        let m = seq_kind_module();
+        let a = generate_examples(&m, &onto, &pool, &GenerationConfig::default()).unwrap();
+        let b = generate_examples(
+            &m,
+            &onto,
+            &pool,
+            &GenerationConfig {
+                value_offset: 1,
+                ..GenerationConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(a.examples.len(), b.examples.len());
+        assert_ne!(
+            a.examples.examples[0].inputs[0].value,
+            b.examples.examples[0].inputs[0].value
+        );
+    }
+
+    /// Multi-input module with an invalid combination (blastn × protein).
+    #[test]
+    fn multi_input_validity_filtering() {
+        let (onto, pool) = fixture();
+        let m = FnModule::new(
+            ModuleDescriptor::new(
+                "op:align",
+                "Align",
+                ModuleKind::SoapService,
+                vec![
+                    Parameter::required("seq", StructuralType::Text, "ProteinSequence"),
+                    Parameter::required("program", StructuralType::Text, "AlgorithmName"),
+                ],
+                vec![Parameter::required(
+                    "report",
+                    StructuralType::Text,
+                    "AlignmentReport",
+                )],
+            ),
+            |inputs| {
+                let program = inputs[1].as_text().unwrap();
+                if program == "blastn" {
+                    // Nucleotide program fed a protein: invalid combination.
+                    return Err(InvocationError::rejected("blastn needs nucleotides"));
+                }
+                Ok(vec![Value::text(format!("PROGRAM  {program}\nDATABASE d\nQUERY    q\nHITS     0\n"))])
+            },
+        );
+        let report =
+            generate_examples(&m, &onto, &pool, &GenerationConfig::default()).unwrap();
+        // 1 × 1 partitions; whether it survives depends on the pooled
+        // algorithm name value — with seed 11 and retries, a non-blastn pick
+        // must eventually be found (pool holds 5 AlgorithmName values).
+        assert_eq!(report.plan.combination_count(), 1);
+        assert_eq!(report.examples.len() + report.failed_combinations.len(), 1);
+    }
+
+    #[test]
+    fn unknown_annotation_surfaces_as_error() {
+        let (onto, pool) = fixture();
+        let m = FnModule::new(
+            ModuleDescriptor::new(
+                "op:ghost",
+                "Ghost",
+                ModuleKind::RestService,
+                vec![Parameter::required("x", StructuralType::Text, "GhostConcept")],
+                vec![Parameter::required("y", StructuralType::Text, "Document")],
+            ),
+            |_| Ok(vec![Value::text("y")]),
+        );
+        assert!(matches!(
+            generate_examples(&m, &onto, &pool, &GenerationConfig::default()),
+            Err(GenerationError::UnknownConcept { .. })
+        ));
+    }
+}

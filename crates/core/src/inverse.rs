@@ -1,0 +1,271 @@
+//! Output-partition coverage through inverse modules (paper §3.3).
+//!
+//! Input-driven generation covers output partitions only opportunistically.
+//! The paper notes: "Where a module m′ that is known to implement the
+//! inverse functionality of m exists, then it can be used to construct data
+//! examples that cover the output partitions of the module m" — while
+//! observing that inverses are rarely available, which is why the §4
+//! evaluation relies on the opportunistic route. This module implements the
+//! inverse route for the cases where an inverse *does* exist.
+//!
+//! For each partition `p` of `m`'s output domain: select a realization of
+//! `p` from the pool, run it **backwards** through `m′` to obtain a
+//! candidate input, then run that input **forwards** through `m` and keep
+//! the invocation as a data example when it terminates normally. The
+//! example covers `p` exactly when the forward output actually realizes `p`
+//! (checked with the value classifier) — with a perfect inverse that is
+//! always the case; with an approximate one, partitions can stay uncovered
+//! and are reported.
+
+use crate::coverage::ValueClassifier;
+use crate::error::GenerationError;
+use crate::example::{Binding, DataExample, ExampleSet};
+use crate::partition::partitions_for;
+use dex_modules::BlackBox;
+use dex_ontology::Ontology;
+use dex_pool::InstancePool;
+
+/// Result of inverse-driven output coverage.
+#[derive(Debug, Clone)]
+pub struct InverseCoverageReport {
+    /// Data examples constructed through the inverse.
+    pub examples: ExampleSet,
+    /// Output partitions (concept names) covered by those examples.
+    pub covered: Vec<String>,
+    /// Output partitions that could not be covered: no pool realization,
+    /// inverse/forward invocation failed, or the forward output landed in a
+    /// different partition (approximate inverse).
+    pub uncovered: Vec<String>,
+}
+
+/// Runs the §3.3 inverse construction for a single-input, single-output
+/// module `m` and its claimed inverse `m′` (output of `m′` feeds the input
+/// of `m`).
+///
+/// Returns an error when the interfaces are not the single-in/single-out
+/// shape inverse pairs have, or the output annotation is unknown.
+pub fn cover_output_partitions(
+    module: &dyn BlackBox,
+    inverse: &dyn BlackBox,
+    ontology: &Ontology,
+    pool: &InstancePool,
+    classifier: ValueClassifier,
+) -> Result<InverseCoverageReport, GenerationError> {
+    let descriptor = module.descriptor();
+    let inverse_descriptor = inverse.descriptor();
+    if descriptor.inputs.len() != 1 || descriptor.outputs.len() != 1 {
+        return Err(GenerationError::BadDescriptor(format!(
+            "inverse coverage needs a single-input single-output module, {} has {}×{}",
+            descriptor.id,
+            descriptor.inputs.len(),
+            descriptor.outputs.len()
+        )));
+    }
+    if inverse_descriptor.inputs.len() != 1 || inverse_descriptor.outputs.len() != 1 {
+        return Err(GenerationError::BadDescriptor(format!(
+            "claimed inverse {} is not single-input single-output",
+            inverse_descriptor.id
+        )));
+    }
+
+    let output_param = &descriptor.outputs[0];
+    let partitions = partitions_for(output_param, ontology)?;
+
+    let mut examples = ExampleSet::new(descriptor.id.clone());
+    let mut covered = Vec::new();
+    let mut uncovered = Vec::new();
+
+    for partition in partitions {
+        let concept = ontology.concept_name(partition).to_string();
+        // 1. A value realizing the target output partition.
+        let Some(instance) = pool.get_instance(&concept, &output_param.structural, 0) else {
+            uncovered.push(concept);
+            continue;
+        };
+        // 2. Backwards through the inverse.
+        let Ok(candidate_inputs) = inverse.invoke(std::slice::from_ref(&instance.value))
+        else {
+            uncovered.push(concept);
+            continue;
+        };
+        // 3. Forwards through the module.
+        let Ok(outputs) = module.invoke(&candidate_inputs) else {
+            uncovered.push(concept);
+            continue;
+        };
+        // 4. Did we actually land in the target partition?
+        if classifier(&outputs[0]) == Some(concept.as_str()) {
+            examples.examples.push(DataExample::new(
+                vec![Binding::new(
+                    descriptor.inputs[0].name.clone(),
+                    candidate_inputs[0].clone(),
+                )],
+                vec![Binding::new(output_param.name.clone(), outputs[0].clone())],
+                vec![classifier(&candidate_inputs[0])
+                    .unwrap_or(&descriptor.inputs[0].semantic)
+                    .to_string()],
+            ));
+            covered.push(concept);
+        } else {
+            uncovered.push(concept);
+        }
+    }
+
+    Ok(InverseCoverageReport {
+        examples,
+        covered,
+        uncovered,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_modules::{FnModule, InvocationError, ModuleDescriptor, ModuleKind, Parameter};
+    use dex_ontology::mygrid;
+    use dex_pool::build_synthetic_pool;
+    use dex_values::classify::classify_concept;
+    use dex_values::formats::sequence::{classify, SequenceKind};
+    use dex_values::{StructuralType, Value};
+
+    fn transcribe() -> FnModule {
+        FnModule::new(
+            ModuleDescriptor::new(
+                "t",
+                "transcribe",
+                ModuleKind::LocalProgram,
+                vec![Parameter::required("dna", StructuralType::Text, "DNASequence")],
+                vec![Parameter::required("rna", StructuralType::Text, "RNASequence")],
+            ),
+            |inputs| {
+                let s = inputs[0].as_text().unwrap();
+                if classify(s) != Some(SequenceKind::Dna) {
+                    return Err(InvocationError::rejected("not DNA"));
+                }
+                Ok(vec![Value::text(s.replace('T', "U"))])
+            },
+        )
+    }
+
+    fn reverse_transcribe() -> FnModule {
+        FnModule::new(
+            ModuleDescriptor::new(
+                "rt",
+                "reverse_transcribe",
+                ModuleKind::LocalProgram,
+                vec![Parameter::required("rna", StructuralType::Text, "RNASequence")],
+                vec![Parameter::required("dna", StructuralType::Text, "DNASequence")],
+            ),
+            |inputs| {
+                let s = inputs[0].as_text().unwrap();
+                Ok(vec![Value::text(s.replace('U', "T"))])
+            },
+        )
+    }
+
+    #[test]
+    fn exact_inverse_covers_the_output_partition() {
+        let onto = mygrid::ontology();
+        let pool = build_synthetic_pool(&onto, 4, 5);
+        let report = cover_output_partitions(
+            &transcribe(),
+            &reverse_transcribe(),
+            &onto,
+            &pool,
+            classify_concept,
+        )
+        .unwrap();
+        // RNASequence is a leaf: one partition, covered through the inverse.
+        assert_eq!(report.covered, vec!["RNASequence"]);
+        assert!(report.uncovered.is_empty());
+        assert_eq!(report.examples.len(), 1);
+        let example = &report.examples.examples[0];
+        assert_eq!(
+            classify(example.inputs[0].value.as_text().unwrap()),
+            Some(SequenceKind::Dna)
+        );
+    }
+
+    #[test]
+    fn approximate_inverse_reports_uncovered_partitions() {
+        // An "inverse" that returns protein junk: the forward run rejects it.
+        let onto = mygrid::ontology();
+        let pool = build_synthetic_pool(&onto, 4, 5);
+        let bogus = FnModule::new(
+            ModuleDescriptor::new(
+                "bogus",
+                "bogus",
+                ModuleKind::LocalProgram,
+                vec![Parameter::required("rna", StructuralType::Text, "RNASequence")],
+                vec![Parameter::required("dna", StructuralType::Text, "DNASequence")],
+            ),
+            |_| Ok(vec![Value::text("MKVLHPQ")]),
+        );
+        let report =
+            cover_output_partitions(&transcribe(), &bogus, &onto, &pool, classify_concept)
+                .unwrap();
+        assert!(report.covered.is_empty());
+        assert_eq!(report.uncovered, vec!["RNASequence"]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let onto = mygrid::ontology();
+        let pool = build_synthetic_pool(&onto, 2, 5);
+        let two_out = FnModule::new(
+            ModuleDescriptor::new(
+                "two",
+                "two",
+                ModuleKind::LocalProgram,
+                vec![Parameter::required("x", StructuralType::Text, "DNASequence")],
+                vec![
+                    Parameter::required("a", StructuralType::Text, "RNASequence"),
+                    Parameter::required("b", StructuralType::Text, "RNASequence"),
+                ],
+            ),
+            |i| Ok(vec![i[0].clone(), i[0].clone()]),
+        );
+        assert!(matches!(
+            cover_output_partitions(&two_out, &reverse_transcribe(), &onto, &pool, classify_concept),
+            Err(GenerationError::BadDescriptor(_))
+        ));
+    }
+
+    #[test]
+    fn broad_output_with_partial_inverse_mixes_covered_and_uncovered() {
+        // Forward: echoes any biological sequence. Inverse: echoes too —
+        // works for every partition, so everything is covered.
+        let onto = mygrid::ontology();
+        let pool = build_synthetic_pool(&onto, 4, 5);
+        let echo = |id: &str| {
+            FnModule::new(
+                ModuleDescriptor::new(
+                    id,
+                    id,
+                    ModuleKind::LocalProgram,
+                    vec![Parameter::required(
+                        "seq",
+                        StructuralType::Text,
+                        "BiologicalSequence",
+                    )],
+                    vec![Parameter::required(
+                        "out",
+                        StructuralType::Text,
+                        "BiologicalSequence",
+                    )],
+                ),
+                |i| Ok(vec![i[0].clone()]),
+            )
+        };
+        let report = cover_output_partitions(
+            &echo("fwd"),
+            &echo("inv"),
+            &onto,
+            &pool,
+            classify_concept,
+        )
+        .unwrap();
+        assert_eq!(report.covered.len(), 4, "{:?}", report.uncovered);
+        assert_eq!(report.examples.len(), 4);
+    }
+}

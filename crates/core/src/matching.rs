@@ -1,0 +1,487 @@
+//! Comparing module behavior through aligned data examples (paper §6).
+
+use crate::error::GenerationError;
+use crate::example::ExampleSet;
+use crate::generate::{generate_examples, GenerationConfig};
+use dex_modules::{BlackBox, ModuleDescriptor};
+use dex_ontology::Ontology;
+use dex_pool::InstancePool;
+use dex_values::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How strictly parameters must correspond for two modules to be compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MappingMode {
+    /// The paper's base requirement: a 1-to-1 mapping between parameters
+    /// "that have the same semantic domain and structure".
+    Strict,
+    /// The relaxation behind the paper's Figure 7: a candidate may be usable
+    /// even when its parameters are *not* semantically identical — its input
+    /// concept must **subsume** the target's (it accepts everything the
+    /// target accepted) and its output concept must be subsumption-related
+    /// to the target's (the delivered values may simply be annotated more
+    /// broadly, as with `GetBiologicalSequence` replacing
+    /// `GetProteinSequence`).
+    Subsuming,
+}
+
+/// A 1-to-1 correspondence between a target module's parameters and a
+/// candidate's: `inputs[i]` is the candidate input index receiving the
+/// target's input `i`; `outputs[o]` the candidate output compared against
+/// the target's output `o`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamMapping {
+    pub inputs: Vec<usize>,
+    pub outputs: Vec<usize>,
+}
+
+/// The §6 classification of a module pair's behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatchVerdict {
+    /// All mapped data examples produce the same outputs ("eventually
+    /// equivalent" — the heuristic may have missed corner cases).
+    Equivalent { compared: usize },
+    /// Some but not all mapped examples agree.
+    Overlapping { agreeing: usize, compared: usize },
+    /// No mapped example agrees.
+    Disjoint { compared: usize },
+}
+
+impl MatchVerdict {
+    /// Whether the verdict suggests the candidate can replace the target in
+    /// at least part of the target's domain.
+    pub fn is_usable(&self) -> bool {
+        matches!(
+            self,
+            MatchVerdict::Equivalent { .. } | MatchVerdict::Overlapping { .. }
+        )
+    }
+}
+
+impl fmt::Display for MatchVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatchVerdict::Equivalent { compared } => {
+                write!(f, "equivalent ({compared} examples agree)")
+            }
+            MatchVerdict::Overlapping { agreeing, compared } => {
+                write!(f, "overlapping ({agreeing}/{compared} examples agree)")
+            }
+            MatchVerdict::Disjoint { compared } => {
+                write!(f, "disjoint (0/{compared} examples agree)")
+            }
+        }
+    }
+}
+
+/// Finds a 1-to-1 parameter mapping from `target` to `candidate`, greedily
+/// in declaration order, or explains why none exists.
+pub fn map_parameters(
+    target: &ModuleDescriptor,
+    candidate: &ModuleDescriptor,
+    ontology: &Ontology,
+    mode: MappingMode,
+) -> Result<ParamMapping, GenerationError> {
+    if target.inputs.len() != candidate.inputs.len()
+        || target.outputs.len() != candidate.outputs.len()
+    {
+        return Err(GenerationError::Incomparable(format!(
+            "arity mismatch: {}×{} vs {}×{}",
+            target.inputs.len(),
+            target.outputs.len(),
+            candidate.inputs.len(),
+            candidate.outputs.len()
+        )));
+    }
+
+    let input_ok = |t: &dex_modules::Parameter, c: &dex_modules::Parameter| match mode {
+        MappingMode::Strict => t.compatible(c),
+        MappingMode::Subsuming => {
+            // The candidate must structurally accept the target's values and
+            // semantically accept at least the target's domain.
+            c.structural.accepts(&t.structural)
+                && match (ontology.id(&c.semantic), ontology.id(&t.semantic)) {
+                    (Some(cs), Some(ts)) => ontology.subsumes(cs, ts),
+                    _ => false,
+                }
+        }
+    };
+    let output_ok = |t: &dex_modules::Parameter, c: &dex_modules::Parameter| match mode {
+        MappingMode::Strict => t.compatible(c),
+        MappingMode::Subsuming => {
+            t.structural == c.structural
+                && match (ontology.id(&c.semantic), ontology.id(&t.semantic)) {
+                    (Some(cs), Some(ts)) => {
+                        ontology.subsumes(cs, ts) || ontology.subsumes(ts, cs)
+                    }
+                    _ => false,
+                }
+        }
+    };
+
+    let inputs = greedy_assign(&target.inputs, &candidate.inputs, input_ok).ok_or_else(|| {
+        GenerationError::Incomparable("no 1-to-1 input parameter mapping".to_string())
+    })?;
+    let outputs =
+        greedy_assign(&target.outputs, &candidate.outputs, output_ok).ok_or_else(|| {
+            GenerationError::Incomparable("no 1-to-1 output parameter mapping".to_string())
+        })?;
+    Ok(ParamMapping { inputs, outputs })
+}
+
+/// Greedy bipartite assignment with backtracking (parameter lists are tiny,
+/// so the worst case is irrelevant in practice).
+fn greedy_assign<T>(
+    targets: &[T],
+    candidates: &[T],
+    compatible: impl Fn(&T, &T) -> bool,
+) -> Option<Vec<usize>> {
+    fn go<T>(
+        i: usize,
+        targets: &[T],
+        candidates: &[T],
+        used: &mut Vec<bool>,
+        out: &mut Vec<usize>,
+        compatible: &impl Fn(&T, &T) -> bool,
+    ) -> bool {
+        if i == targets.len() {
+            return true;
+        }
+        for (j, cand) in candidates.iter().enumerate() {
+            if !used[j] && compatible(&targets[i], cand) {
+                used[j] = true;
+                out.push(j);
+                if go(i + 1, targets, candidates, used, out, compatible) {
+                    return true;
+                }
+                out.pop();
+                used[j] = false;
+            }
+        }
+        false
+    }
+    let mut used = vec![false; candidates.len()];
+    let mut out = Vec::with_capacity(targets.len());
+    if go(0, targets, candidates, &mut used, &mut out, &compatible) {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Replays a set of data examples of a target module against a candidate:
+/// the candidate is invoked on each example's input values (reordered by the
+/// parameter mapping) and its outputs compared with the recorded ones.
+///
+/// This is exactly how decayed workflows are repaired in §6 — the target is
+/// gone, only its (provenance-reconstructed) examples remain.
+///
+/// Returns an error if no parameter mapping exists or the example set is
+/// empty (nothing to compare — no verdict can be honest).
+pub fn match_against_examples(
+    target: &ModuleDescriptor,
+    examples: &ExampleSet,
+    candidate: &dyn BlackBox,
+    ontology: &Ontology,
+    mode: MappingMode,
+) -> Result<MatchVerdict, GenerationError> {
+    let mapping = map_parameters(target, candidate.descriptor(), ontology, mode)?;
+    if examples.is_empty() {
+        return Err(GenerationError::Incomparable(
+            "no data examples to compare against".to_string(),
+        ));
+    }
+    let mut compared = 0usize;
+    let mut agreeing = 0usize;
+    for example in examples.iter() {
+        compared += 1;
+        // Build the candidate's input vector.
+        let mut inputs: Vec<Value> =
+            vec![Value::Null; candidate.descriptor().inputs.len()];
+        for (t_idx, &c_idx) in mapping.inputs.iter().enumerate() {
+            inputs[c_idx] = example.inputs[t_idx].value.clone();
+        }
+        // A failed invocation on inputs the target handled is a behavioral
+        // disagreement on that example.
+        if let Ok(outputs) = candidate.invoke(&inputs) {
+            let all_equal = mapping
+                .outputs
+                .iter()
+                .enumerate()
+                .all(|(t_idx, &c_idx)| outputs[c_idx] == example.outputs[t_idx].value);
+            if all_equal {
+                agreeing += 1;
+            }
+        }
+    }
+    Ok(if agreeing == compared {
+        MatchVerdict::Equivalent { compared }
+    } else if agreeing == 0 {
+        MatchVerdict::Disjoint { compared }
+    } else {
+        MatchVerdict::Overlapping { agreeing, compared }
+    })
+}
+
+/// Compares two live modules by generating *aligned* data examples for the
+/// target (same pool, same value offsets — §6 requires "the same values for
+/// both i and i′") and replaying them against the candidate.
+pub fn compare_modules(
+    target: &dyn BlackBox,
+    candidate: &dyn BlackBox,
+    ontology: &Ontology,
+    pool: &InstancePool,
+    config: &GenerationConfig,
+) -> Result<MatchVerdict, GenerationError> {
+    let report = generate_examples(target, ontology, pool, config)?;
+    match_against_examples(
+        target.descriptor(),
+        &report.examples,
+        candidate,
+        ontology,
+        MappingMode::Strict,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_modules::{FnModule, InvocationError, ModuleKind, Parameter};
+    use dex_ontology::mygrid;
+    use dex_pool::build_synthetic_pool;
+    use dex_values::formats::sequence::{classify, SequenceKind};
+    use dex_values::StructuralType;
+
+    fn seq_echo(id: &str, semantic_in: &str, semantic_out: &str, upper_dna: bool) -> FnModule {
+        FnModule::new(
+            ModuleDescriptor::new(
+                id,
+                id,
+                ModuleKind::SoapService,
+                vec![Parameter::required("seq", StructuralType::Text, semantic_in)],
+                vec![Parameter::required("out", StructuralType::Text, semantic_out)],
+            ),
+            move |inputs| {
+                let s = inputs[0].as_text().unwrap();
+                if classify(s).is_none() {
+                    return Err(InvocationError::rejected("not a sequence"));
+                }
+                // Optionally behave differently on DNA to create overlap.
+                if upper_dna && classify(s) == Some(SequenceKind::Dna) {
+                    Ok(vec![Value::text(format!("DNA:{s}"))])
+                } else {
+                    Ok(vec![Value::text(s.to_string())])
+                }
+            },
+        )
+    }
+
+    fn fixture() -> (Ontology, InstancePool) {
+        let onto = mygrid::ontology();
+        (onto.clone(), build_synthetic_pool(&onto, 4, 3))
+    }
+
+    #[test]
+    fn identical_modules_are_equivalent() {
+        let (onto, pool) = fixture();
+        let a = seq_echo("a", "BiologicalSequence", "BiologicalSequence", false);
+        let b = seq_echo("b", "BiologicalSequence", "BiologicalSequence", false);
+        let v =
+            compare_modules(&a, &b, &onto, &pool, &GenerationConfig::default()).unwrap();
+        assert_eq!(v, MatchVerdict::Equivalent { compared: 4 });
+        assert!(v.is_usable());
+    }
+
+    #[test]
+    fn partially_differing_modules_overlap() {
+        let (onto, pool) = fixture();
+        let a = seq_echo("a", "BiologicalSequence", "BiologicalSequence", false);
+        let b = seq_echo("b", "BiologicalSequence", "BiologicalSequence", true);
+        let v =
+            compare_modules(&a, &b, &onto, &pool, &GenerationConfig::default()).unwrap();
+        assert_eq!(
+            v,
+            MatchVerdict::Overlapping {
+                agreeing: 3,
+                compared: 4
+            }
+        );
+    }
+
+    #[test]
+    fn totally_different_modules_are_disjoint() {
+        let (onto, pool) = fixture();
+        let a = seq_echo("a", "ProteinSequence", "ProteinSequence", false);
+        let b = FnModule::new(
+            ModuleDescriptor::new(
+                "b",
+                "Constant",
+                ModuleKind::RestService,
+                vec![Parameter::required(
+                    "seq",
+                    StructuralType::Text,
+                    "ProteinSequence",
+                )],
+                vec![Parameter::required(
+                    "out",
+                    StructuralType::Text,
+                    "ProteinSequence",
+                )],
+            ),
+            |_| Ok(vec![Value::text("MKVLHHH")]),
+        );
+        let v =
+            compare_modules(&a, &b, &onto, &pool, &GenerationConfig::default()).unwrap();
+        assert!(matches!(v, MatchVerdict::Disjoint { compared: 1 }));
+        assert!(!v.is_usable());
+    }
+
+    #[test]
+    fn strict_mapping_requires_same_concepts() {
+        let (onto, _) = fixture();
+        let a = seq_echo("a", "ProteinSequence", "ProteinSequence", false);
+        let b = seq_echo("b", "BiologicalSequence", "BiologicalSequence", false);
+        assert!(map_parameters(
+            a.descriptor(),
+            b.descriptor(),
+            &onto,
+            MappingMode::Strict
+        )
+        .is_err());
+    }
+
+    /// The Figure 7 scenario: GetBiologicalSequence substitutes
+    /// GetProteinSequence under the subsuming mode.
+    #[test]
+    fn subsuming_mapping_accepts_figure7_shape() {
+        let (onto, _) = fixture();
+        let target = seq_echo("t", "ProteinSequence", "ProteinSequence", false);
+        let candidate = seq_echo("c", "BiologicalSequence", "BiologicalSequence", false);
+        let mapping = map_parameters(
+            target.descriptor(),
+            candidate.descriptor(),
+            &onto,
+            MappingMode::Subsuming,
+        )
+        .unwrap();
+        assert_eq!(mapping.inputs, vec![0]);
+        // The reverse direction must fail: a protein-only candidate does not
+        // accept the full biological-sequence domain.
+        assert!(map_parameters(
+            candidate.descriptor(),
+            target.descriptor(),
+            &onto,
+            MappingMode::Subsuming
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn subsuming_replay_detects_equivalence_on_subdomain() {
+        let (onto, pool) = fixture();
+        let target = seq_echo("t", "ProteinSequence", "ProteinSequence", false);
+        let candidate = seq_echo("c", "BiologicalSequence", "BiologicalSequence", false);
+        let report =
+            generate_examples(&target, &onto, &pool, &GenerationConfig::default()).unwrap();
+        let v = match_against_examples(
+            target.descriptor(),
+            &report.examples,
+            &candidate,
+            &onto,
+            MappingMode::Subsuming,
+        )
+        .unwrap();
+        assert_eq!(v, MatchVerdict::Equivalent { compared: 1 });
+    }
+
+    #[test]
+    fn arity_mismatch_is_incomparable() {
+        let (onto, _) = fixture();
+        let a = seq_echo("a", "ProteinSequence", "ProteinSequence", false);
+        let b = FnModule::new(
+            ModuleDescriptor::new(
+                "b",
+                "TwoIn",
+                ModuleKind::RestService,
+                vec![
+                    Parameter::required("x", StructuralType::Text, "ProteinSequence"),
+                    Parameter::required("y", StructuralType::Text, "ProteinSequence"),
+                ],
+                vec![Parameter::required(
+                    "out",
+                    StructuralType::Text,
+                    "ProteinSequence",
+                )],
+            ),
+            |i| Ok(vec![i[0].clone()]),
+        );
+        assert!(matches!(
+            map_parameters(a.descriptor(), b.descriptor(), &onto, MappingMode::Strict),
+            Err(GenerationError::Incomparable(_))
+        ));
+    }
+
+    #[test]
+    fn empty_example_set_cannot_conclude() {
+        let (onto, _) = fixture();
+        let a = seq_echo("a", "ProteinSequence", "ProteinSequence", false);
+        let b = seq_echo("b", "ProteinSequence", "ProteinSequence", false);
+        let empty = ExampleSet::new(dex_modules::ModuleId::from("a"));
+        assert!(match_against_examples(
+            a.descriptor(),
+            &empty,
+            &b,
+            &onto,
+            MappingMode::Strict
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn failing_candidate_counts_as_disagreement() {
+        let (onto, pool) = fixture();
+        let target = seq_echo("t", "BiologicalSequence", "BiologicalSequence", false);
+        // Candidate rejects proteins entirely.
+        let candidate = FnModule::new(
+            ModuleDescriptor::new(
+                "c",
+                "NucOnly",
+                ModuleKind::SoapService,
+                vec![Parameter::required(
+                    "seq",
+                    StructuralType::Text,
+                    "BiologicalSequence",
+                )],
+                vec![Parameter::required(
+                    "out",
+                    StructuralType::Text,
+                    "BiologicalSequence",
+                )],
+            ),
+            |inputs| {
+                let s = inputs[0].as_text().unwrap();
+                if classify(s) == Some(SequenceKind::Protein) {
+                    Err(InvocationError::rejected("no proteins"))
+                } else {
+                    Ok(vec![Value::text(s.to_string())])
+                }
+            },
+        );
+        let v = compare_modules(
+            &target,
+            &candidate,
+            &onto,
+            &pool,
+            &GenerationConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            v,
+            MatchVerdict::Overlapping {
+                agreeing: 3,
+                compared: 4
+            }
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Completeness and conciseness of example sets (paper §4.2).
+//!
+//! Both metrics are defined against a module's ground-truth *classes of
+//! behavior*. In the paper those were identified from module documentation
+//! with a domain expert; here they are supplied by a [`BehaviorOracle`]
+//! implemented by the synthetic universe. The oracle is used **only** for
+//! scoring — the generator never sees it.
+
+use crate::example::{DataExample, ExampleSet};
+use std::collections::HashSet;
+
+/// Ground truth about a module's classes of behavior.
+///
+/// "By classes of behavior, we refer to the different tasks that a given
+/// module can perform" (§4.2) — not ontology classes. `class_of` assigns an
+/// example's *inputs* to the behavior class they exercise.
+pub trait BehaviorOracle {
+    /// Total number of behavior classes of the module.
+    fn class_count(&self) -> usize;
+
+    /// The class the given example exercises, or `None` when the example
+    /// falls outside every class (should not happen for examples produced by
+    /// invoking the actual module).
+    fn class_of(&self, example: &DataExample) -> Option<usize>;
+}
+
+/// Completeness + conciseness of one module's example set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModuleScore {
+    /// `#classesCovered / #classes` — fraction of behavior classes that at
+    /// least one data example characterizes.
+    pub completeness: f64,
+    /// `1 − #redundantExamples / #examples` — an example is redundant when an
+    /// earlier example already describes its class.
+    pub conciseness: f64,
+    /// Distinct classes covered.
+    pub classes_covered: usize,
+    /// Total classes.
+    pub classes_total: usize,
+    /// Redundant examples.
+    pub redundant: usize,
+    /// Total examples.
+    pub examples: usize,
+}
+
+/// Scores an example set against the oracle.
+///
+/// Edge cases: a module with zero classes is vacuously complete; an empty
+/// example set has completeness 0 (unless there are no classes) and
+/// conciseness 1 (no redundancy among zero examples).
+pub fn score(examples: &ExampleSet, oracle: &dyn BehaviorOracle) -> ModuleScore {
+    let classes_total = oracle.class_count();
+    let mut seen: HashSet<usize> = HashSet::new();
+    let mut redundant = 0usize;
+    for example in examples.iter() {
+        match oracle.class_of(example) {
+            Some(class) => {
+                if !seen.insert(class) {
+                    redundant += 1;
+                }
+            }
+            // An example exercising no known class cannot characterize any
+            // behavior; it is redundant by definition.
+            None => redundant += 1,
+        }
+    }
+    let completeness = if classes_total == 0 {
+        1.0
+    } else {
+        seen.len() as f64 / classes_total as f64
+    };
+    let conciseness = if examples.is_empty() {
+        1.0
+    } else {
+        1.0 - redundant as f64 / examples.len() as f64
+    };
+    ModuleScore {
+        completeness,
+        conciseness,
+        classes_covered: seen.len(),
+        classes_total,
+        redundant,
+        examples: examples.len(),
+    }
+}
+
+/// Convenience: just the completeness ratio.
+pub fn completeness(examples: &ExampleSet, oracle: &dyn BehaviorOracle) -> f64 {
+    score(examples, oracle).completeness
+}
+
+/// Convenience: just the conciseness ratio.
+pub fn conciseness(examples: &ExampleSet, oracle: &dyn BehaviorOracle) -> f64 {
+    score(examples, oracle).conciseness
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example::Binding;
+    use dex_modules::ModuleId;
+    use dex_values::Value;
+
+    /// Oracle: class = input integer modulo `classes`.
+    struct ModOracle {
+        classes: usize,
+    }
+
+    impl BehaviorOracle for ModOracle {
+        fn class_count(&self) -> usize {
+            self.classes
+        }
+        fn class_of(&self, example: &DataExample) -> Option<usize> {
+            example.inputs[0]
+                .value
+                .as_i64()
+                .map(|i| (i as usize) % self.classes)
+        }
+    }
+
+    fn set(values: &[i64]) -> ExampleSet {
+        let mut s = ExampleSet::new(ModuleId::from("m"));
+        for &v in values {
+            s.examples.push(DataExample::new(
+                vec![Binding::new("in", Value::Integer(v))],
+                vec![Binding::new("out", Value::Integer(v))],
+                vec!["C".into()],
+            ));
+        }
+        s
+    }
+
+    #[test]
+    fn perfect_set_scores_one_one() {
+        let oracle = ModOracle { classes: 3 };
+        let s = score(&set(&[0, 1, 2]), &oracle);
+        assert_eq!(s.completeness, 1.0);
+        assert_eq!(s.conciseness, 1.0);
+        assert_eq!(s.classes_covered, 3);
+        assert_eq!(s.redundant, 0);
+    }
+
+    #[test]
+    fn missing_class_lowers_completeness() {
+        let oracle = ModOracle { classes: 4 };
+        let s = score(&set(&[0, 1, 2]), &oracle);
+        assert!((s.completeness - 0.75).abs() < 1e-12);
+        assert_eq!(s.conciseness, 1.0);
+    }
+
+    #[test]
+    fn duplicate_class_lowers_conciseness() {
+        let oracle = ModOracle { classes: 2 };
+        let s = score(&set(&[0, 2, 4, 1]), &oracle); // classes 0,0,0,1
+        assert_eq!(s.completeness, 1.0);
+        assert!((s.conciseness - 0.5).abs() < 1e-12);
+        assert_eq!(s.redundant, 2);
+    }
+
+    #[test]
+    fn empty_set_edge_cases() {
+        let oracle = ModOracle { classes: 2 };
+        let s = score(&set(&[]), &oracle);
+        assert_eq!(s.completeness, 0.0);
+        assert_eq!(s.conciseness, 1.0);
+    }
+
+    #[test]
+    fn unclassifiable_examples_count_redundant() {
+        struct NoneOracle;
+        impl BehaviorOracle for NoneOracle {
+            fn class_count(&self) -> usize {
+                1
+            }
+            fn class_of(&self, _: &DataExample) -> Option<usize> {
+                None
+            }
+        }
+        let s = score(&set(&[1, 2]), &NoneOracle);
+        assert_eq!(s.completeness, 0.0);
+        assert_eq!(s.conciseness, 0.0);
+    }
+
+    #[test]
+    fn convenience_wrappers_agree() {
+        let oracle = ModOracle { classes: 2 };
+        let examples = set(&[0, 1, 2]);
+        assert_eq!(completeness(&examples, &oracle), 1.0);
+        assert!((conciseness(&examples, &oracle) - (1.0 - 1.0 / 3.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,114 @@
+//! Matching invariants checked across the whole synthetic universe.
+
+use dex_core::matching::{map_parameters, MappingMode};
+use dex_core::{compare_modules, GenerationConfig, MatchVerdict};
+use dex_pool::build_synthetic_pool;
+
+/// Reflexivity: every module is (eventually) equivalent to itself.
+#[test]
+fn every_module_is_equivalent_to_itself() {
+    let universe = dex_universe::build();
+    let pool = build_synthetic_pool(&universe.ontology, 4, 17);
+    let config = GenerationConfig::default();
+    for id in universe.available_ids() {
+        let module = universe.catalog.get(&id).expect("available");
+        let verdict = compare_modules(
+            module.as_ref(),
+            module.as_ref(),
+            &universe.ontology,
+            &pool,
+            &config,
+        )
+        .unwrap_or_else(|e| panic!("{id}: {e}"));
+        assert!(
+            matches!(verdict, MatchVerdict::Equivalent { .. }),
+            "{id}: {verdict}"
+        );
+    }
+}
+
+/// Strict parameter mapping is symmetric; the subsuming relaxation is not
+/// (direction matters: the candidate must accept the broader domain).
+#[test]
+fn strict_mapping_is_symmetric_subsuming_is_directed() {
+    let universe = dex_universe::build();
+    let ontology = &universe.ontology;
+    let ids = universe.available_ids();
+    let mut checked = 0;
+    for a in ids.iter().take(60) {
+        for b in ids.iter().take(60) {
+            let da = universe.catalog.descriptor(a).unwrap();
+            let db = universe.catalog.descriptor(b).unwrap();
+            let ab = map_parameters(da, db, ontology, MappingMode::Strict).is_ok();
+            let ba = map_parameters(db, da, ontology, MappingMode::Strict).is_ok();
+            assert_eq!(ab, ba, "strict mapping must be symmetric: {a} vs {b}");
+            // Strict implies subsuming.
+            if ab {
+                assert!(
+                    map_parameters(da, db, ontology, MappingMode::Subsuming).is_ok(),
+                    "{a} vs {b}"
+                );
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked > 0);
+    // Directedness witness: GetBiologicalSequence subsumes
+    // get_protein_sequence_ebi's interface but not vice versa.
+    let broad = universe
+        .catalog
+        .descriptor(&"dr:get_biological_sequence".into())
+        .unwrap();
+    let narrow = universe
+        .catalog
+        .descriptor(&"dr:get_protein_sequence_ebi".into())
+        .unwrap();
+    assert!(map_parameters(narrow, broad, ontology, MappingMode::Subsuming).is_ok());
+    assert!(map_parameters(broad, narrow, ontology, MappingMode::Subsuming).is_err());
+}
+
+/// The matcher's verdict is stable under regeneration (same pool, same
+/// config → same verdict), for a sample of module pairs.
+#[test]
+fn verdicts_are_deterministic() {
+    let universe = dex_universe::build();
+    let pool = build_synthetic_pool(&universe.ontology, 4, 17);
+    let config = GenerationConfig::default();
+    let pairs = [
+        ("dr:get_uniprot_record", "dr:get_uniprot_record_ebi"),
+        ("da:align_seq_ebi", "da:align_seq_ddbj"),
+        ("mi:map_uniprot_go", "mi:map_uniprot_go_ebi"),
+    ];
+    for (a, b) in pairs {
+        let ma = universe.catalog.get(&a.into()).unwrap();
+        let mb = universe.catalog.get(&b.into()).unwrap();
+        let v1 = compare_modules(ma.as_ref(), mb.as_ref(), &universe.ontology, &pool, &config)
+            .unwrap();
+        let v2 = compare_modules(ma.as_ref(), mb.as_ref(), &universe.ontology, &pool, &config)
+            .unwrap();
+        assert_eq!(v1, v2, "{a} vs {b}");
+    }
+}
+
+/// Provider variants that share a backend are pairwise equivalent — the
+/// §6 KEGG claim, checked for every planted equivalence pair.
+#[test]
+fn planted_equivalences_hold_pairwise() {
+    let universe = dex_universe::build();
+    let pool = build_synthetic_pool(&universe.ontology, 4, 17);
+    let config = GenerationConfig::default();
+    for (legacy, expected) in &universe.expected_match {
+        let dex_universe::ExpectedMatch::Equivalent(target) = expected else {
+            continue;
+        };
+        let a = universe.catalog.get(legacy).expect("pre-decay: available");
+        let b = universe.catalog.get(target).expect("available");
+        let verdict =
+            compare_modules(a.as_ref(), b.as_ref(), &universe.ontology, &pool, &config)
+                .unwrap_or_else(|e| panic!("{legacy} vs {target}: {e}"));
+        assert!(
+            matches!(verdict, MatchVerdict::Equivalent { .. }),
+            "{legacy} vs {target}: {verdict}"
+        );
+    }
+}

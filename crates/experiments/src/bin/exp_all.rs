@@ -1,0 +1,14 @@
+//! Regenerates every table and figure of the paper's evaluation in order.
+use dex_experiments::experiments;
+use dex_repair::RepositoryPlan;
+fn main() {
+    let ctx = dex_experiments::Context::build();
+    print!("{}", experiments::table1(&ctx));
+    print!("{}", experiments::table2(&ctx));
+    print!("{}", experiments::table3(&ctx));
+    print!("{}", experiments::coverage(&ctx));
+    print!("{}", experiments::figure5(&ctx));
+    let decay = experiments::decay_experiments(&RepositoryPlan::default());
+    print!("{}", decay.figure8);
+    print!("{}", decay.repair);
+}

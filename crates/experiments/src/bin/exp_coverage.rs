@@ -1,0 +1,5 @@
+//! Regenerates the §4.3 coverage result.
+fn main() {
+    let ctx = dex_experiments::Context::build();
+    print!("{}", dex_experiments::experiments::coverage(&ctx));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 5 (the user study).
+fn main() {
+    let ctx = dex_experiments::Context::build();
+    print!("{}", dex_experiments::experiments::figure5(&ctx));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 8 (matching unavailable modules).
+use dex_repair::RepositoryPlan;
+fn main() {
+    let results = dex_experiments::experiments::decay_experiments(&RepositoryPlan::default());
+    print!("{}", results.figure8);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the §6 repair numbers.
+use dex_repair::RepositoryPlan;
+fn main() {
+    let results = dex_experiments::experiments::decay_experiments(&RepositoryPlan::default());
+    print!("{}", results.repair);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1 (completeness distribution).
+fn main() {
+    let ctx = dex_experiments::Context::build();
+    print!("{}", dex_experiments::experiments::table1(&ctx));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 2 (conciseness distribution).
+fn main() {
+    let ctx = dex_experiments::Context::build();
+    print!("{}", dex_experiments::experiments::table2(&ctx));
+}

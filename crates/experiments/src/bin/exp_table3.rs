@@ -1,0 +1,5 @@
+//! Regenerates Table 3 (module category counts).
+fn main() {
+    let ctx = dex_experiments::Context::build();
+    print!("{}", dex_experiments::experiments::table3(&ctx));
+}

@@ -1,0 +1,68 @@
+//! Plain-text table rendering for experiment output.
+
+/// Renders an aligned text table with a header row.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+    }
+    let render_row = |cells: &[String]| -> String {
+        let mut line = String::from("| ");
+        for (i, cell) in cells.iter().enumerate() {
+            let width = widths.get(i).copied().unwrap_or(cell.len());
+            line.push_str(&format!("{cell:<width$} | "));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let mut out = render_row(&header_cells);
+    out.push('\n');
+    out.push_str(&format!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    ));
+    for row in rows {
+        out.push('\n');
+        out.push_str(&render_row(row));
+    }
+    out
+}
+
+/// A section header for experiment output.
+pub fn heading(title: &str) -> String {
+    format!("\n=== {title} ===\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            &["name", "n"],
+            &[
+                vec!["alpha".into(), "1".into()],
+                vec!["b".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width), "{out}");
+        assert!(out.contains("alpha"));
+    }
+
+    #[test]
+    fn heading_wraps_title() {
+        assert!(heading("Table 1").contains("=== Table 1 ==="));
+    }
+}

@@ -1,0 +1,75 @@
+//! # dex-experiments
+//!
+//! Regenerates every table and figure of the paper's evaluation. Each
+//! binary prints the paper's reported numbers next to the measured ones:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `exp_table1` | Table 1 — completeness distribution |
+//! | `exp_table2` | Table 2 — conciseness distribution |
+//! | `exp_table3` | Table 3 — module category counts |
+//! | `exp_coverage` | §4.3 — input/output partition coverage |
+//! | `exp_figure5` | Figure 5 — users with/without data examples |
+//! | `exp_figure8` | Figure 8 — matching withdrawn modules |
+//! | `exp_repair` | §6 — workflow repair counts |
+//! | `exp_all` | all of the above, in order |
+//!
+//! The heavy artifacts (universe, pool, registry, corpus) are built once
+//! per process via [`Context`]; all binaries use the same fixed seeds, so
+//! every run regenerates identical tables.
+
+use dex_core::{ExampleSet, GenerationConfig, GenerationReport};
+use dex_modules::ModuleId;
+use dex_pool::{build_synthetic_pool, InstancePool};
+use dex_universe::Universe;
+use std::collections::BTreeMap;
+
+pub mod ablations;
+pub mod experiments;
+pub mod parallel;
+pub mod format;
+
+/// Seed of the synthetic curator pool used by the evaluation.
+pub const POOL_SEED: u64 = 42;
+/// Realizations per concept in the curator pool.
+pub const POOL_PER_CONCEPT: usize = 6;
+
+/// Everything the experiments need, built once.
+pub struct Context {
+    /// The (pre-decay) universe.
+    pub universe: Universe,
+    /// The curator pool (§4.1's annotated-instance pool, synthetic flavor).
+    pub pool: InstancePool,
+    /// Generator configuration.
+    pub config: GenerationConfig,
+    /// Per-module generation reports for the 252 available modules.
+    pub reports: BTreeMap<ModuleId, GenerationReport>,
+}
+
+impl Context {
+    /// Builds the shared experimental context: universe + pool + data
+    /// examples for all 252 available modules.
+    pub fn build() -> Context {
+        let universe = dex_universe::build();
+        let pool = build_synthetic_pool(&universe.ontology, POOL_PER_CONCEPT, POOL_SEED);
+        let config = GenerationConfig::default();
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
+        let reports = parallel::generate_all_parallel(&universe, &pool, &config, threads);
+        Context {
+            universe,
+            pool,
+            config,
+            reports,
+        }
+    }
+
+    /// The generated example sets, keyed by module.
+    pub fn example_sets(&self) -> BTreeMap<ModuleId, ExampleSet> {
+        self.reports
+            .iter()
+            .map(|(id, r)| (id.clone(), r.examples.clone()))
+            .collect()
+    }
+}

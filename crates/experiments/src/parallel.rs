@@ -1,0 +1,89 @@
+//! Parallel data-example generation across a module population.
+//!
+//! Generation is embarrassingly parallel per module — modules are
+//! `Send + Sync` black boxes and the pool/ontology are shared read-only —
+//! so the experiment harness fans out over `std::thread::scope` without
+//! extra dependencies. Results are returned in deterministic (sorted id)
+//! order regardless of scheduling.
+
+use dex_core::{generate_examples, GenerationConfig, GenerationReport};
+use dex_modules::ModuleId;
+use dex_pool::InstancePool;
+use dex_universe::Universe;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Generates reports for every available module of the universe, fanning
+/// out over `threads` workers (values below 1 are clamped to 1).
+///
+/// Panics if generation fails for any module, like the serial experiment
+/// context does — the shipped universe is expected to be fully generable.
+pub fn generate_all_parallel(
+    universe: &Universe,
+    pool: &InstancePool,
+    config: &GenerationConfig,
+    threads: usize,
+) -> BTreeMap<ModuleId, GenerationReport> {
+    let ids = universe.available_ids();
+    let cursor = AtomicUsize::new(0);
+    let threads = threads.max(1).min(ids.len().max(1));
+
+    let mut results: Vec<Option<(ModuleId, GenerationReport)>> = Vec::new();
+    results.resize_with(ids.len(), || None);
+    let slots: Vec<std::sync::Mutex<Option<(ModuleId, GenerationReport)>>> =
+        results.into_iter().map(std::sync::Mutex::new).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= ids.len() {
+                    break;
+                }
+                let id = &ids[i];
+                let module = universe.catalog.get(id).expect("available");
+                let report =
+                    generate_examples(module.as_ref(), &universe.ontology, pool, config)
+                        .unwrap_or_else(|e| panic!("{id}: {e}"));
+                *slots[i].lock().expect("no poisoning") = Some((id.clone(), report));
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("no poisoning").expect("filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_pool::build_synthetic_pool;
+
+    #[test]
+    fn parallel_equals_serial() {
+        let universe = dex_universe::build();
+        let pool = build_synthetic_pool(&universe.ontology, 4, 42);
+        let config = GenerationConfig::default();
+
+        let parallel = generate_all_parallel(&universe, &pool, &config, 8);
+        assert_eq!(parallel.len(), 252);
+        // Spot-check against serial generation for a sample of modules.
+        for id in universe.available_ids().into_iter().step_by(17) {
+            let module = universe.catalog.get(&id).unwrap();
+            let serial =
+                generate_examples(module.as_ref(), &universe.ontology, &pool, &config).unwrap();
+            assert_eq!(parallel[&id].examples, serial.examples, "{id}");
+        }
+    }
+
+    #[test]
+    fn single_thread_also_works() {
+        let universe = dex_universe::build();
+        let pool = build_synthetic_pool(&universe.ontology, 2, 1);
+        let config = GenerationConfig::default();
+        let reports = generate_all_parallel(&universe, &pool, &config, 1);
+        assert_eq!(reports.len(), 252);
+    }
+}

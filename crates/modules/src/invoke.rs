@@ -1,0 +1,91 @@
+//! Invocation outcomes.
+
+use std::fmt;
+
+/// Why a module invocation failed to terminate normally.
+///
+/// The generation heuristic (§3.2) cares about exactly one distinction:
+/// *normal termination* (a `Vec<Value>` result) versus anything else — "when
+/// generating data examples, we only consider the combinations that yield
+/// normal termination of the module invocation". The variants exist so that
+/// operators, workflow enactment and the repair verifier can report *why*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvocationError {
+    /// Wrong number of input values supplied.
+    Arity { expected: usize, got: usize },
+    /// An input value does not conform to its parameter's structural type,
+    /// or `Null` was fed to a mandatory parameter.
+    BadInput { parameter: String, reason: String },
+    /// The module executed but rejected the input combination (e.g. an
+    /// accession that resolves to nothing, a sequence its algorithm cannot
+    /// process). This is the "invalid combination" case of §3.2.
+    Rejected { reason: String },
+    /// The provider has withdrawn the module (workflow decay, §6).
+    Unavailable,
+    /// The module crashed on the inputs.
+    Fault { reason: String },
+}
+
+impl fmt::Display for InvocationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvocationError::Arity { expected, got } => {
+                write!(f, "expected {expected} input values, got {got}")
+            }
+            InvocationError::BadInput { parameter, reason } => {
+                write!(f, "bad value for input `{parameter}`: {reason}")
+            }
+            InvocationError::Rejected { reason } => {
+                write!(f, "module rejected the inputs: {reason}")
+            }
+            InvocationError::Unavailable => {
+                write!(f, "module is no longer supplied by its provider")
+            }
+            InvocationError::Fault { reason } => write!(f, "module fault: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for InvocationError {}
+
+impl InvocationError {
+    /// Convenience constructor for [`InvocationError::Rejected`].
+    pub fn rejected(reason: impl Into<String>) -> Self {
+        InvocationError::Rejected {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`InvocationError::Fault`].
+    pub fn fault(reason: impl Into<String>) -> Self {
+        InvocationError::Fault {
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(InvocationError::Arity {
+            expected: 2,
+            got: 1
+        }
+        .to_string()
+        .contains("expected 2"));
+        assert!(InvocationError::rejected("no such accession")
+            .to_string()
+            .contains("no such accession"));
+        assert!(InvocationError::Unavailable.to_string().contains("no longer"));
+        assert!(InvocationError::fault("boom").to_string().contains("boom"));
+        assert!(InvocationError::BadInput {
+            parameter: "seq".into(),
+            reason: "not text".into()
+        }
+        .to_string()
+        .contains("seq"));
+    }
+}

@@ -1,0 +1,218 @@
+//! Module identity and interface description.
+
+use crate::param::Parameter;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable identifier of a module — the `id` of the paper's `m = ⟨id, name⟩`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ModuleId(pub String);
+
+impl ModuleId {
+    /// Creates a module id.
+    pub fn new(id: impl Into<String>) -> Self {
+        ModuleId(id.into())
+    }
+
+    /// The raw id string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `pad` (not `write_str`) so callers' width/alignment flags work.
+        f.pad(&self.0)
+    }
+}
+
+impl From<&str> for ModuleId {
+    fn from(s: &str) -> Self {
+        ModuleId(s.to_string())
+    }
+}
+
+/// How a module is supplied — the three supply forms of the paper's corpus
+/// (§4.1: 56 Java/Python programs, 60 REST services, 136 SOAP services).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ModuleKind {
+    /// Locally hosted Java/Python-style program.
+    LocalProgram,
+    /// REST web service.
+    RestService,
+    /// SOAP web service.
+    SoapService,
+}
+
+impl fmt::Display for ModuleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ModuleKind::LocalProgram => "local program",
+            ModuleKind::RestService => "rest service",
+            ModuleKind::SoapService => "soap service",
+        })
+    }
+}
+
+/// The externally visible interface of a scientific module.
+///
+/// This is everything a curator, a registry, or the data-example generator is
+/// allowed to know about a module: identity, supply kind, and annotated
+/// parameters. Descriptions of *behavior* are deliberately absent — behavior
+/// is what data examples exist to convey.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleDescriptor {
+    /// Stable identifier.
+    pub id: ModuleId,
+    /// Human-given name. Often vague or auto-generated in practice (the
+    /// paper's Example 2 warns names like `SoapLab`-derived ones carry little
+    /// meaning), so nothing downstream may interpret it.
+    pub name: String,
+    /// Supply form.
+    pub kind: ModuleKind,
+    /// Ordered input parameters — `inputs(m)`.
+    pub inputs: Vec<Parameter>,
+    /// Ordered output parameters — `outputs(m)`.
+    pub outputs: Vec<Parameter>,
+}
+
+impl ModuleDescriptor {
+    /// Creates a descriptor.
+    pub fn new(
+        id: impl Into<ModuleId>,
+        name: impl Into<String>,
+        kind: ModuleKind,
+        inputs: Vec<Parameter>,
+        outputs: Vec<Parameter>,
+    ) -> Self {
+        ModuleDescriptor {
+            id: id.into(),
+            name: name.into(),
+            kind,
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Looks up an input parameter by name.
+    pub fn input(&self, name: &str) -> Option<(usize, &Parameter)> {
+        self.inputs
+            .iter()
+            .enumerate()
+            .find(|(_, p)| p.name == name)
+    }
+
+    /// Looks up an output parameter by name.
+    pub fn output(&self, name: &str) -> Option<(usize, &Parameter)> {
+        self.outputs
+            .iter()
+            .enumerate()
+            .find(|(_, p)| p.name == name)
+    }
+
+    /// Validates the descriptor: non-empty interface, unique parameter names
+    /// per direction.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.inputs.is_empty() {
+            return Err(format!("module {} has no inputs", self.id));
+        }
+        if self.outputs.is_empty() {
+            return Err(format!("module {} has no outputs", self.id));
+        }
+        for params in [&self.inputs, &self.outputs] {
+            for (i, p) in params.iter().enumerate() {
+                if params[..i].iter().any(|q| q.name == p.name) {
+                    return Err(format!(
+                        "module {} has duplicate parameter `{}`",
+                        self.id, p.name
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The one-line interface signature used in registry listings.
+    pub fn signature(&self) -> String {
+        let ins: Vec<String> = self.inputs.iter().map(|p| p.to_string()).collect();
+        let outs: Vec<String> = self.outputs.iter().map(|p| p.to_string()).collect();
+        format!("{}({}) -> ({})", self.name, ins.join(", "), outs.join(", "))
+    }
+}
+
+impl From<String> for ModuleId {
+    fn from(s: String) -> Self {
+        ModuleId(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_values::StructuralType;
+
+    fn descriptor() -> ModuleDescriptor {
+        ModuleDescriptor::new(
+            "op:getrecord",
+            "GetRecord",
+            ModuleKind::SoapService,
+            vec![Parameter::required(
+                "accession",
+                StructuralType::Text,
+                "UniprotAccession",
+            )],
+            vec![Parameter::required(
+                "record",
+                StructuralType::Text,
+                "UniprotRecord",
+            )],
+        )
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let d = descriptor();
+        assert_eq!(d.input("accession").unwrap().0, 0);
+        assert!(d.input("nope").is_none());
+        assert_eq!(d.output("record").unwrap().0, 0);
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        assert!(descriptor().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_empty_interface() {
+        let mut d = descriptor();
+        d.outputs.clear();
+        assert!(d.validate().is_err());
+        let mut d2 = descriptor();
+        d2.inputs.clear();
+        assert!(d2.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_params() {
+        let mut d = descriptor();
+        d.inputs.push(d.inputs[0].clone());
+        assert!(d.validate().unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn signature_renders() {
+        let s = descriptor().signature();
+        assert!(s.starts_with("GetRecord("));
+        assert!(s.contains("UniprotAccession"));
+    }
+
+    #[test]
+    fn module_id_conversions() {
+        let a: ModuleId = "x".into();
+        let b: ModuleId = String::from("x").into();
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "x");
+        assert_eq!(a.as_str(), "x");
+    }
+}

@@ -1,0 +1,137 @@
+//! Module parameters: structural + semantic annotation.
+
+use dex_values::{StructuralType, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A module input or output parameter.
+///
+/// Carries the two annotations of the paper's model: the structural type
+/// `str(i)` (grounding) and the semantic type `sem(i)` — the *name* of a
+/// concept in the domain ontology used for annotation. The name is resolved
+/// against an [`Ontology`](dex_ontology::Ontology) at partitioning time;
+/// storing names rather than ids keeps serialized registries stable across
+/// ontology rebuilds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Parameter {
+    /// Parameter name, unique within its direction (inputs or outputs).
+    pub name: String,
+    /// Structural type `str(i)`.
+    pub structural: StructuralType,
+    /// Semantic type `sem(i)`: a concept name in the annotation ontology.
+    pub semantic: String,
+    /// Whether the parameter may be fed `Null` ("a module m may have optional
+    /// parameters", §2). When `true`, `default` is used by enactment when no
+    /// value is wired in.
+    pub optional: bool,
+    /// Default value for an optional parameter (`Value::Null` when absent).
+    pub default: Value,
+}
+
+impl Parameter {
+    /// A mandatory parameter.
+    pub fn required(
+        name: impl Into<String>,
+        structural: StructuralType,
+        semantic: impl Into<String>,
+    ) -> Self {
+        Parameter {
+            name: name.into(),
+            structural,
+            semantic: semantic.into(),
+            optional: false,
+            default: Value::Null,
+        }
+    }
+
+    /// An optional parameter with a default.
+    pub fn optional(
+        name: impl Into<String>,
+        structural: StructuralType,
+        semantic: impl Into<String>,
+        default: Value,
+    ) -> Self {
+        Parameter {
+            name: name.into(),
+            structural,
+            semantic: semantic.into(),
+            optional: true,
+            default,
+        }
+    }
+
+    /// Whether `value` may legally feed this parameter: `Null` requires the
+    /// parameter to be optional; anything else must conform structurally.
+    pub fn admits(&self, value: &Value) -> bool {
+        if value.is_null() {
+            self.optional
+        } else {
+            value.conforms_to(&self.structural)
+        }
+    }
+
+    /// Structural + semantic compatibility with another parameter, as needed
+    /// by the 1-to-1 parameter mapping of the matcher (§6): same semantic
+    /// domain and same structure.
+    pub fn compatible(&self, other: &Parameter) -> bool {
+        self.structural == other.structural && self.semantic == other.semantic
+    }
+}
+
+impl fmt::Display for Parameter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} ({}{})",
+            self.name,
+            self.semantic,
+            self.structural,
+            if self.optional { ", optional" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn required_param_rejects_null() {
+        let p = Parameter::required("seq", StructuralType::Text, "ProteinSequence");
+        assert!(!p.admits(&Value::Null));
+        assert!(p.admits(&Value::text("MKV")));
+        assert!(!p.admits(&Value::Integer(1)));
+    }
+
+    #[test]
+    fn optional_param_admits_null() {
+        let p = Parameter::optional(
+            "tol",
+            StructuralType::Float,
+            "ErrorTolerance",
+            Value::Float(1.0),
+        );
+        assert!(p.admits(&Value::Null));
+        assert!(p.admits(&Value::Float(0.5)));
+        assert!(p.admits(&Value::Integer(2))); // integer widens to float
+        assert!(!p.admits(&Value::text("x")));
+    }
+
+    #[test]
+    fn compatibility_requires_both_annotations() {
+        let a = Parameter::required("x", StructuralType::Text, "ProteinSequence");
+        let b = Parameter::required("y", StructuralType::Text, "ProteinSequence");
+        let c = Parameter::required("x", StructuralType::Text, "DNASequence");
+        let d = Parameter::required("x", StructuralType::Integer, "ProteinSequence");
+        assert!(a.compatible(&b), "names may differ");
+        assert!(!a.compatible(&c));
+        assert!(!a.compatible(&d));
+    }
+
+    #[test]
+    fn display_mentions_annotations() {
+        let p = Parameter::required("seq", StructuralType::Text, "ProteinSequence");
+        let s = p.to_string();
+        assert!(s.contains("seq") && s.contains("ProteinSequence") && s.contains("Text"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Concept identities and metadata.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A cheap, copyable handle to a concept inside one [`crate::Ontology`].
+///
+/// Ids are dense indices into the ontology's arena; they are only meaningful
+/// relative to the ontology that issued them. Serialized artifacts (module
+/// annotations, data examples) should use the concept *name* instead, which
+/// is unique within an ontology and survives re-building.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ConceptId(pub(crate) u32);
+
+impl ConceptId {
+    /// The dense index of this concept within its ontology's arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs an id from a dense index.
+    ///
+    /// Only indices previously obtained from [`ConceptId::index`] on the same
+    /// ontology are valid; anything else yields a handle that the ontology's
+    /// accessors will reject or panic on.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        ConceptId(index as u32)
+    }
+}
+
+impl fmt::Display for ConceptId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Metadata for a single ontology concept.
+///
+/// A concept corresponds to a named class in the domain ontology used for
+/// annotation (e.g. `ProteinSequence` in myGrid). Concepts form a forest via
+/// the subsumption relation; roots have no parent.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Concept {
+    /// Machine name, unique within the ontology (e.g. `ProteinSequence`).
+    pub name: String,
+    /// Human-readable label (e.g. "protein sequence").
+    pub label: String,
+    /// Free-text description of the concept's intended domain.
+    pub description: String,
+    /// Direct super-concept, or `None` for a root.
+    pub parent: Option<ConceptId>,
+}
+
+impl Concept {
+    /// Creates a concept with a label derived from the name by splitting
+    /// `CamelCase` words.
+    pub fn named(name: impl Into<String>, parent: Option<ConceptId>) -> Self {
+        let name = name.into();
+        let label = camel_to_words(&name);
+        Concept {
+            label,
+            description: String::new(),
+            name,
+            parent,
+        }
+    }
+}
+
+/// Splits a `CamelCase` identifier into lower-case words.
+///
+/// Runs of consecutive upper-case letters are kept together so acronyms stay
+/// readable: `DNASequence` becomes `"dna sequence"`, not `"d n a sequence"`.
+pub fn camel_to_words(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    let chars: Vec<char> = name.chars().collect();
+    for (i, &ch) in chars.iter().enumerate() {
+        if ch.is_uppercase() {
+            let prev_lower = i > 0 && chars[i - 1].is_lowercase();
+            let next_lower = i + 1 < chars.len() && chars[i + 1].is_lowercase();
+            if i > 0 && (prev_lower || next_lower) && !out.ends_with(' ') {
+                out.push(' ');
+            }
+            for lower in ch.to_lowercase() {
+                out.push(lower);
+            }
+        } else if ch == '_' || ch == '-' {
+            if !out.ends_with(' ') {
+                out.push(' ');
+            }
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn camel_splitting_handles_plain_camel_case() {
+        assert_eq!(camel_to_words("ProteinSequence"), "protein sequence");
+    }
+
+    #[test]
+    fn camel_splitting_keeps_acronyms_together() {
+        assert_eq!(camel_to_words("DNASequence"), "dna sequence");
+        assert_eq!(camel_to_words("GOTerm"), "go term");
+    }
+
+    #[test]
+    fn camel_splitting_handles_separators() {
+        assert_eq!(camel_to_words("protein_record"), "protein record");
+        assert_eq!(camel_to_words("protein-record"), "protein record");
+    }
+
+    #[test]
+    fn camel_splitting_single_word() {
+        assert_eq!(camel_to_words("Protein"), "protein");
+        assert_eq!(camel_to_words("protein"), "protein");
+    }
+
+    #[test]
+    fn concept_id_round_trips_through_index() {
+        let id = ConceptId(42);
+        assert_eq!(ConceptId::from_index(id.index()), id);
+        assert_eq!(id.to_string(), "c42");
+    }
+
+    #[test]
+    fn named_concept_derives_label() {
+        let c = Concept::named("RNASequence", None);
+        assert_eq!(c.label, "rna sequence");
+        assert_eq!(c.name, "RNASequence");
+        assert!(c.parent.is_none());
+    }
+}

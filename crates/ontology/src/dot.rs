@@ -1,0 +1,76 @@
+//! Graphviz (DOT) export of ontologies, for documentation and debugging.
+
+use crate::ontology::Ontology;
+
+/// Renders the ontology as a Graphviz digraph: one node per concept,
+/// subsumption edges parent → child, abstract concepts drawn dashed.
+pub fn to_dot(ontology: &Ontology) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n", escape(ontology.name())));
+    out.push_str("  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
+    for id in ontology.iter() {
+        let concept = ontology.concept(id);
+        let style = if ontology.can_be_realized(id) {
+            "solid"
+        } else {
+            "dashed"
+        };
+        out.push_str(&format!(
+            "  \"{}\" [label=\"{}\", style={style}];\n",
+            escape(&concept.name),
+            escape(&concept.name),
+        ));
+    }
+    for id in ontology.iter() {
+        if let Some(parent) = ontology.parent(id) {
+            out.push_str(&format!(
+                "  \"{}\" -> \"{}\";\n",
+                escape(ontology.concept_name(parent)),
+                escape(ontology.concept_name(id)),
+            ));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mygrid;
+
+    #[test]
+    fn dot_contains_every_concept_and_edge() {
+        let onto = mygrid::ontology();
+        let dot = to_dot(&onto);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+        for id in onto.iter() {
+            assert!(dot.contains(onto.concept_name(id)));
+        }
+        // One edge per non-root concept.
+        let edges = dot.matches(" -> ").count();
+        let non_roots = onto.iter().filter(|&c| onto.parent(c).is_some()).count();
+        assert_eq!(edges, non_roots);
+    }
+
+    #[test]
+    fn abstract_concepts_are_dashed() {
+        let onto = mygrid::ontology();
+        let dot = to_dot(&onto);
+        assert!(dot.contains("\"NucleotideSequence\" [label=\"NucleotideSequence\", style=dashed]"));
+        assert!(dot.contains("\"DNASequence\" [label=\"DNASequence\", style=solid]"));
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut b = Ontology::builder("t\"x");
+        b.root("A").unwrap();
+        let dot = to_dot(&b.build().unwrap());
+        assert!(dot.contains("t\\\"x"));
+    }
+}

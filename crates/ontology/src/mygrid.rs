@@ -1,0 +1,301 @@
+//! A myGrid-like life-science domain ontology.
+//!
+//! The paper annotates its 252 modules with the myGrid ontology (Figure 4
+//! shows the `BiologicalSequence` fragment). The original OWL ontology is not
+//! redistributable here, so this module ships a faithful reconstruction of
+//! the fragments the paper exercises: sequences, database accessions,
+//! database records, analysis reports, documents, configuration parameters
+//! and mass-spectrometry data.
+//!
+//! The ontology is defined in the crate's own [text format](crate::text) and
+//! parsed at construction time, which doubles as an integration test of the
+//! parser.
+
+use crate::ontology::Ontology;
+use crate::text;
+
+/// The text-format source of the ontology. Public so tools can display it.
+pub const MYGRID_TEXT: &str = "\
+ontology mygrid
+BioinformaticsData: root of all annotated life-science data
+  BiologicalSequence: a sequence of residues
+    NucleotideSequence [abstract]: nucleic-acid sequences, covered by DNA and RNA
+      DNASequence: deoxyribonucleic acid sequence
+      RNASequence: ribonucleic acid sequence
+    ProteinSequence: amino-acid sequence
+  Identifier: a symbolic name for a biological entity
+    DatabaseAccession: an accession in some molecular database
+      UniprotAccession: Uniprot protein accession, e.g. P12345
+      PDBAccession: Protein Data Bank accession
+      EMBLAccession: EMBL nucleotide accession
+      GenBankAccession: GenBank nucleotide accession
+      KEGGAccession [abstract]: KEGG identifiers, covered by the entry kinds
+        KEGGGeneId: KEGG gene identifier
+        KEGGPathwayId: KEGG pathway identifier
+        KEGGCompoundId: KEGG compound identifier
+        KEGGEnzymeId: KEGG enzyme identifier
+      GlycanAccession: KEGG glycan accession
+      LigandAccession: ligand database accession
+    OntologyTerm: a term from a bio-ontology
+      GOTerm: Gene Ontology term
+      ECNumber: enzyme commission number
+    GeneIdentifier: identifier of a gene
+      EntrezGeneId: NCBI Entrez gene id
+      EnsemblGeneId: Ensembl gene id
+      GeneSymbol: HGNC-style gene symbol
+  BiologicalRecord [abstract]: structured database entries
+    SequenceRecord: a record describing a sequence
+      UniprotRecord: Uniprot flat-file protein record
+      FastaRecord: FASTA-formatted sequence record
+      GenBankRecord: GenBank flat-file record
+      EMBLRecord: EMBL flat-file record
+      PDBRecord: PDB structure record
+    PathwayRecord: a pathway database entry
+    EnzymeRecord: an enzyme database entry
+    CompoundRecord: a small-molecule entry
+    GlycanRecord: KEGG glycan entry
+    LigandRecord: ligand database entry
+    GeneRecord: a gene database entry
+  Report: the output of an analysis
+    AlignmentReport: result of a sequence alignment search
+      BlastReport: BLAST alignment report
+      FastaAlignmentReport: FASTA-program alignment report
+    IdentificationReport: protein/peptide identification result
+    PhylogeneticTree: result of a phylogenetic analysis
+    AnnotationReport: functional annotation summary
+  Document: natural-language content
+    LiteratureAbstract: abstract of a publication
+    FullTextArticle: full text of a publication
+  AnnotationData: derived semantic annotations
+    PathwayConcept: pathway concept extracted from text
+    FunctionalCategory: coarse functional category
+    KeywordSet: curated keyword list
+    CrossReferenceSet: cross-references to other databases
+  Setting [abstract]: configuration values supplied to modules
+    ErrorTolerance: identification error tolerance (percentage)
+    AlgorithmName: name of an algorithm to apply
+    DatabaseName: name of a target database
+    ScoreThreshold: numeric score cut-off
+    EValueCutoff: alignment e-value cut-off
+  MeasurementData: raw experimental measurements
+    PeptideMassList: peptide masses from mass-spectrometric analysis
+    MassSpectrum: a raw mass spectrum
+    ExpressionProfile: gene-expression measurements
+";
+
+/// Builds the myGrid-like ontology.
+///
+/// # Panics
+/// Never panics in practice: the embedded text is validated by this crate's
+/// tests; a parse failure here would be a build defect of the library itself.
+pub fn ontology() -> Ontology {
+    text::parse(MYGRID_TEXT).expect("embedded myGrid ontology must parse")
+}
+
+/// Names of the myGrid-like concepts, for typo-proof reference downstream.
+pub mod names {
+    pub const BIOINFORMATICS_DATA: &str = "BioinformaticsData";
+    pub const BIOLOGICAL_SEQUENCE: &str = "BiologicalSequence";
+    pub const NUCLEOTIDE_SEQUENCE: &str = "NucleotideSequence";
+    pub const DNA_SEQUENCE: &str = "DNASequence";
+    pub const RNA_SEQUENCE: &str = "RNASequence";
+    pub const PROTEIN_SEQUENCE: &str = "ProteinSequence";
+    pub const IDENTIFIER: &str = "Identifier";
+    pub const DATABASE_ACCESSION: &str = "DatabaseAccession";
+    pub const UNIPROT_ACCESSION: &str = "UniprotAccession";
+    pub const PDB_ACCESSION: &str = "PDBAccession";
+    pub const EMBL_ACCESSION: &str = "EMBLAccession";
+    pub const GENBANK_ACCESSION: &str = "GenBankAccession";
+    pub const KEGG_ACCESSION: &str = "KEGGAccession";
+    pub const KEGG_GENE_ID: &str = "KEGGGeneId";
+    pub const KEGG_PATHWAY_ID: &str = "KEGGPathwayId";
+    pub const KEGG_COMPOUND_ID: &str = "KEGGCompoundId";
+    pub const KEGG_ENZYME_ID: &str = "KEGGEnzymeId";
+    pub const GLYCAN_ACCESSION: &str = "GlycanAccession";
+    pub const LIGAND_ACCESSION: &str = "LigandAccession";
+    pub const ONTOLOGY_TERM: &str = "OntologyTerm";
+    pub const GO_TERM: &str = "GOTerm";
+    pub const EC_NUMBER: &str = "ECNumber";
+    pub const GENE_IDENTIFIER: &str = "GeneIdentifier";
+    pub const ENTREZ_GENE_ID: &str = "EntrezGeneId";
+    pub const ENSEMBL_GENE_ID: &str = "EnsemblGeneId";
+    pub const GENE_SYMBOL: &str = "GeneSymbol";
+    pub const BIOLOGICAL_RECORD: &str = "BiologicalRecord";
+    pub const SEQUENCE_RECORD: &str = "SequenceRecord";
+    pub const UNIPROT_RECORD: &str = "UniprotRecord";
+    pub const FASTA_RECORD: &str = "FastaRecord";
+    pub const GENBANK_RECORD: &str = "GenBankRecord";
+    pub const EMBL_RECORD: &str = "EMBLRecord";
+    pub const PDB_RECORD: &str = "PDBRecord";
+    pub const PATHWAY_RECORD: &str = "PathwayRecord";
+    pub const ENZYME_RECORD: &str = "EnzymeRecord";
+    pub const COMPOUND_RECORD: &str = "CompoundRecord";
+    pub const GLYCAN_RECORD: &str = "GlycanRecord";
+    pub const LIGAND_RECORD: &str = "LigandRecord";
+    pub const GENE_RECORD: &str = "GeneRecord";
+    pub const REPORT: &str = "Report";
+    pub const ALIGNMENT_REPORT: &str = "AlignmentReport";
+    pub const BLAST_REPORT: &str = "BlastReport";
+    pub const FASTA_ALIGNMENT_REPORT: &str = "FastaAlignmentReport";
+    pub const IDENTIFICATION_REPORT: &str = "IdentificationReport";
+    pub const PHYLOGENETIC_TREE: &str = "PhylogeneticTree";
+    pub const ANNOTATION_REPORT: &str = "AnnotationReport";
+    pub const DOCUMENT: &str = "Document";
+    pub const LITERATURE_ABSTRACT: &str = "LiteratureAbstract";
+    pub const FULL_TEXT_ARTICLE: &str = "FullTextArticle";
+    pub const ANNOTATION_DATA: &str = "AnnotationData";
+    pub const PATHWAY_CONCEPT: &str = "PathwayConcept";
+    pub const FUNCTIONAL_CATEGORY: &str = "FunctionalCategory";
+    pub const KEYWORD_SET: &str = "KeywordSet";
+    pub const CROSS_REFERENCE_SET: &str = "CrossReferenceSet";
+    pub const SETTING: &str = "Setting";
+    pub const ERROR_TOLERANCE: &str = "ErrorTolerance";
+    pub const ALGORITHM_NAME: &str = "AlgorithmName";
+    pub const DATABASE_NAME: &str = "DatabaseName";
+    pub const SCORE_THRESHOLD: &str = "ScoreThreshold";
+    pub const E_VALUE_CUTOFF: &str = "EValueCutoff";
+    pub const MEASUREMENT_DATA: &str = "MeasurementData";
+    pub const PEPTIDE_MASS_LIST: &str = "PeptideMassList";
+    pub const MASS_SPECTRUM: &str = "MassSpectrum";
+    pub const EXPRESSION_PROFILE: &str = "ExpressionProfile";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ontology_parses_and_has_expected_size() {
+        let o = ontology();
+        assert_eq!(o.name(), "mygrid");
+        assert!(o.len() > 55, "got {} concepts", o.len());
+        assert_eq!(o.roots().count(), 1);
+    }
+
+    #[test]
+    fn every_names_constant_resolves() {
+        let o = ontology();
+        let all = [
+            names::BIOINFORMATICS_DATA,
+            names::BIOLOGICAL_SEQUENCE,
+            names::NUCLEOTIDE_SEQUENCE,
+            names::DNA_SEQUENCE,
+            names::RNA_SEQUENCE,
+            names::PROTEIN_SEQUENCE,
+            names::IDENTIFIER,
+            names::DATABASE_ACCESSION,
+            names::UNIPROT_ACCESSION,
+            names::PDB_ACCESSION,
+            names::EMBL_ACCESSION,
+            names::GENBANK_ACCESSION,
+            names::KEGG_ACCESSION,
+            names::KEGG_GENE_ID,
+            names::KEGG_PATHWAY_ID,
+            names::KEGG_COMPOUND_ID,
+            names::KEGG_ENZYME_ID,
+            names::GLYCAN_ACCESSION,
+            names::LIGAND_ACCESSION,
+            names::ONTOLOGY_TERM,
+            names::GO_TERM,
+            names::EC_NUMBER,
+            names::GENE_IDENTIFIER,
+            names::ENTREZ_GENE_ID,
+            names::ENSEMBL_GENE_ID,
+            names::GENE_SYMBOL,
+            names::BIOLOGICAL_RECORD,
+            names::SEQUENCE_RECORD,
+            names::UNIPROT_RECORD,
+            names::FASTA_RECORD,
+            names::GENBANK_RECORD,
+            names::EMBL_RECORD,
+            names::PDB_RECORD,
+            names::PATHWAY_RECORD,
+            names::ENZYME_RECORD,
+            names::COMPOUND_RECORD,
+            names::GLYCAN_RECORD,
+            names::LIGAND_RECORD,
+            names::GENE_RECORD,
+            names::REPORT,
+            names::ALIGNMENT_REPORT,
+            names::BLAST_REPORT,
+            names::FASTA_ALIGNMENT_REPORT,
+            names::IDENTIFICATION_REPORT,
+            names::PHYLOGENETIC_TREE,
+            names::ANNOTATION_REPORT,
+            names::DOCUMENT,
+            names::LITERATURE_ABSTRACT,
+            names::FULL_TEXT_ARTICLE,
+            names::ANNOTATION_DATA,
+            names::PATHWAY_CONCEPT,
+            names::FUNCTIONAL_CATEGORY,
+            names::KEYWORD_SET,
+            names::CROSS_REFERENCE_SET,
+            names::SETTING,
+            names::ERROR_TOLERANCE,
+            names::ALGORITHM_NAME,
+            names::DATABASE_NAME,
+            names::SCORE_THRESHOLD,
+            names::E_VALUE_CUTOFF,
+            names::MEASUREMENT_DATA,
+            names::PEPTIDE_MASS_LIST,
+            names::MASS_SPECTRUM,
+            names::EXPRESSION_PROFILE,
+        ];
+        for name in all {
+            assert!(o.id(name).is_some(), "missing concept {name}");
+        }
+        assert_eq!(all.len(), o.len(), "names module out of sync with text");
+    }
+
+    #[test]
+    fn figure4_fragment_matches_paper() {
+        // The paper's Figure 4 / Example 3: partitioning BiologicalSequence
+        // yields BiologicalSequence, NucleotideSequence, RNASequence,
+        // DNASequence, ProteinSequence — except that our NucleotideSequence is
+        // abstract (DNA + RNA cover it), so it contributes no partition.
+        let o = ontology();
+        let bio = o.id(names::BIOLOGICAL_SEQUENCE).unwrap();
+        let parts: Vec<&str> = o
+            .partitions_of(bio)
+            .iter()
+            .map(|&c| o.concept_name(c))
+            .collect();
+        assert_eq!(
+            parts,
+            vec![
+                "BiologicalSequence",
+                "DNASequence",
+                "RNASequence",
+                "ProteinSequence"
+            ]
+        );
+    }
+
+    #[test]
+    fn abstract_concepts_are_exactly_the_marked_ones() {
+        let o = ontology();
+        let abstracts: Vec<&str> = o
+            .iter()
+            .filter(|&c| !o.can_be_realized(c))
+            .map(|c| o.concept_name(c))
+            .collect();
+        assert_eq!(
+            abstracts,
+            vec![
+                "NucleotideSequence",
+                "KEGGAccession",
+                "BiologicalRecord",
+                "Setting"
+            ]
+        );
+    }
+
+    #[test]
+    fn kegg_ids_partition_under_database_accession() {
+        let o = ontology();
+        let acc = o.id(names::DATABASE_ACCESSION).unwrap();
+        let parts = o.partitions_of(acc);
+        // 1 (itself) + 4 concrete accessions + 4 KEGG kinds + glycan + ligand.
+        assert_eq!(parts.len(), 11);
+    }
+}

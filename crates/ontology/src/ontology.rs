@@ -1,0 +1,543 @@
+//! The arena-backed concept hierarchy and its subsumption queries.
+
+use crate::concept::{Concept, ConceptId};
+use crate::error::OntologyError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A domain ontology: a forest of named concepts related by subsumption.
+///
+/// The paper models an ontology as "a hierarchy of concepts" connected by the
+/// subsumption relationship (`ProteinSequence < BiologicalSequence`). This
+/// type stores that hierarchy in a flat arena with parent/child adjacency and
+/// a name index, so every query the generation heuristic needs —
+/// [`partitions_of`](Ontology::partitions_of), [`subsumes`](Ontology::subsumes),
+/// realization checks — is an index walk without hashing or allocation on the
+/// hot path.
+///
+/// # Invariants
+///
+/// * Concept names are unique.
+/// * The parent relation is acyclic (enforced at build time: a parent must
+///   already exist when its child is added).
+/// * `children[p]` lists exactly the concepts whose `parent == Some(p)`, in
+///   insertion order (deterministic partition enumeration depends on this).
+/// * A concept marked *abstract* (its domain is fully covered by its
+///   sub-concepts' domains, so no instance can realize it) is never a leaf.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ontology {
+    name: String,
+    concepts: Vec<Concept>,
+    children: Vec<Vec<ConceptId>>,
+    /// `true` for concepts whose domain is covered by their sub-concepts;
+    /// such concepts cannot be realized and get no data example of their own.
+    abstract_flags: Vec<bool>,
+    depths: Vec<u32>,
+    #[serde(skip)]
+    by_name: HashMap<String, ConceptId>,
+}
+
+impl Ontology {
+    /// Starts building an ontology with the given name.
+    pub fn builder(name: impl Into<String>) -> OntologyBuilder {
+        OntologyBuilder::new(name)
+    }
+
+    /// The ontology's name (e.g. `"mygrid"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of concepts.
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// Whether the ontology holds no concepts.
+    pub fn is_empty(&self) -> bool {
+        self.concepts.is_empty()
+    }
+
+    /// Looks up a concept id by its unique name.
+    pub fn id(&self, name: &str) -> Option<ConceptId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Like [`id`](Ontology::id) but returns an error naming the missing concept.
+    pub fn require(&self, name: &str) -> Result<ConceptId, OntologyError> {
+        self.id(name)
+            .ok_or_else(|| OntologyError::UnknownConcept(name.to_string()))
+    }
+
+    /// The concept metadata behind an id.
+    ///
+    /// # Panics
+    /// Panics if `id` was not issued by this ontology.
+    pub fn concept(&self, id: ConceptId) -> &Concept {
+        &self.concepts[id.index()]
+    }
+
+    /// Fallible variant of [`concept`](Ontology::concept).
+    pub fn get(&self, id: ConceptId) -> Option<&Concept> {
+        self.concepts.get(id.index())
+    }
+
+    /// The unique machine name of a concept.
+    pub fn concept_name(&self, id: ConceptId) -> &str {
+        &self.concepts[id.index()].name
+    }
+
+    /// Direct super-concept, or `None` for roots.
+    pub fn parent(&self, id: ConceptId) -> Option<ConceptId> {
+        self.concepts[id.index()].parent
+    }
+
+    /// Direct sub-concepts, in insertion order.
+    pub fn children(&self, id: ConceptId) -> &[ConceptId] {
+        &self.children[id.index()]
+    }
+
+    /// Whether the concept has no sub-concepts.
+    pub fn is_leaf(&self, id: ConceptId) -> bool {
+        self.children[id.index()].is_empty()
+    }
+
+    /// Whether instances can *realize* this concept — i.e. be an instance of
+    /// it without being an instance of any strict sub-concept.
+    ///
+    /// The paper (§3.2): "if it is not possible to have an instance that is a
+    /// realization of a concept because its domain is covered by the domains
+    /// of its subconcepts, then we do not create a data example for such a
+    /// concept". Abstract concepts are exactly those.
+    pub fn can_be_realized(&self, id: ConceptId) -> bool {
+        !self.abstract_flags[id.index()]
+    }
+
+    /// All root concepts (no parent), in insertion order.
+    pub fn roots(&self) -> impl Iterator<Item = ConceptId> + '_ {
+        self.concepts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.parent.is_none())
+            .map(|(i, _)| ConceptId::from_index(i))
+    }
+
+    /// Iterates every concept id in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = ConceptId> + '_ {
+        (0..self.concepts.len()).map(ConceptId::from_index)
+    }
+
+    /// Depth of a concept: 0 for roots, parent depth + 1 otherwise.
+    pub fn depth(&self, id: ConceptId) -> u32 {
+        self.depths[id.index()]
+    }
+
+    /// Iterates `id`, its parent, grand-parent, … up to the root.
+    pub fn ancestors(&self, id: ConceptId) -> Ancestors<'_> {
+        Ancestors {
+            ontology: self,
+            next: Some(id),
+        }
+    }
+
+    /// Non-strict subsumption: does `general` subsume `specific`
+    /// (`specific <= general`)?
+    ///
+    /// Runs in `O(depth)` by walking parent pointers; `depth(general)` is
+    /// compared first so deep mismatches bail out without a full walk.
+    pub fn subsumes(&self, general: ConceptId, specific: ConceptId) -> bool {
+        let dg = self.depths[general.index()];
+        let mut cur = specific;
+        while self.depths[cur.index()] > dg {
+            // Depth strictly decreases along parent edges, so this terminates.
+            cur = match self.concepts[cur.index()].parent {
+                Some(p) => p,
+                None => return false,
+            };
+        }
+        cur == general
+    }
+
+    /// Strict subsumption: `specific < general`.
+    pub fn strictly_subsumes(&self, general: ConceptId, specific: ConceptId) -> bool {
+        general != specific && self.subsumes(general, specific)
+    }
+
+    /// All concepts subsumed by `root` (including `root` itself), in
+    /// deterministic pre-order.
+    pub fn descendants(&self, root: ConceptId) -> Vec<ConceptId> {
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(c) = stack.pop() {
+            out.push(c);
+            // Push children reversed so pre-order matches insertion order.
+            for &child in self.children[c.index()].iter().rev() {
+                stack.push(child);
+            }
+        }
+        out
+    }
+
+    /// The sub-domain partitions of the domain of a parameter annotated with
+    /// `concept` (the paper's §3.1).
+    ///
+    /// These are every concept subsumed by `concept` — the annotation concept
+    /// itself plus all of its descendants — *minus* abstract concepts, whose
+    /// domains are covered by their sub-concepts and therefore are already
+    /// represented by the sub-concepts' partitions.
+    pub fn partitions_of(&self, concept: ConceptId) -> Vec<ConceptId> {
+        self.descendants(concept)
+            .into_iter()
+            .filter(|&c| self.can_be_realized(c))
+            .collect()
+    }
+
+    /// Lowest common ancestor of two concepts, or `None` when they live in
+    /// different trees of the forest.
+    pub fn lca(&self, a: ConceptId, b: ConceptId) -> Option<ConceptId> {
+        let (mut a, mut b) = (a, b);
+        while self.depths[a.index()] > self.depths[b.index()] {
+            a = self.concepts[a.index()].parent?;
+        }
+        while self.depths[b.index()] > self.depths[a.index()] {
+            b = self.concepts[b.index()].parent?;
+        }
+        while a != b {
+            a = self.concepts[a.index()].parent?;
+            b = self.concepts[b.index()].parent?;
+        }
+        Some(a)
+    }
+
+    /// Semantic distance: number of subsumption edges on the path between two
+    /// concepts through their LCA, or `None` if they are unrelated.
+    pub fn distance(&self, a: ConceptId, b: ConceptId) -> Option<u32> {
+        let l = self.lca(a, b)?;
+        Some(self.depths[a.index()] + self.depths[b.index()] - 2 * self.depths[l.index()])
+    }
+
+    /// Validates an id against this ontology.
+    pub fn check_id(&self, id: ConceptId) -> Result<ConceptId, OntologyError> {
+        if id.index() < self.concepts.len() {
+            Ok(id)
+        } else {
+            Err(OntologyError::ForeignId(id.0))
+        }
+    }
+
+    /// Rebuilds the name index. Needed after deserialization, because the
+    /// index is derived state and is skipped by serde.
+    pub fn rebuild_index(&mut self) {
+        self.by_name = self
+            .concepts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name.clone(), ConceptId::from_index(i)))
+            .collect();
+    }
+}
+
+/// Iterator over a concept and its ancestors, root-ward.
+pub struct Ancestors<'a> {
+    ontology: &'a Ontology,
+    next: Option<ConceptId>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = ConceptId;
+
+    fn next(&mut self) -> Option<ConceptId> {
+        let cur = self.next?;
+        self.next = self.ontology.parent(cur);
+        Some(cur)
+    }
+}
+
+/// Incremental construction of an [`Ontology`].
+///
+/// Parents must be added before their children, which makes cycles
+/// unrepresentable by construction.
+#[derive(Debug, Clone)]
+pub struct OntologyBuilder {
+    name: String,
+    concepts: Vec<Concept>,
+    abstract_flags: Vec<bool>,
+    by_name: HashMap<String, ConceptId>,
+}
+
+impl OntologyBuilder {
+    /// Creates an empty builder for an ontology with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        OntologyBuilder {
+            name: name.into(),
+            concepts: Vec::new(),
+            abstract_flags: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Adds a root concept.
+    pub fn root(&mut self, name: &str) -> Result<ConceptId, OntologyError> {
+        self.insert(Concept::named(name, None), false)
+    }
+
+    /// Adds a concept under an existing parent.
+    pub fn child(&mut self, name: &str, parent: &str) -> Result<ConceptId, OntologyError> {
+        let parent_id = self
+            .by_name
+            .get(parent)
+            .copied()
+            .ok_or_else(|| OntologyError::UnknownConcept(parent.to_string()))?;
+        self.insert(Concept::named(name, Some(parent_id)), false)
+    }
+
+    /// Adds a concept under an existing parent and marks it *abstract*: its
+    /// domain is fully covered by its (future) sub-concepts, so it cannot be
+    /// realized and receives no partition of its own.
+    pub fn abstract_child(&mut self, name: &str, parent: &str) -> Result<ConceptId, OntologyError> {
+        let parent_id = self
+            .by_name
+            .get(parent)
+            .copied()
+            .ok_or_else(|| OntologyError::UnknownConcept(parent.to_string()))?;
+        self.insert(Concept::named(name, Some(parent_id)), true)
+    }
+
+    /// Adds an abstract root concept.
+    pub fn abstract_root(&mut self, name: &str) -> Result<ConceptId, OntologyError> {
+        self.insert(Concept::named(name, None), true)
+    }
+
+    /// Sets the description of an already-added concept.
+    pub fn describe(&mut self, name: &str, description: &str) -> Result<(), OntologyError> {
+        let id = self
+            .by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| OntologyError::UnknownConcept(name.to_string()))?;
+        self.concepts[id.index()].description = description.to_string();
+        Ok(())
+    }
+
+    fn insert(&mut self, concept: Concept, is_abstract: bool) -> Result<ConceptId, OntologyError> {
+        if self.by_name.contains_key(&concept.name) {
+            return Err(OntologyError::DuplicateConcept(concept.name));
+        }
+        let id = ConceptId::from_index(self.concepts.len());
+        self.by_name.insert(concept.name.clone(), id);
+        self.concepts.push(concept);
+        self.abstract_flags.push(is_abstract);
+        Ok(id)
+    }
+
+    /// Finalizes the ontology.
+    ///
+    /// Fails if any abstract concept ended up a leaf (an abstract leaf would
+    /// denote an empty domain, which the paper's model has no use for).
+    pub fn build(self) -> Result<Ontology, OntologyError> {
+        let n = self.concepts.len();
+        let mut children: Vec<Vec<ConceptId>> = vec![Vec::new(); n];
+        let mut depths = vec![0u32; n];
+        for (i, c) in self.concepts.iter().enumerate() {
+            if let Some(p) = c.parent {
+                children[p.index()].push(ConceptId::from_index(i));
+                // Parents precede children in the arena, so depths[p] is final.
+                depths[i] = depths[p.index()] + 1;
+            }
+        }
+        for (i, &is_abstract) in self.abstract_flags.iter().enumerate() {
+            if is_abstract && children[i].is_empty() {
+                return Err(OntologyError::UnknownConcept(format!(
+                    "abstract concept `{}` has no sub-concepts (its domain would be empty)",
+                    self.concepts[i].name
+                )));
+            }
+        }
+        Ok(Ontology {
+            name: self.name,
+            concepts: self.concepts,
+            children,
+            abstract_flags: self.abstract_flags,
+            depths,
+            by_name: self.by_name,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// BioData > {BiologicalSequence > {NucleotideSequence > {DNA, RNA},
+    /// ProteinSequence}, Accession}
+    fn sample() -> Ontology {
+        let mut b = Ontology::builder("test");
+        b.root("BioData").unwrap();
+        b.child("BiologicalSequence", "BioData").unwrap();
+        b.abstract_child("NucleotideSequence", "BiologicalSequence")
+            .unwrap();
+        b.child("DNASequence", "NucleotideSequence").unwrap();
+        b.child("RNASequence", "NucleotideSequence").unwrap();
+        b.child("ProteinSequence", "BiologicalSequence").unwrap();
+        b.child("Accession", "BioData").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn name_lookup_round_trips() {
+        let o = sample();
+        for id in o.iter() {
+            assert_eq!(o.id(o.concept_name(id)), Some(id));
+        }
+        assert_eq!(o.id("Nope"), None);
+        assert!(o.require("Nope").is_err());
+    }
+
+    #[test]
+    fn subsumption_is_reflexive_and_follows_edges() {
+        let o = sample();
+        let bio = o.id("BiologicalSequence").unwrap();
+        let dna = o.id("DNASequence").unwrap();
+        let prot = o.id("ProteinSequence").unwrap();
+        assert!(o.subsumes(bio, bio));
+        assert!(o.subsumes(bio, dna));
+        assert!(!o.subsumes(dna, bio));
+        assert!(!o.subsumes(prot, dna));
+        assert!(o.strictly_subsumes(bio, dna));
+        assert!(!o.strictly_subsumes(bio, bio));
+    }
+
+    #[test]
+    fn partitions_exclude_abstract_concepts() {
+        let o = sample();
+        let bio = o.id("BiologicalSequence").unwrap();
+        let parts: Vec<&str> = o
+            .partitions_of(bio)
+            .into_iter()
+            .map(|c| o.concept_name(c))
+            .collect();
+        // NucleotideSequence is abstract, covered by DNA + RNA.
+        assert_eq!(
+            parts,
+            vec![
+                "BiologicalSequence",
+                "DNASequence",
+                "RNASequence",
+                "ProteinSequence"
+            ]
+        );
+    }
+
+    #[test]
+    fn descendants_are_preorder_and_complete() {
+        let o = sample();
+        let root = o.id("BioData").unwrap();
+        let d = o.descendants(root);
+        assert_eq!(d.len(), o.len());
+        assert_eq!(d[0], root);
+        // Every descendant is subsumed by the root.
+        assert!(d.iter().all(|&c| o.subsumes(root, c)));
+    }
+
+    #[test]
+    fn depth_and_ancestors_agree() {
+        let o = sample();
+        let dna = o.id("DNASequence").unwrap();
+        assert_eq!(o.depth(dna), 3);
+        let chain: Vec<&str> = o.ancestors(dna).map(|c| o.concept_name(c)).collect();
+        assert_eq!(
+            chain,
+            vec![
+                "DNASequence",
+                "NucleotideSequence",
+                "BiologicalSequence",
+                "BioData"
+            ]
+        );
+    }
+
+    #[test]
+    fn lca_and_distance() {
+        let o = sample();
+        let dna = o.id("DNASequence").unwrap();
+        let rna = o.id("RNASequence").unwrap();
+        let prot = o.id("ProteinSequence").unwrap();
+        let acc = o.id("Accession").unwrap();
+        assert_eq!(o.lca(dna, rna), o.id("NucleotideSequence"));
+        assert_eq!(o.lca(dna, prot), o.id("BiologicalSequence"));
+        assert_eq!(o.lca(dna, acc), o.id("BioData"));
+        assert_eq!(o.distance(dna, rna), Some(2));
+        assert_eq!(o.distance(dna, dna), Some(0));
+        assert_eq!(o.distance(dna, prot), Some(3));
+    }
+
+    #[test]
+    fn lca_in_disjoint_trees_is_none() {
+        let mut b = Ontology::builder("forest");
+        b.root("A").unwrap();
+        b.root("B").unwrap();
+        let o = b.build().unwrap();
+        let a = o.id("A").unwrap();
+        let bb = o.id("B").unwrap();
+        assert_eq!(o.lca(a, bb), None);
+        assert_eq!(o.distance(a, bb), None);
+        assert!(!o.subsumes(a, bb));
+        assert_eq!(o.roots().count(), 2);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = Ontology::builder("t");
+        b.root("A").unwrap();
+        assert_eq!(
+            b.root("A"),
+            Err(OntologyError::DuplicateConcept("A".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_parent_rejected() {
+        let mut b = Ontology::builder("t");
+        assert!(matches!(
+            b.child("X", "Missing"),
+            Err(OntologyError::UnknownConcept(_))
+        ));
+    }
+
+    #[test]
+    fn abstract_leaf_rejected_at_build() {
+        let mut b = Ontology::builder("t");
+        b.abstract_root("A").unwrap();
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn foreign_id_detected() {
+        let o = sample();
+        assert!(o.check_id(ConceptId::from_index(999)).is_err());
+        assert!(o.check_id(ConceptId::from_index(0)).is_ok());
+    }
+
+    #[test]
+    fn describe_attaches_description() {
+        let mut b = Ontology::builder("t");
+        b.root("A").unwrap();
+        b.describe("A", "the root of everything").unwrap();
+        assert!(b.describe("Z", "nope").is_err());
+        let o = b.build().unwrap();
+        let a = o.id("A").unwrap();
+        assert_eq!(o.concept(a).description, "the root of everything");
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_queries_after_reindex() {
+        let o = sample();
+        let json = serde_json::to_string(&o).unwrap();
+        let mut back: Ontology = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        let bio = back.id("BiologicalSequence").unwrap();
+        let dna = back.id("DNASequence").unwrap();
+        assert!(back.subsumes(bio, dna));
+        assert_eq!(back.len(), o.len());
+    }
+}

@@ -1,0 +1,247 @@
+//! A small line-oriented text format for ontologies.
+//!
+//! The format is indentation-based, two spaces per level, mirroring how
+//! ontology fragments are presented in the paper (Figure 4):
+//!
+//! ```text
+//! ontology mygrid
+//! BioData
+//!   BiologicalSequence
+//!     NucleotideSequence [abstract]
+//!       DNASequence: deoxyribonucleic acid sequence
+//!       RNASequence
+//!     ProteinSequence
+//!   Accession
+//! ```
+//!
+//! * `# …` lines and blank lines are ignored.
+//! * A trailing `[abstract]` marks a concept whose domain is covered by its
+//!   sub-concepts (no realization possible).
+//! * An optional `: description` attaches free text.
+
+use crate::error::OntologyError;
+use crate::ontology::{Ontology, OntologyBuilder};
+
+/// Parses an ontology from its text representation.
+pub fn parse(input: &str) -> Result<Ontology, OntologyError> {
+    let mut lines = input.lines().enumerate().peekable();
+
+    // Header.
+    let mut name = String::from("ontology");
+    while let Some(&(_, line)) = lines.peek() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            lines.next();
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("ontology ") {
+            name = rest.trim().to_string();
+            lines.next();
+        }
+        break;
+    }
+
+    let mut builder = OntologyBuilder::new(name);
+    // Stack of (indent level, concept name) for the current root-to-leaf path.
+    let mut stack: Vec<(usize, String)> = Vec::new();
+
+    for (idx, raw) in lines {
+        let line_no = idx + 1;
+        let trimmed_end = raw.trim_end();
+        if trimmed_end.trim().is_empty() || trimmed_end.trim().starts_with('#') {
+            continue;
+        }
+        let indent_chars = trimmed_end.len() - trimmed_end.trim_start().len();
+        if indent_chars % 2 != 0 {
+            return Err(OntologyError::Parse {
+                line: line_no,
+                message: "indentation must be a multiple of two spaces".into(),
+            });
+        }
+        if trimmed_end.trim_start().starts_with('\t') || raw.contains('\t') {
+            return Err(OntologyError::Parse {
+                line: line_no,
+                message: "tabs are not allowed; indent with spaces".into(),
+            });
+        }
+        let level = indent_chars / 2;
+
+        let body = trimmed_end.trim_start();
+        let (decl, description) = match body.split_once(':') {
+            Some((d, desc)) => (d.trim(), Some(desc.trim())),
+            None => (body, None),
+        };
+        let (concept_name, is_abstract) = match decl.strip_suffix("[abstract]") {
+            Some(n) => (n.trim(), true),
+            None => (decl, false),
+        };
+        if concept_name.is_empty() || concept_name.contains(char::is_whitespace) {
+            return Err(OntologyError::Parse {
+                line: line_no,
+                message: format!("invalid concept name `{concept_name}`"),
+            });
+        }
+
+        // Pop to the parent level.
+        while stack.last().is_some_and(|&(l, _)| l >= level) {
+            stack.pop();
+        }
+        match (level, stack.last()) {
+            (0, _) => {
+                if is_abstract {
+                    builder.abstract_root(concept_name)
+                } else {
+                    builder.root(concept_name)
+                }
+                .map_err(|e| OntologyError::Parse {
+                    line: line_no,
+                    message: e.to_string(),
+                })?;
+            }
+            (_, Some((parent_level, parent))) if *parent_level == level - 1 => {
+                let parent = parent.clone();
+                if is_abstract {
+                    builder.abstract_child(concept_name, &parent)
+                } else {
+                    builder.child(concept_name, &parent)
+                }
+                .map_err(|e| OntologyError::Parse {
+                    line: line_no,
+                    message: e.to_string(),
+                })?;
+            }
+            _ => {
+                return Err(OntologyError::Parse {
+                    line: line_no,
+                    message: format!("indentation jumps to level {level} with no parent"),
+                });
+            }
+        }
+        if let Some(desc) = description {
+            if !desc.is_empty() {
+                builder.describe(concept_name, desc).expect("just inserted");
+            }
+        }
+        stack.push((level, concept_name.to_string()));
+    }
+
+    builder.build()
+}
+
+/// Serializes an ontology to the text format; `parse` round-trips it.
+pub fn render(ontology: &Ontology) -> String {
+    let mut out = format!("ontology {}\n", ontology.name());
+    for root in ontology.roots() {
+        render_subtree(ontology, root, 0, &mut out);
+    }
+    out
+}
+
+fn render_subtree(o: &Ontology, id: crate::ConceptId, level: usize, out: &mut String) {
+    let c = o.concept(id);
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+    out.push_str(&c.name);
+    if !o.can_be_realized(id) {
+        out.push_str(" [abstract]");
+    }
+    if !c.description.is_empty() {
+        out.push_str(": ");
+        out.push_str(&c.description);
+    }
+    out.push('\n');
+    for &child in o.children(id) {
+        render_subtree(o, child, level + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a comment
+ontology demo
+BioData
+  BiologicalSequence
+    NucleotideSequence [abstract]
+      DNASequence: deoxyribonucleic acid
+      RNASequence
+    ProteinSequence
+  Accession
+";
+
+    #[test]
+    fn parses_sample() {
+        let o = parse(SAMPLE).unwrap();
+        assert_eq!(o.name(), "demo");
+        assert_eq!(o.len(), 7);
+        let nuc = o.id("NucleotideSequence").unwrap();
+        assert!(!o.can_be_realized(nuc));
+        let dna = o.id("DNASequence").unwrap();
+        assert_eq!(o.concept(dna).description, "deoxyribonucleic acid");
+        assert_eq!(o.parent(dna), Some(nuc));
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let o = parse(SAMPLE).unwrap();
+        let text = render(&o);
+        let o2 = parse(&text).unwrap();
+        assert_eq!(o2.len(), o.len());
+        for id in o.iter() {
+            let name = o.concept_name(id);
+            let id2 = o2.id(name).unwrap();
+            assert_eq!(
+                o.parent(id).map(|p| o.concept_name(p)),
+                o2.parent(id2).map(|p| o2.concept_name(p))
+            );
+            assert_eq!(o.can_be_realized(id), o2.can_be_realized(id2));
+        }
+    }
+
+    #[test]
+    fn rejects_odd_indentation() {
+        let err = parse("A\n   B\n").unwrap_err();
+        assert!(matches!(err, OntologyError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_indentation_jump() {
+        let err = parse("A\n    B\n").unwrap_err();
+        assert!(matches!(err, OntologyError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_tabs() {
+        let err = parse("A\n\tB\n").unwrap_err();
+        assert!(matches!(err, OntologyError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let err = parse("A\nA\n").unwrap_err();
+        assert!(matches!(err, OntologyError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_names_with_spaces() {
+        let err = parse("A\n  B C\n").unwrap_err();
+        assert!(matches!(err, OntologyError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn missing_header_defaults_name() {
+        let o = parse("A\n").unwrap();
+        assert_eq!(o.name(), "ontology");
+        assert_eq!(o.len(), 1);
+    }
+
+    #[test]
+    fn multiple_roots_supported() {
+        let o = parse("A\nB\n  C\n").unwrap();
+        assert_eq!(o.roots().count(), 2);
+        assert_eq!(o.parent(o.id("C").unwrap()), o.id("B"));
+    }
+}

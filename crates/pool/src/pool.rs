@@ -1,0 +1,247 @@
+//! The instance pool and its `getInstance` lookups.
+
+use crate::instance::AnnotatedInstance;
+use dex_ontology::Ontology;
+use dex_values::StructuralType;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A pool of annotated instances with concept-indexed lookup.
+///
+/// Instances are kept in insertion order; all lookups return instances in
+/// that order, so a fixed pool gives fully deterministic data-example
+/// generation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct InstancePool {
+    name: String,
+    instances: Vec<AnnotatedInstance>,
+    /// concept name → indices of instances annotated with exactly it.
+    #[serde(skip)]
+    by_concept: HashMap<String, Vec<usize>>,
+}
+
+impl InstancePool {
+    /// An empty pool.
+    pub fn new(name: impl Into<String>) -> Self {
+        InstancePool {
+            name: name.into(),
+            instances: Vec::new(),
+            by_concept: HashMap::new(),
+        }
+    }
+
+    /// The pool's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Whether the pool has no instances.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Adds an instance.
+    pub fn add(&mut self, instance: AnnotatedInstance) {
+        let idx = self.instances.len();
+        self.by_concept
+            .entry(instance.concept.clone())
+            .or_default()
+            .push(idx);
+        self.instances.push(instance);
+    }
+
+    /// Iterates all instances in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &AnnotatedInstance> {
+        self.instances.iter()
+    }
+
+    /// Instances that *realize* `concept` — annotated with exactly it.
+    pub fn realizations_of(&self, concept: &str) -> impl Iterator<Item = &AnnotatedInstance> {
+        self.by_concept
+            .get(concept)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .map(|&i| &self.instances[i])
+    }
+
+    /// The paper's `getInstance(c, pl)`: the first instance realizing
+    /// `concept` whose structure is accepted by `structural`; `skip` selects
+    /// later candidates deterministically (used by the matcher to pick the
+    /// *same* values for two modules, and by ablations to vary values).
+    pub fn get_instance(
+        &self,
+        concept: &str,
+        structural: &StructuralType,
+        skip: usize,
+    ) -> Option<&AnnotatedInstance> {
+        self.realizations_of(concept)
+            .filter(|inst| inst.value.conforms_to(structural))
+            .nth(skip)
+    }
+
+    /// Instances of `concept` under instance-of semantics: annotated with
+    /// `concept` or any concept subsumed by it. Requires the ontology to
+    /// resolve subsumption; instances annotated with names the ontology does
+    /// not know are skipped.
+    pub fn instances_of<'a>(
+        &'a self,
+        concept: &str,
+        ontology: &'a Ontology,
+    ) -> impl Iterator<Item = &'a AnnotatedInstance> {
+        let target = ontology.id(concept);
+        self.instances.iter().filter(move |inst| {
+            let Some(target) = target else { return false };
+            ontology
+                .id(&inst.concept)
+                .is_some_and(|c| ontology.subsumes(target, c))
+        })
+    }
+
+    /// Concepts that have at least one realization in the pool, sorted.
+    pub fn covered_concepts(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self
+            .by_concept
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(k, _)| k.as_str())
+            .collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Rebuilds the concept index (needed after deserialization).
+    pub fn rebuild_index(&mut self) {
+        self.by_concept.clear();
+        for (idx, inst) in self.instances.iter().enumerate() {
+            self.by_concept
+                .entry(inst.concept.clone())
+                .or_default()
+                .push(idx);
+        }
+    }
+
+    /// Serializes the pool to JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Loads a pool from JSON, rebuilding the concept index.
+    pub fn from_json(json: &str) -> serde_json::Result<InstancePool> {
+        let mut pool: InstancePool = serde_json::from_str(json)?;
+        pool.rebuild_index();
+        Ok(pool)
+    }
+
+    /// Retains only instances satisfying the predicate (used by pool-size
+    /// ablations). Rebuilds the index.
+    pub fn retain(&mut self, predicate: impl FnMut(&AnnotatedInstance) -> bool) {
+        self.instances.retain(predicate);
+        self.rebuild_index();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::AnnotatedInstance;
+    use dex_values::Value;
+
+    fn sample_ontology() -> Ontology {
+        dex_ontology::text::parse(
+            "ontology t\nBioData\n  Sequence\n    DNA\n    Protein\n  Accession\n",
+        )
+        .unwrap()
+    }
+
+    fn pool() -> InstancePool {
+        let mut p = InstancePool::new("test");
+        p.add(AnnotatedInstance::synthetic(Value::text("ACGT"), "DNA"));
+        p.add(AnnotatedInstance::synthetic(Value::text("MKVL"), "Protein"));
+        p.add(AnnotatedInstance::synthetic(Value::text("NNNN"), "Sequence"));
+        p.add(AnnotatedInstance::synthetic(Value::text("TTTT"), "DNA"));
+        p.add(AnnotatedInstance::synthetic(Value::Integer(7), "Accession"));
+        p
+    }
+
+    #[test]
+    fn realizations_are_exact_matches_in_order() {
+        let p = pool();
+        let dna: Vec<String> = p
+            .realizations_of("DNA")
+            .map(|i| i.value.to_string())
+            .collect();
+        assert_eq!(dna, vec!["ACGT", "TTTT"]);
+        assert_eq!(p.realizations_of("Nope").count(), 0);
+    }
+
+    #[test]
+    fn get_instance_respects_structure_and_skip() {
+        let p = pool();
+        let first = p
+            .get_instance("DNA", &StructuralType::Text, 0)
+            .unwrap();
+        assert_eq!(first.value, Value::text("ACGT"));
+        let second = p
+            .get_instance("DNA", &StructuralType::Text, 1)
+            .unwrap();
+        assert_eq!(second.value, Value::text("TTTT"));
+        assert!(p.get_instance("DNA", &StructuralType::Text, 2).is_none());
+        // Structural filter: the Accession instance is an Integer.
+        assert!(p
+            .get_instance("Accession", &StructuralType::Text, 0)
+            .is_none());
+        assert!(p
+            .get_instance("Accession", &StructuralType::Integer, 0)
+            .is_some());
+    }
+
+    #[test]
+    fn instance_of_semantics_includes_descendants() {
+        let p = pool();
+        let o = sample_ontology();
+        let seqs: Vec<String> = p
+            .instances_of("Sequence", &o)
+            .map(|i| i.value.to_string())
+            .collect();
+        // DNA + Protein + Sequence realization + DNA again, in pool order.
+        assert_eq!(seqs, vec!["ACGT", "MKVL", "NNNN", "TTTT"]);
+        assert_eq!(p.instances_of("DNA", &o).count(), 2);
+        assert_eq!(p.instances_of("Unknown", &o).count(), 0);
+    }
+
+    #[test]
+    fn covered_concepts_sorted() {
+        let p = pool();
+        assert_eq!(
+            p.covered_concepts(),
+            vec!["Accession", "DNA", "Protein", "Sequence"]
+        );
+    }
+
+    #[test]
+    fn retain_rebuilds_index() {
+        let mut p = pool();
+        p.retain(|i| i.concept != "DNA");
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.realizations_of("DNA").count(), 0);
+        assert_eq!(p.realizations_of("Protein").count(), 1);
+    }
+
+    #[test]
+    fn serde_round_trip_with_reindex() {
+        let p = pool();
+        let json = p.to_json().unwrap();
+        let back = InstancePool::from_json(&json).unwrap();
+        assert_eq!(back.len(), p.len());
+        assert_eq!(back.realizations_of("DNA").count(), 2);
+        assert!(back
+            .get_instance("Protein", &StructuralType::Text, 0)
+            .is_some());
+    }
+}

@@ -1,0 +1,75 @@
+//! Pool statistics, for experiment reporting and pool-size ablations.
+
+use crate::pool::InstancePool;
+use std::collections::BTreeMap;
+
+/// Summary statistics over an [`InstancePool`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolStats {
+    /// Total instance count.
+    pub instances: usize,
+    /// Distinct concepts with at least one realization.
+    pub concepts: usize,
+    /// Total payload bytes across all values.
+    pub payload_bytes: usize,
+    /// Instance count per concept, sorted by concept name.
+    pub per_concept: BTreeMap<String, usize>,
+}
+
+impl PoolStats {
+    /// Computes statistics for a pool.
+    pub fn of(pool: &InstancePool) -> PoolStats {
+        let mut per_concept: BTreeMap<String, usize> = BTreeMap::new();
+        let mut payload_bytes = 0;
+        for inst in pool.iter() {
+            *per_concept.entry(inst.concept.clone()).or_default() += 1;
+            payload_bytes += inst.value.payload_bytes();
+        }
+        PoolStats {
+            instances: pool.len(),
+            concepts: per_concept.len(),
+            payload_bytes,
+            per_concept,
+        }
+    }
+
+    /// The minimum per-concept instance count, 0 for an empty pool.
+    pub fn min_per_concept(&self) -> usize {
+        self.per_concept.values().copied().min().unwrap_or(0)
+    }
+
+    /// The maximum per-concept instance count, 0 for an empty pool.
+    pub fn max_per_concept(&self) -> usize {
+        self.per_concept.values().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::AnnotatedInstance;
+    use dex_values::Value;
+
+    #[test]
+    fn stats_count_correctly() {
+        let mut p = InstancePool::new("t");
+        p.add(AnnotatedInstance::synthetic(Value::text("abcd"), "A"));
+        p.add(AnnotatedInstance::synthetic(Value::text("ef"), "A"));
+        p.add(AnnotatedInstance::synthetic(Value::Integer(1), "B"));
+        let s = PoolStats::of(&p);
+        assert_eq!(s.instances, 3);
+        assert_eq!(s.concepts, 2);
+        assert_eq!(s.payload_bytes, 4 + 2 + 8);
+        assert_eq!(s.per_concept["A"], 2);
+        assert_eq!(s.min_per_concept(), 1);
+        assert_eq!(s.max_per_concept(), 2);
+    }
+
+    #[test]
+    fn empty_pool_stats() {
+        let s = PoolStats::of(&InstancePool::new("e"));
+        assert_eq!(s.instances, 0);
+        assert_eq!(s.min_per_concept(), 0);
+        assert_eq!(s.max_per_concept(), 0);
+    }
+}

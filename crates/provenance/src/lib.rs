@@ -1,0 +1,26 @@
+//! # dex-provenance
+//!
+//! Workflow provenance: the corpus of enactment traces that plays the role
+//! of the Taverna provenance corpus in the paper's evaluation (§4.1) and of
+//! the trace archives trawled for the §6 repair study.
+//!
+//! Two consumers:
+//!
+//! * **Pool harvesting** ([`harvest_pool`]) — §4.1: "Thanks to those
+//!   annotations, we were able to semantically annotate the data instances
+//!   used and produced by such modules in the provenance corpus, thereby
+//!   constructing the pool of annotated instances". Values are annotated
+//!   with the most specific concept recoverable from the value itself,
+//!   falling back to the parameter's declared concept.
+//! * **Data-example reconstruction** ([`reconstruct_examples`]) — §6: for a
+//!   module that no longer exists, its past invocations *are* its data
+//!   examples ("there is a source of information that can be utilized to
+//!   construct the data examples … namely workflow provenance traces").
+
+pub mod corpus;
+pub mod harvest;
+pub mod reconstruct;
+
+pub use corpus::ProvenanceCorpus;
+pub use harvest::harvest_pool;
+pub use reconstruct::reconstruct_examples;

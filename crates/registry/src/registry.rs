@@ -1,0 +1,201 @@
+//! Registry storage and persistence.
+
+use dex_core::ExampleSet;
+use dex_modules::{ModuleDescriptor, ModuleId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One registry record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegistryEntry {
+    /// The module's annotated interface.
+    pub descriptor: ModuleDescriptor,
+    /// The data examples characterizing its behavior, once generated.
+    pub examples: Option<ExampleSet>,
+    /// Whether the provider currently supplies the module. Stale entries
+    /// (`false`) are kept: their descriptors and examples drive repair.
+    pub available: bool,
+}
+
+/// The module registry: a durable map from module id to annotations.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ModuleRegistry {
+    name: String,
+    entries: BTreeMap<ModuleId, RegistryEntry>,
+}
+
+impl ModuleRegistry {
+    /// An empty registry.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModuleRegistry {
+            name: name.into(),
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Registers (or re-registers) a module's interface. Keeps any examples
+    /// already attached when the descriptor is unchanged; a changed
+    /// interface invalidates them.
+    pub fn register(&mut self, descriptor: ModuleDescriptor) {
+        let id = descriptor.id.clone();
+        match self.entries.get_mut(&id) {
+            Some(entry) if entry.descriptor == descriptor => {
+                entry.available = true;
+            }
+            _ => {
+                self.entries.insert(
+                    id,
+                    RegistryEntry {
+                        descriptor,
+                        examples: None,
+                        available: true,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Attaches generated data examples to a registered module.
+    pub fn attach_examples(
+        &mut self,
+        id: &ModuleId,
+        examples: ExampleSet,
+    ) -> Result<(), String> {
+        let entry = self
+            .entries
+            .get_mut(id)
+            .ok_or_else(|| format!("module {id} is not registered"))?;
+        entry.examples = Some(examples);
+        Ok(())
+    }
+
+    /// Marks an entry as no longer supplied (the registry remembers it).
+    pub fn mark_unavailable(&mut self, id: &ModuleId) -> bool {
+        match self.entries.get_mut(id) {
+            Some(e) => {
+                e.available = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, id: &ModuleId) -> Option<&RegistryEntry> {
+        self.entries.get(id)
+    }
+
+    /// Iterates entries in id order.
+    pub fn entries(&self) -> impl Iterator<Item = (&ModuleId, &RegistryEntry)> {
+        self.entries.iter()
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Loads from JSON.
+    pub fn from_json(json: &str) -> serde_json::Result<ModuleRegistry> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_modules::{ModuleKind, Parameter};
+    use dex_values::StructuralType;
+
+    fn descriptor(id: &str, semantic: &str) -> ModuleDescriptor {
+        ModuleDescriptor::new(
+            id,
+            id.to_uppercase(),
+            ModuleKind::RestService,
+            vec![Parameter::required("in", StructuralType::Text, semantic)],
+            vec![Parameter::required("out", StructuralType::Text, semantic)],
+        )
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = ModuleRegistry::new("t");
+        r.register(descriptor("a", "GOTerm"));
+        assert_eq!(r.len(), 1);
+        assert!(r.get(&"a".into()).unwrap().available);
+        assert!(r.get(&"b".into()).is_none());
+    }
+
+    #[test]
+    fn attach_examples_requires_registration() {
+        let mut r = ModuleRegistry::new("t");
+        let set = ExampleSet::new("a".into());
+        assert!(r.attach_examples(&"a".into(), set.clone()).is_err());
+        r.register(descriptor("a", "GOTerm"));
+        assert!(r.attach_examples(&"a".into(), set).is_ok());
+        assert!(r.get(&"a".into()).unwrap().examples.is_some());
+    }
+
+    #[test]
+    fn reregistration_with_same_interface_keeps_examples() {
+        let mut r = ModuleRegistry::new("t");
+        r.register(descriptor("a", "GOTerm"));
+        r.attach_examples(&"a".into(), ExampleSet::new("a".into()))
+            .unwrap();
+        r.mark_unavailable(&"a".into());
+        r.register(descriptor("a", "GOTerm"));
+        let e = r.get(&"a".into()).unwrap();
+        assert!(e.available);
+        assert!(e.examples.is_some(), "examples survived");
+    }
+
+    #[test]
+    fn reregistration_with_new_interface_drops_examples() {
+        let mut r = ModuleRegistry::new("t");
+        r.register(descriptor("a", "GOTerm"));
+        r.attach_examples(&"a".into(), ExampleSet::new("a".into()))
+            .unwrap();
+        r.register(descriptor("a", "ECNumber"));
+        assert!(r.get(&"a".into()).unwrap().examples.is_none());
+    }
+
+    #[test]
+    fn unavailability_is_remembered_not_deleted() {
+        let mut r = ModuleRegistry::new("t");
+        r.register(descriptor("a", "GOTerm"));
+        assert!(r.mark_unavailable(&"a".into()));
+        assert!(!r.mark_unavailable(&"b".into()));
+        let e = r.get(&"a".into()).unwrap();
+        assert!(!e.available);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut r = ModuleRegistry::new("t");
+        r.register(descriptor("a", "GOTerm"));
+        r.register(descriptor("b", "ECNumber"));
+        let json = r.to_json().unwrap();
+        let back = ModuleRegistry::from_json(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.name(), "t");
+        assert_eq!(
+            back.get(&"a".into()).unwrap().descriptor,
+            r.get(&"a".into()).unwrap().descriptor
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! Registry exploration: the "Explore and Understand Modules" face of the
+//! architecture (Figure 3, step 3).
+
+use crate::registry::ModuleRegistry;
+use dex_core::matching::{map_parameters, MappingMode};
+use dex_modules::{ModuleDescriptor, ModuleId};
+use dex_ontology::Ontology;
+
+/// A conjunctive search over registry entries.
+#[derive(Debug, Clone, Default)]
+pub struct SearchQuery {
+    /// Case-insensitive substring of the module name.
+    pub name_contains: Option<String>,
+    /// Some input parameter's concept must be subsumed by this concept.
+    pub consumes: Option<String>,
+    /// Some output parameter's concept must be subsumed by this concept.
+    pub produces: Option<String>,
+    /// Restrict to currently supplied modules.
+    pub available_only: bool,
+}
+
+impl SearchQuery {
+    /// Matches everything.
+    pub fn any() -> Self {
+        SearchQuery::default()
+    }
+
+    /// Name filter.
+    pub fn named(mut self, fragment: impl Into<String>) -> Self {
+        self.name_contains = Some(fragment.into());
+        self
+    }
+
+    /// Input-concept filter.
+    pub fn consuming(mut self, concept: impl Into<String>) -> Self {
+        self.consumes = Some(concept.into());
+        self
+    }
+
+    /// Output-concept filter.
+    pub fn producing(mut self, concept: impl Into<String>) -> Self {
+        self.produces = Some(concept.into());
+        self
+    }
+
+    /// Availability filter.
+    pub fn available(mut self) -> Self {
+        self.available_only = true;
+        self
+    }
+
+    fn matches(&self, entry: &crate::RegistryEntry, ontology: &Ontology) -> bool {
+        if self.available_only && !entry.available {
+            return false;
+        }
+        if let Some(fragment) = &self.name_contains {
+            if !entry
+                .descriptor
+                .name
+                .to_lowercase()
+                .contains(&fragment.to_lowercase())
+            {
+                return false;
+            }
+        }
+        let subsumed_by = |param_concept: &str, filter: &str| -> bool {
+            match (ontology.id(filter), ontology.id(param_concept)) {
+                (Some(f), Some(p)) => ontology.subsumes(f, p),
+                _ => false,
+            }
+        };
+        if let Some(concept) = &self.consumes {
+            if !entry
+                .descriptor
+                .inputs
+                .iter()
+                .any(|p| subsumed_by(&p.semantic, concept))
+            {
+                return false;
+            }
+        }
+        if let Some(concept) = &self.produces {
+            if !entry
+                .descriptor
+                .outputs
+                .iter()
+                .any(|p| subsumed_by(&p.semantic, concept))
+            {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Runs a query; results come back in id order.
+pub fn search<'a>(
+    registry: &'a ModuleRegistry,
+    query: &SearchQuery,
+    ontology: &Ontology,
+) -> Vec<(&'a ModuleId, &'a crate::RegistryEntry)> {
+    registry
+        .entries()
+        .filter(|(_, e)| query.matches(e, ontology))
+        .collect()
+}
+
+/// Finds registered modules whose interface can stand in for `target`'s
+/// under the given mapping mode — the candidate-enumeration step of §6
+/// repair. Only currently available modules are returned, and the target
+/// itself is excluded.
+pub fn substitution_candidates<'a>(
+    registry: &'a ModuleRegistry,
+    target: &ModuleDescriptor,
+    ontology: &Ontology,
+    mode: MappingMode,
+) -> Vec<&'a ModuleId> {
+    registry
+        .entries()
+        .filter(|(id, entry)| {
+            **id != target.id
+                && entry.available
+                && map_parameters(target, &entry.descriptor, ontology, mode).is_ok()
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_modules::{ModuleKind, Parameter};
+    use dex_ontology::mygrid;
+    use dex_values::StructuralType;
+
+    fn descriptor(id: &str, name: &str, input: &str, output: &str) -> ModuleDescriptor {
+        ModuleDescriptor::new(
+            id,
+            name,
+            ModuleKind::SoapService,
+            vec![Parameter::required("in", StructuralType::Text, input)],
+            vec![Parameter::required("out", StructuralType::Text, output)],
+        )
+    }
+
+    fn registry() -> ModuleRegistry {
+        let mut r = ModuleRegistry::new("t");
+        r.register(descriptor(
+            "a",
+            "GetRecord",
+            "UniprotAccession",
+            "UniprotRecord",
+        ));
+        r.register(descriptor(
+            "b",
+            "GetSequence",
+            "UniprotAccession",
+            "ProteinSequence",
+        ));
+        r.register(descriptor(
+            "c",
+            "GetAnySequence",
+            "DatabaseAccession",
+            "BiologicalSequence",
+        ));
+        r.mark_unavailable(&"b".into());
+        r
+    }
+
+    #[test]
+    fn name_search_is_case_insensitive() {
+        let onto = mygrid::ontology();
+        let r = registry();
+        let hits = search(&r, &SearchQuery::any().named("getrec"), &onto);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, &ModuleId::from("a"));
+    }
+
+    #[test]
+    fn concept_search_uses_subsumption() {
+        let onto = mygrid::ontology();
+        let r = registry();
+        // Everything consuming any Identifier.
+        let hits = search(&r, &SearchQuery::any().consuming("Identifier"), &onto);
+        assert_eq!(hits.len(), 3);
+        // Producers of biological sequences (b and c).
+        let hits = search(
+            &r,
+            &SearchQuery::any().producing("BiologicalSequence"),
+            &onto,
+        );
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn availability_filter() {
+        let onto = mygrid::ontology();
+        let r = registry();
+        let hits = search(
+            &r,
+            &SearchQuery::any()
+                .producing("BiologicalSequence")
+                .available(),
+            &onto,
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, &ModuleId::from("c"));
+    }
+
+    #[test]
+    fn unknown_concept_matches_nothing() {
+        let onto = mygrid::ontology();
+        let r = registry();
+        assert!(search(&r, &SearchQuery::any().consuming("Nope"), &onto).is_empty());
+    }
+
+    #[test]
+    fn substitution_candidates_by_mode() {
+        let onto = mygrid::ontology();
+        let r = registry();
+        let target = descriptor(
+            "t",
+            "Target",
+            "UniprotAccession",
+            "ProteinSequence",
+        );
+        // Strict: only b matches exactly, but b is unavailable.
+        let strict = substitution_candidates(&r, &target, &onto, MappingMode::Strict);
+        assert!(strict.is_empty());
+        // Subsuming: c accepts the broader domain and its output is
+        // subsumption-related.
+        let subsuming = substitution_candidates(&r, &target, &onto, MappingMode::Subsuming);
+        assert_eq!(subsuming, vec![&ModuleId::from("c")]);
+    }
+}

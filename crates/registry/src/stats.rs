@@ -1,0 +1,100 @@
+//! Registry statistics, for dashboards and experiment reporting.
+
+use crate::registry::ModuleRegistry;
+use dex_modules::ModuleKind;
+use std::collections::BTreeMap;
+
+/// Summary statistics over a registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Total entries.
+    pub modules: usize,
+    /// Currently supplied entries.
+    pub available: usize,
+    /// Entries with generated data examples.
+    pub with_examples: usize,
+    /// Total data examples stored.
+    pub total_examples: usize,
+    /// Entries per supply kind.
+    pub per_kind: BTreeMap<String, usize>,
+    /// Distribution of example-set sizes: size → number of modules.
+    pub examples_histogram: BTreeMap<usize, usize>,
+}
+
+impl RegistryStats {
+    /// Computes statistics for a registry.
+    pub fn of(registry: &ModuleRegistry) -> RegistryStats {
+        let mut stats = RegistryStats {
+            modules: 0,
+            available: 0,
+            with_examples: 0,
+            total_examples: 0,
+            per_kind: BTreeMap::new(),
+            examples_histogram: BTreeMap::new(),
+        };
+        for (_, entry) in registry.entries() {
+            stats.modules += 1;
+            if entry.available {
+                stats.available += 1;
+            }
+            let kind = match entry.descriptor.kind {
+                ModuleKind::LocalProgram => "local program",
+                ModuleKind::RestService => "rest service",
+                ModuleKind::SoapService => "soap service",
+            };
+            *stats.per_kind.entry(kind.to_string()).or_default() += 1;
+            if let Some(examples) = &entry.examples {
+                stats.with_examples += 1;
+                stats.total_examples += examples.len();
+                *stats.examples_histogram.entry(examples.len()).or_default() += 1;
+            }
+        }
+        stats
+    }
+
+    /// Mean examples per annotated module; 0.0 when none are annotated.
+    pub fn mean_examples(&self) -> f64 {
+        if self.with_examples == 0 {
+            0.0
+        } else {
+            self.total_examples as f64 / self.with_examples as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_core::{GenerationConfig};
+    use dex_pool::build_synthetic_pool;
+
+    #[test]
+    fn stats_over_the_annotated_universe() {
+        let universe = dex_universe::build();
+        let pool = build_synthetic_pool(&universe.ontology, 4, 9);
+        let (registry, _) = crate::annotate_catalog(
+            &universe.catalog,
+            &universe.ontology,
+            &pool,
+            &GenerationConfig::default(),
+        );
+        let stats = RegistryStats::of(&registry);
+        assert_eq!(stats.modules, 324);
+        assert_eq!(stats.available, 324);
+        assert_eq!(stats.with_examples, 324);
+        assert!(stats.total_examples > 324, "broad inputs multiply examples");
+        assert!(stats.mean_examples() > 1.0);
+        // Kind mix approximates the paper's SOAP-heavy corpus.
+        assert!(stats.per_kind["soap service"] > stats.per_kind["rest service"]);
+        // Most modules have exactly one example (leaf annotations).
+        let ones = stats.examples_histogram.get(&1).copied().unwrap_or(0);
+        assert!(ones > 150, "{:?}", stats.examples_histogram);
+    }
+
+    #[test]
+    fn empty_registry_stats() {
+        let stats = RegistryStats::of(&ModuleRegistry::new("empty"));
+        assert_eq!(stats.modules, 0);
+        assert_eq!(stats.mean_examples(), 0.0);
+    }
+}

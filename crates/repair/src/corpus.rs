@@ -1,0 +1,147 @@
+//! Provenance corpus construction: repository enactments + archive traces.
+
+use crate::repository::WorkflowRepository;
+use dex_modules::ModuleId;
+use dex_pool::InstancePool;
+use dex_provenance::ProvenanceCorpus;
+use dex_universe::Universe;
+use dex_values::Value;
+use dex_workflow::{enact, EnactmentTrace, StepRecord};
+
+/// Builds the provenance corpus the §6 study trawls.
+///
+/// Two sources, mirroring the paper:
+///
+/// 1. every repository workflow is enacted once with its published sample
+///    inputs, **before** decay (all modules still supplied);
+/// 2. "previous eScience project" archives (the paper's iSpider traces): a
+///    handful of direct invocations per legacy module, with diverse inputs
+///    drawn from the pool — these give every withdrawn module reconstruction
+///    coverage beyond whatever the repository happened to exercise.
+///
+/// Must be called on a pre-decay universe; enactment failures are a bug in
+/// the repository generator and panic.
+pub fn build_corpus(
+    universe: &Universe,
+    repository: &WorkflowRepository,
+    pool: &InstancePool,
+) -> ProvenanceCorpus {
+    let mut corpus = ProvenanceCorpus::new("simulated-taverna");
+
+    for stored in &repository.workflows {
+        let trace = enact(&stored.workflow, &universe.catalog, &stored.sample_inputs)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "pre-decay enactment of {} must succeed: {e}",
+                    stored.workflow.id
+                )
+            });
+        corpus.add(trace);
+    }
+
+    for legacy in &universe.legacy {
+        for (k, inputs) in archive_inputs(universe, pool, legacy).into_iter().enumerate() {
+            match universe.catalog.invoke(legacy, &inputs) {
+                Ok(outputs) => corpus.add(EnactmentTrace {
+                    workflow: format!("ispider:{legacy}:{k}"),
+                    inputs: inputs.clone(),
+                    steps: vec![StepRecord {
+                        step: 0,
+                        step_name: "invoke".to_string(),
+                        module: legacy.clone(),
+                        inputs,
+                        outputs: outputs.clone(),
+                    }],
+                    outputs,
+                }),
+                Err(_) => continue,
+            }
+        }
+    }
+
+    corpus
+}
+
+/// Picks archive inputs for one legacy module: up to six distinct pool
+/// realizations per input slot, balanced across the divergence split for
+/// overlapping modules (real archives are heterogeneous; this guarantees
+/// the heterogeneity survives a small sample).
+fn archive_inputs(
+    universe: &Universe,
+    pool: &InstancePool,
+    legacy: &ModuleId,
+) -> Vec<Vec<Value>> {
+    let descriptor = universe
+        .catalog
+        .descriptor(legacy)
+        .expect("legacy module registered");
+    assert_eq!(
+        descriptor.inputs.len(),
+        1,
+        "archive generation assumes single-input legacy modules"
+    );
+    let p = &descriptor.inputs[0];
+
+    let mut agreeing: Vec<Value> = Vec::new();
+    let mut diverging: Vec<Value> = Vec::new();
+    let mut plain: Vec<Value> = Vec::new();
+    for skip in 0..48usize {
+        let Some(inst) = pool.get_instance(&p.semantic, &p.structural, skip) else {
+            break;
+        };
+        match crate::keys::diverges_on(legacy, &inst.value) {
+            Some(false) => agreeing.push(inst.value.clone()),
+            Some(true) => diverging.push(inst.value.clone()),
+            None => plain.push(inst.value.clone()),
+        }
+    }
+    let mut chosen: Vec<Value> = Vec::new();
+    chosen.extend(agreeing.into_iter().take(3));
+    chosen.extend(diverging.into_iter().take(3));
+    if chosen.is_empty() {
+        chosen.extend(plain.into_iter().take(6));
+    }
+    chosen.into_iter().map(|v| vec![v]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repository::{generate_repository, RepositoryPlan};
+    use crate::keys::diverges_on;
+    use dex_pool::build_synthetic_pool;
+    use dex_universe::{build, ExpectedMatch};
+
+    #[test]
+    fn corpus_covers_every_legacy_module_with_diverse_inputs() {
+        let u = build();
+        let pool = build_synthetic_pool(&u.ontology, 40, 77);
+        let repo = generate_repository(&u, &pool, &RepositoryPlan::small(1));
+        let corpus = build_corpus(&u, &repo, &pool);
+        assert!(corpus.len() >= repo.len());
+
+        for (legacy, expected) in &u.expected_match {
+            let invocations: Vec<_> = corpus.invocations_of(legacy).collect();
+            assert!(
+                invocations.len() >= 2,
+                "{legacy}: only {} invocations",
+                invocations.len()
+            );
+            if matches!(expected, ExpectedMatch::Overlapping(_)) {
+                let mut saw_agree = false;
+                let mut saw_diverge = false;
+                for record in &invocations {
+                    match diverges_on(legacy, &record.inputs[0]) {
+                        Some(true) => saw_diverge = true,
+                        Some(false) => saw_agree = true,
+                        None => {}
+                    }
+                }
+                assert!(
+                    saw_agree && saw_diverge,
+                    "{legacy}: archive lacks parity diversity"
+                );
+            }
+        }
+    }
+}

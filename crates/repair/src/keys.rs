@@ -1,0 +1,134 @@
+//! Divergence keys of the overlapping legacy modules.
+//!
+//! Each overlapping legacy module disagrees with its modern counterpart on
+//! inputs whose *divergence key* hashes odd (see
+//! [`dex_universe::legacy_divergent`]). Which part of the input the key is
+//! (the raw accession, the accession inside a record, the sequence, …)
+//! depends on the module. The repository generator uses this to plant
+//! sample inputs on a chosen side of the split; nothing in the matcher or
+//! the repair engine reads it.
+
+use dex_modules::ModuleId;
+use dex_universe::legacy_divergent;
+use dex_values::formats::records::RecordFormat;
+use dex_values::Value;
+
+/// Extracts the divergence key of an input value for an overlapping legacy
+/// module, or `None` when the module is not overlapping / the value shape
+/// is unexpected.
+pub fn divergence_key(module: &ModuleId, input: &Value) -> Option<String> {
+    let id = module.as_str();
+    let text = input.as_text()?;
+    let key = match id {
+        "legacy:get_uniprot_record_old"
+        | "legacy:get_pdb_record_old"
+        | "legacy:get_embl_record_old"
+        | "legacy:get_genbank_record_old"
+        | "legacy:get_fasta_uniprot_old"
+        | "legacy:map_uniprot_go_old"
+        | "legacy:map_uniprot_embl_old"
+        | "legacy:map_uniprot_entrez_old"
+        | "legacy:map_entrez_ensembl_old"
+        | "legacy:map_symbol_entrez_old"
+        | "legacy:get_dna_sequence_old"
+        | "legacy:get_abstract_old"
+        | "legacy:annotate_protein_old"
+        | "legacy:resolve_term_old"
+        | "legacy:digest_protein_old"
+        | "legacy:seq_stats_old"
+        | "legacy:gc_content_old"
+        | "legacy:get_concept_old" => text.to_string(),
+        "legacy:conv_genbank_fasta_old" => {
+            RecordFormat::GenBank.parse(text).ok()?.accession
+        }
+        "legacy:conv_embl_fasta_old" => RecordFormat::Embl.parse(text).ok()?.accession,
+        "legacy:conv_pdb_fasta_old" => RecordFormat::Pdb.parse(text).ok()?.accession,
+        "legacy:normalize_uniprot_old" => RecordFormat::Uniprot.parse(text).ok()?.accession,
+        "legacy:build_tree_old" => RecordFormat::Fasta.parse(text).ok()?.sequence,
+        _ => return None,
+    };
+    Some(key)
+}
+
+/// Whether this input makes the overlapping module *disagree* with its
+/// modern counterpart.
+pub fn diverges_on(module: &ModuleId, input: &Value) -> Option<bool> {
+    let key = divergence_key(module, input)?;
+    let mut diverges = legacy_divergent(&key);
+    // `get_concept_old` only observably diverges when the document mentions
+    // more than one concept (first-vs-last pick).
+    if module.as_str() == "legacy:get_concept_old" {
+        let concepts =
+            dex_values::formats::document::extract_concepts(input.as_text().unwrap_or(""));
+        if concepts.len() < 2 {
+            diverges = false;
+        }
+    }
+    Some(diverges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_universe::build;
+
+    #[test]
+    fn every_overlapping_legacy_module_has_a_key_extractor() {
+        let u = build();
+        let pool = dex_pool::build_synthetic_pool(&u.ontology, 3, 5);
+        for (id, expected) in &u.expected_match {
+            if matches!(expected, dex_universe::ExpectedMatch::Overlapping(_)) {
+                let descriptor = u.catalog.descriptor(id).unwrap();
+                let concept = &descriptor.inputs[0].semantic;
+                let inst = pool
+                    .get_instance(concept, &descriptor.inputs[0].structural, 0)
+                    .unwrap_or_else(|| panic!("no instance for {concept}"));
+                assert!(
+                    divergence_key(id, &inst.value).is_some(),
+                    "no divergence key for {id} on a {concept} value"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn key_prediction_matches_actual_behavior() {
+        // For each overlapping module, invoking the legacy and its modern
+        // counterpart must agree exactly when `diverges_on` says so.
+        let u = build();
+        let pool = dex_pool::build_synthetic_pool(&u.ontology, 8, 6);
+        for (id, expected) in &u.expected_match {
+            let dex_universe::ExpectedMatch::Overlapping(target) = expected else {
+                continue;
+            };
+            let descriptor = u.catalog.descriptor(id).unwrap().clone();
+            let concept = descriptor.inputs[0].semantic.clone();
+            for skip in 0..8 {
+                let Some(inst) =
+                    pool.get_instance(&concept, &descriptor.inputs[0].structural, skip)
+                else {
+                    break;
+                };
+                let Some(expected_diverge) = diverges_on(id, &inst.value) else {
+                    continue;
+                };
+                let legacy_out = u.catalog.invoke(id, std::slice::from_ref(&inst.value));
+                let modern_out = u.catalog.invoke(target, std::slice::from_ref(&inst.value));
+                if let (Ok(a), Ok(b)) = (legacy_out, modern_out) {
+                    assert_eq!(
+                        a != b,
+                        expected_diverge,
+                        "{id} vs {target} on {}",
+                        inst.value.preview(40)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_overlapping_modules_have_no_key() {
+        assert!(divergence_key(&"legacy:get_homologous".into(), &Value::text("P12345")).is_none());
+        assert!(divergence_key(&"dr:get_uniprot_record".into(), &Value::text("P12345")).is_none());
+    }
+}

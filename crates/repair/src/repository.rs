@@ -1,0 +1,517 @@
+//! A myExperiment-like workflow repository with a planned population.
+
+use crate::keys::diverges_on;
+use dex_modules::{ModuleId, Parameter};
+use dex_pool::InstancePool;
+use dex_universe::{ExpectedMatch, Universe};
+use dex_values::Value;
+use dex_workflow::{Source, Workflow};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which population a generated workflow belongs to. Generation metadata
+/// only: the repair engine never reads it (tests use it to check that
+/// computed outcomes match the plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlanGroup {
+    /// Uses only modules that will stay available.
+    Healthy,
+    /// Uses one legacy module that has an equivalent substitute.
+    EquivalentFull,
+    /// Equivalent-substitutable legacy + an unsubstitutable one.
+    EquivalentPartial,
+    /// Overlapping-substitutable legacy, sample input on the agreeing side.
+    OverlapFull,
+    /// Agreeing overlapping legacy + an unsubstitutable one.
+    OverlapPartial,
+    /// Overlapping legacy, sample input on the *disagreeing* side — the
+    /// substitute exists but does not play the same role here.
+    OverlapOdd,
+    /// Uses only unsubstitutable legacy modules.
+    NoneOnly,
+}
+
+/// One repository record: the workflow plus the example inputs its author
+/// published with it (myExperiment workflows ship sample inputs; the paper
+/// enacts repaired workflows "using samples of randomly selected inputs").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoredWorkflow {
+    /// The workflow definition.
+    pub workflow: Workflow,
+    /// Sample values for the workflow-level inputs.
+    pub sample_inputs: Vec<Value>,
+    /// Generation metadata.
+    pub group: PlanGroup,
+}
+
+/// The repository.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WorkflowRepository {
+    /// Stored workflows, in generation order.
+    pub workflows: Vec<StoredWorkflow>,
+}
+
+impl WorkflowRepository {
+    /// Number of stored workflows.
+    pub fn len(&self) -> usize {
+        self.workflows.len()
+    }
+
+    /// Whether the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.workflows.is_empty()
+    }
+
+    /// Serializes the repository to JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Loads a repository from JSON.
+    pub fn from_json(json: &str) -> serde_json::Result<WorkflowRepository> {
+        serde_json::from_str(json)
+    }
+
+    /// Workflows referencing the given module.
+    pub fn using_module<'a>(
+        &'a self,
+        id: &'a ModuleId,
+    ) -> impl Iterator<Item = &'a StoredWorkflow> {
+        self.workflows.iter().filter(move |w| w.workflow.uses_module(id))
+    }
+}
+
+/// Population sizes for repository generation. The defaults approximate the
+/// paper's §6 numbers: ~3000 workflows, roughly half broken, 334 of them
+/// repairable (321 via equivalents + 13 via usable overlaps, 73 partial).
+#[derive(Debug, Clone)]
+pub struct RepositoryPlan {
+    pub healthy: usize,
+    pub equivalent_full: usize,
+    pub equivalent_partial: usize,
+    pub overlap_full: usize,
+    pub overlap_partial: usize,
+    pub overlap_odd: usize,
+    pub none_only: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl Default for RepositoryPlan {
+    fn default() -> Self {
+        RepositoryPlan {
+            healthy: 1466,
+            equivalent_full: 255,
+            equivalent_partial: 66,
+            overlap_full: 6,
+            overlap_partial: 7,
+            overlap_odd: 400,
+            none_only: 800,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RepositoryPlan {
+    /// Total workflows the plan generates.
+    pub fn total(&self) -> usize {
+        self.healthy
+            + self.equivalent_full
+            + self.equivalent_partial
+            + self.overlap_full
+            + self.overlap_partial
+            + self.overlap_odd
+            + self.none_only
+    }
+
+    /// A small plan for tests.
+    pub fn small(seed: u64) -> Self {
+        RepositoryPlan {
+            healthy: 30,
+            equivalent_full: 20,
+            equivalent_partial: 8,
+            overlap_full: 6,
+            overlap_partial: 4,
+            overlap_odd: 20,
+            none_only: 15,
+            seed,
+        }
+    }
+}
+
+/// Generates a repository against a universe (pre-decay) and a pool used
+/// for the sample inputs.
+pub fn generate_repository(
+    universe: &Universe,
+    pool: &InstancePool,
+    plan: &RepositoryPlan,
+) -> WorkflowRepository {
+    let mut rng = StdRng::seed_from_u64(plan.seed);
+    let gen = Generator::new(universe, pool);
+    let mut repo = WorkflowRepository::default();
+
+    let mut eq_legacy: Vec<&ModuleId> = Vec::new();
+    let mut ov_legacy: Vec<&ModuleId> = Vec::new();
+    let mut none_legacy: Vec<&ModuleId> = Vec::new();
+    for (id, expected) in &universe.expected_match {
+        match expected {
+            ExpectedMatch::Equivalent(_) => eq_legacy.push(id),
+            ExpectedMatch::Overlapping(_) => ov_legacy.push(id),
+            ExpectedMatch::None => none_legacy.push(id),
+        }
+    }
+    let available: Vec<ModuleId> = universe.available_ids();
+
+    let mut counter = 0usize;
+    let push = |repo: &mut WorkflowRepository, stored: StoredWorkflow| {
+        repo.workflows.push(stored);
+    };
+
+    for _ in 0..plan.healthy {
+        let first = &available[rng.gen_range(0..available.len())];
+        let stored = gen.compose(first, None, None, PlanGroup::Healthy, counter, &mut rng);
+        counter += 1;
+        push(&mut repo, stored);
+    }
+    for i in 0..plan.equivalent_full {
+        let first = eq_legacy[i % eq_legacy.len()];
+        let stored = gen.compose(first, None, None, PlanGroup::EquivalentFull, counter, &mut rng);
+        counter += 1;
+        push(&mut repo, stored);
+    }
+    for i in 0..plan.equivalent_partial {
+        let first = eq_legacy[i % eq_legacy.len()];
+        let extra = none_legacy[i % none_legacy.len()];
+        let stored = gen.compose(
+            first,
+            Some(extra),
+            None,
+            PlanGroup::EquivalentPartial,
+            counter,
+            &mut rng,
+        );
+        counter += 1;
+        push(&mut repo, stored);
+    }
+    for i in 0..plan.overlap_full {
+        let first = ov_legacy[i % ov_legacy.len()];
+        let stored = gen.compose(
+            first,
+            None,
+            Some(false),
+            PlanGroup::OverlapFull,
+            counter,
+            &mut rng,
+        );
+        counter += 1;
+        push(&mut repo, stored);
+    }
+    for i in 0..plan.overlap_partial {
+        let first = ov_legacy[(plan.overlap_full + i) % ov_legacy.len()];
+        let extra = none_legacy[i % none_legacy.len()];
+        let stored = gen.compose(
+            first,
+            Some(extra),
+            Some(false),
+            PlanGroup::OverlapPartial,
+            counter,
+            &mut rng,
+        );
+        counter += 1;
+        push(&mut repo, stored);
+    }
+    for i in 0..plan.overlap_odd {
+        let first = ov_legacy[i % ov_legacy.len()];
+        let stored = gen.compose(
+            first,
+            None,
+            Some(true),
+            PlanGroup::OverlapOdd,
+            counter,
+            &mut rng,
+        );
+        counter += 1;
+        push(&mut repo, stored);
+    }
+    for i in 0..plan.none_only {
+        let first = none_legacy[i % none_legacy.len()];
+        let stored = gen.compose(first, None, None, PlanGroup::NoneOnly, counter, &mut rng);
+        counter += 1;
+        push(&mut repo, stored);
+    }
+
+    repo
+}
+
+/// Composition machinery shared across groups.
+struct Generator<'a> {
+    universe: &'a Universe,
+    pool: &'a InstancePool,
+    /// Downstream candidates per module: available modules whose first
+    /// input accepts the module's first output.
+    downstream: std::collections::BTreeMap<ModuleId, Vec<ModuleId>>,
+}
+
+impl<'a> Generator<'a> {
+    fn new(universe: &'a Universe, pool: &'a InstancePool) -> Self {
+        let ontology = &universe.ontology;
+        let mut downstream = std::collections::BTreeMap::new();
+        let available = universe.available_ids();
+        // Index every module (legacy ones included: their outputs feed
+        // downstream steps too).
+        let all_ids: Vec<ModuleId> = universe
+            .catalog
+            .available_ids()
+            .into_iter()
+            .collect();
+        for id in &all_ids {
+            let out = &universe.catalog.descriptor(id).expect("registered").outputs[0];
+            let mut compatible = Vec::new();
+            for cand in &available {
+                if cand == id {
+                    continue;
+                }
+                let cin = &universe.catalog.descriptor(cand).expect("registered").inputs[0];
+                let semantic_ok = match (ontology.id(&cin.semantic), ontology.id(&out.semantic))
+                {
+                    (Some(t), Some(s)) => ontology.subsumes(t, s),
+                    _ => false,
+                };
+                if semantic_ok && cin.structural.accepts(&out.structural) {
+                    compatible.push(cand.clone());
+                }
+            }
+            downstream.insert(id.clone(), compatible);
+        }
+        Generator {
+            universe,
+            pool,
+            downstream,
+        }
+    }
+
+    /// Builds one workflow: `first` as step 0 (all inputs from workflow
+    /// inputs), an optional parallel `extra` legacy step, and 0–2 chained
+    /// downstream steps. `want_divergent` controls the parity of the sample
+    /// value feeding `first` (overlapping-legacy groups only).
+    fn compose(
+        &self,
+        first: &ModuleId,
+        extra: Option<&ModuleId>,
+        want_divergent: Option<bool>,
+        group: PlanGroup,
+        counter: usize,
+        rng: &mut StdRng,
+    ) -> StoredWorkflow {
+        let catalog = &self.universe.catalog;
+        let mut builder = Workflow::builder(
+            format!("wf{counter:05}"),
+            format!("workflow {counter} ({first})"),
+        );
+        let mut sample_inputs: Vec<Value> = Vec::new();
+
+        // Step 0: the focus module.
+        let d0 = catalog.descriptor(first).expect("registered").clone();
+        let s0 = builder.step(d0.name.clone(), first.clone());
+        for (j, p) in d0.inputs.iter().enumerate() {
+            let idx = builder.input(p.clone());
+            builder.link(Source::WorkflowInput(idx), s0, j);
+            let value = if j == 0 {
+                self.sample_value(first, p, want_divergent, rng)
+            } else {
+                self.plain_sample(p, rng)
+            };
+            sample_inputs.push(value);
+        }
+
+        // Optional parallel legacy step.
+        if let Some(extra_id) = extra {
+            let d1 = catalog.descriptor(extra_id).expect("registered").clone();
+            let s1 = builder.step(d1.name.clone(), extra_id.clone());
+            for (j, p) in d1.inputs.iter().enumerate() {
+                let idx = builder.input(p.clone());
+                builder.link(Source::WorkflowInput(idx), s1, j);
+                sample_inputs.push(self.plain_sample(p, rng));
+            }
+        }
+
+        // Chain 0–2 downstream steps off step 0's first output.
+        let mut upstream = (s0, first.clone());
+        let chain_len = rng.gen_range(0..=2usize);
+        for _ in 0..chain_len {
+            let Some(candidates) = self.downstream.get(&upstream.1) else { break };
+            if candidates.is_empty() {
+                break;
+            }
+            let next = &candidates[rng.gen_range(0..candidates.len())];
+            let dn = catalog.descriptor(next).expect("registered").clone();
+            let sn = builder.step(dn.name.clone(), next.clone());
+            builder.link(
+                Source::StepOutput {
+                    step: upstream.0,
+                    output: 0,
+                },
+                sn,
+                0,
+            );
+            for (j, p) in dn.inputs.iter().enumerate().skip(1) {
+                let idx = builder.input(p.clone());
+                builder.link(Source::WorkflowInput(idx), sn, j);
+                sample_inputs.push(self.plain_sample(p, rng));
+            }
+            upstream = (sn, next.clone());
+        }
+
+        let last_step = upstream.0;
+        builder.output(
+            "result",
+            Source::StepOutput {
+                step: last_step,
+                output: 0,
+            },
+        );
+        StoredWorkflow {
+            workflow: builder.build(),
+            sample_inputs,
+            group,
+        }
+    }
+
+    /// Any pool realization of the parameter's concept.
+    fn plain_sample(&self, p: &Parameter, rng: &mut StdRng) -> Value {
+        let skip = rng.gen_range(0..6usize);
+        self.pool
+            .get_instance(&p.semantic, &p.structural, skip)
+            .or_else(|| self.pool.get_instance(&p.semantic, &p.structural, 0))
+            .unwrap_or_else(|| panic!("pool has no realization of {}", p.semantic))
+            .value
+            .clone()
+    }
+
+    /// A realization with a chosen divergence parity, when requested.
+    fn sample_value(
+        &self,
+        module: &ModuleId,
+        p: &Parameter,
+        want_divergent: Option<bool>,
+        rng: &mut StdRng,
+    ) -> Value {
+        let Some(want) = want_divergent else {
+            return self.plain_sample(p, rng);
+        };
+        let mut matching: Vec<Value> = Vec::new();
+        for skip in 0..32usize {
+            let Some(inst) = self.pool.get_instance(&p.semantic, &p.structural, skip) else {
+                break;
+            };
+            if diverges_on(module, &inst.value) == Some(want) {
+                matching.push(inst.value.clone());
+            }
+        }
+        if matching.is_empty() {
+            // No value with the requested parity in the pool prefix; fall
+            // back (tests assert this does not happen for the shipped pool).
+            return self.plain_sample(p, rng);
+        }
+        matching[rng.gen_range(0..matching.len())].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_pool::build_synthetic_pool;
+    use dex_universe::build;
+    use dex_workflow::validate;
+
+    fn fixture() -> (Universe, InstancePool) {
+        let u = build();
+        let pool = build_synthetic_pool(&u.ontology, 40, 77);
+        (u, pool)
+    }
+
+    #[test]
+    fn generated_workflows_validate_and_enact_pre_decay() {
+        let (u, pool) = fixture();
+        let repo = generate_repository(&u, &pool, &RepositoryPlan::small(1));
+        assert_eq!(repo.len(), RepositoryPlan::small(1).total());
+        for stored in &repo.workflows {
+            validate(&stored.workflow, &u.catalog, &u.ontology)
+                .unwrap_or_else(|e| panic!("{}: {e:?}", stored.workflow.id));
+            dex_workflow::enact(&stored.workflow, &u.catalog, &stored.sample_inputs)
+                .unwrap_or_else(|e| panic!("{}: {e}", stored.workflow.id));
+        }
+    }
+
+    #[test]
+    fn overlap_groups_have_requested_parity() {
+        let (u, pool) = fixture();
+        let repo = generate_repository(&u, &pool, &RepositoryPlan::small(2));
+        for stored in &repo.workflows {
+            let want = match stored.group {
+                PlanGroup::OverlapFull | PlanGroup::OverlapPartial => Some(false),
+                PlanGroup::OverlapOdd => Some(true),
+                _ => None,
+            };
+            if let Some(want) = want {
+                let module = &stored.workflow.steps[0].module;
+                let got = diverges_on(module, &stored.sample_inputs[0]);
+                assert_eq!(got, Some(want), "{} ({module})", stored.workflow.id);
+            }
+        }
+    }
+
+    #[test]
+    fn broken_groups_reference_legacy_modules() {
+        let (u, pool) = fixture();
+        let repo = generate_repository(&u, &pool, &RepositoryPlan::small(3));
+        for stored in &repo.workflows {
+            let uses_legacy = stored
+                .workflow
+                .module_ids()
+                .iter()
+                .any(|m| u.is_legacy(m));
+            assert_eq!(
+                uses_legacy,
+                stored.group != PlanGroup::Healthy,
+                "{}",
+                stored.workflow.id
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (u, pool) = fixture();
+        let a = generate_repository(&u, &pool, &RepositoryPlan::small(4));
+        let b = generate_repository(&u, &pool, &RepositoryPlan::small(4));
+        for (x, y) in a.workflows.iter().zip(&b.workflows) {
+            assert_eq!(x.workflow, y.workflow);
+            assert_eq!(x.sample_inputs, y.sample_inputs);
+        }
+    }
+
+    #[test]
+    fn repository_round_trips_through_json() {
+        let (u, pool) = fixture();
+        let repo = generate_repository(&u, &pool, &RepositoryPlan::small(6));
+        let json = repo.to_json().unwrap();
+        let back = WorkflowRepository::from_json(&json).unwrap();
+        assert_eq!(back.len(), repo.len());
+        for (a, b) in repo.workflows.iter().zip(&back.workflows) {
+            assert_eq!(a.workflow, b.workflow);
+            assert_eq!(a.sample_inputs, b.sample_inputs);
+            assert_eq!(a.group, b.group);
+        }
+    }
+
+    #[test]
+    fn using_module_finds_references() {
+        let (u, pool) = fixture();
+        let repo = generate_repository(&u, &pool, &RepositoryPlan::small(5));
+        let legacy = &u.legacy[0];
+        let direct = repo.using_module(legacy).count();
+        assert!(direct > 0, "legacy module {legacy} unused in repository");
+    }
+}

@@ -1,0 +1,205 @@
+//! The simulated study participant.
+
+use dex_core::ExampleSet;
+use dex_modules::ModuleDescriptor;
+use dex_universe::{db, Category};
+
+/// A simulated life-science researcher.
+///
+/// Decisions are deterministic functions of `(user seed, module id)`, so a
+/// study run is reproducible and the three users differ on the margins.
+#[derive(Debug, Clone)]
+pub struct UserModel {
+    /// Display name (`user1` …).
+    pub name: String,
+    seed: u64,
+    /// Fraction of popular modules this user happens to know already
+    /// (per-mille).
+    familiarity: u64,
+    /// Success rate on filtering modules given examples (per-mille).
+    filtering_rate: u64,
+    /// Success rate on data-analysis modules given examples (per-mille).
+    analysis_rate: u64,
+}
+
+impl UserModel {
+    /// The study's three participants, calibrated to §5.
+    pub fn panel() -> Vec<UserModel> {
+        vec![
+            UserModel {
+                name: "user1".into(),
+                seed: 1,
+                familiarity: 850,
+                filtering_rate: 160,
+                analysis_rate: 40,
+            },
+            UserModel {
+                name: "user2".into(),
+                seed: 2,
+                familiarity: 820,
+                filtering_rate: 180,
+                analysis_rate: 50,
+            },
+            UserModel {
+                name: "user3".into(),
+                seed: 3,
+                familiarity: 880,
+                filtering_rate: 140,
+                analysis_rate: 35,
+            },
+        ]
+    }
+
+    /// A per-(user, module, aspect) coin with the given per-mille
+    /// probability.
+    fn coin(&self, module: &str, aspect: &str, per_mille: u64) -> bool {
+        let h = db::seed_for(&[&self.name, module, aspect]) ^ self.seed.wrapping_mul(0x9e37);
+        h % 1000 < per_mille
+    }
+
+    /// Phase 1: the user sees only the module's name and its annotated
+    /// interface. Identification happens only for modules the user already
+    /// knows (the *popular* ones), and only when this user happens to know
+    /// this one.
+    pub fn identifies_by_interface(&self, descriptor: &ModuleDescriptor, popular: bool) -> bool {
+        popular && self.coin(descriptor.id.as_str(), "known", self.familiarity)
+    }
+
+    /// Phase 2: the user additionally examines the data examples.
+    ///
+    /// An empty example set conveys nothing; otherwise success follows the
+    /// per-category findings of §5. `unfamiliar_output` marks retrieval
+    /// modules whose output format the user cannot read.
+    pub fn identifies_with_examples(
+        &self,
+        descriptor: &ModuleDescriptor,
+        examples: &ExampleSet,
+        category: Category,
+        unfamiliar_output: bool,
+    ) -> bool {
+        if examples.is_empty() {
+            return false;
+        }
+        let id = descriptor.id.as_str();
+        match category {
+            Category::FormatTransformation | Category::MappingIdentifiers => true,
+            Category::DataRetrieval => !unfamiliar_output,
+            Category::Filtering => self.coin(id, "filter", self.filtering_rate),
+            Category::DataAnalysis => self.coin(id, "analysis", self.analysis_rate),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_core::{Binding, DataExample};
+    use dex_modules::{ModuleKind, Parameter};
+    use dex_values::{StructuralType, Value};
+
+    fn descriptor(id: &str) -> ModuleDescriptor {
+        ModuleDescriptor::new(
+            id,
+            id,
+            ModuleKind::SoapService,
+            vec![Parameter::required("in", StructuralType::Text, "GOTerm")],
+            vec![Parameter::required("out", StructuralType::Text, "GOTerm")],
+        )
+    }
+
+    fn examples(id: &str) -> ExampleSet {
+        let mut set = ExampleSet::new(id.into());
+        set.examples.push(DataExample::new(
+            vec![Binding::new("in", Value::text("GO:0000001"))],
+            vec![Binding::new("out", Value::text("GO:0000002"))],
+            vec!["GOTerm".into()],
+        ));
+        set
+    }
+
+    #[test]
+    fn panel_has_three_distinct_users() {
+        let panel = UserModel::panel();
+        assert_eq!(panel.len(), 3);
+        let names: Vec<&str> = panel.iter().map(|u| u.name.as_str()).collect();
+        assert_eq!(names, vec!["user1", "user2", "user3"]);
+    }
+
+    #[test]
+    fn interface_identification_requires_popularity() {
+        let user = &UserModel::panel()[0];
+        let d = descriptor("m1");
+        assert!(!user.identifies_by_interface(&d, false));
+        // Popular modules are identified with high (not certain) probability;
+        // over many modules some hit.
+        let hits = (0..100)
+            .filter(|i| user.identifies_by_interface(&descriptor(&format!("m{i}")), true))
+            .count();
+        assert!(hits > 70 && hits < 100, "hits={hits}");
+    }
+
+    #[test]
+    fn shims_are_transparent_with_examples() {
+        let user = &UserModel::panel()[0];
+        let d = descriptor("conv");
+        assert!(user.identifies_with_examples(
+            &d,
+            &examples("conv"),
+            Category::FormatTransformation,
+            false
+        ));
+        assert!(user.identifies_with_examples(
+            &d,
+            &examples("conv"),
+            Category::MappingIdentifiers,
+            false
+        ));
+    }
+
+    #[test]
+    fn unfamiliar_retrieval_outputs_block_identification() {
+        let user = &UserModel::panel()[0];
+        let d = descriptor("get");
+        assert!(user.identifies_with_examples(&d, &examples("get"), Category::DataRetrieval, false));
+        assert!(!user.identifies_with_examples(&d, &examples("get"), Category::DataRetrieval, true));
+    }
+
+    #[test]
+    fn empty_examples_convey_nothing() {
+        let user = &UserModel::panel()[0];
+        let d = descriptor("x");
+        let empty = ExampleSet::new("x".into());
+        assert!(!user.identifies_with_examples(&d, &empty, Category::FormatTransformation, false));
+    }
+
+    #[test]
+    fn analysis_rate_is_low_but_nonzero() {
+        let user = &UserModel::panel()[0];
+        let hits = (0..200)
+            .filter(|i| {
+                let id = format!("da{i}");
+                user.identifies_with_examples(
+                    &descriptor(&id),
+                    &examples(&id),
+                    Category::DataAnalysis,
+                    false,
+                )
+            })
+            .count();
+        assert!(hits > 2 && hits < 30, "hits={hits}");
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let a = &UserModel::panel()[1];
+        let b = &UserModel::panel()[1];
+        for i in 0..50 {
+            let id = format!("f{i}");
+            let d = descriptor(&id);
+            assert_eq!(
+                a.identifies_with_examples(&d, &examples(&id), Category::Filtering, false),
+                b.identifies_with_examples(&d, &examples(&id), Category::Filtering, false)
+            );
+        }
+    }
+}

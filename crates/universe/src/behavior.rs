@@ -1,0 +1,309 @@
+//! Ground-truth behavior classes.
+//!
+//! A module's *classes of behavior* are "the different tasks that a given
+//! module can perform" (paper §4.2). For the synthetic universe each module
+//! carries a [`BehaviorSpec`]: an ordered list of classes, each guarded by a
+//! predicate over the module's input values. Class membership uses
+//! **first-match** semantics (like `match` arms), so classes are disjoint
+//! and total as long as the last class is a catch-all.
+//!
+//! Specs play the role of the paper's module documentation + domain expert:
+//! they exist solely so the evaluation can score generated data examples.
+//! Nothing in the generation pipeline reads them.
+
+use dex_core::{BehaviorOracle, DataExample};
+use dex_values::formats::accession::AccessionKind;
+use dex_values::formats::records::RecordFormat;
+use dex_values::formats::sequence::{classify as classify_seq, SequenceKind};
+use dex_values::Value;
+use serde::{Deserialize, Serialize};
+
+/// A predicate over a module's input vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Pred {
+    /// Always true — the catch-all for a spec's last class.
+    Always,
+    /// Input `idx` is a sequence of the given kind.
+    SeqKind(usize, SequenceKind),
+    /// Input `idx` is a sequence of one of the given kinds.
+    SeqKindIn(usize, Vec<SequenceKind>),
+    /// Input `idx` is text longer than `len` characters.
+    TextLongerThan(usize, usize),
+    /// Input `idx` is empty text.
+    TextEmpty(usize),
+    /// Input `idx` is a valid accession of the given kind.
+    AccKind(usize, AccessionKind),
+    /// Input `idx` is a valid accession of one of the given kinds.
+    AccKindIn(usize, Vec<AccessionKind>),
+    /// Input `idx` parses as a record of the given format.
+    RecFormat(usize, RecordFormat),
+    /// Input `idx` parses as one of the given record formats.
+    RecFormatIn(usize, Vec<RecordFormat>),
+    /// Input `idx` is a generic `SEQUENCE-RECORD` (the realization of the
+    /// interior `SequenceRecord` concept).
+    GenericSeqRecord(usize),
+    /// Input `idx` has the given text prefix.
+    TextPrefixed(usize, String),
+    /// Input `idx` classifies (via [`dex_values::classify`]) to the concept.
+    ConceptIs(usize, String),
+    /// Input `idx` is numeric and strictly above the bound.
+    FloatAbove(usize, f64),
+    /// Input `idx` is numeric and strictly below the bound.
+    FloatBelow(usize, f64),
+    /// Input `idx` is a list with more than `n` elements.
+    ListLongerThan(usize, usize),
+    /// Input `idx` is an empty list.
+    ListEmpty(usize),
+    /// Negation.
+    Not(Box<Pred>),
+    /// Conjunction.
+    All(Vec<Pred>),
+    /// Disjunction.
+    AnyOf(Vec<Pred>),
+}
+
+impl Pred {
+    /// Evaluates the predicate against an input vector.
+    pub fn eval(&self, inputs: &[&Value]) -> bool {
+        let text = |idx: usize| inputs.get(idx).and_then(|v| v.as_text());
+        match self {
+            Pred::Always => true,
+            Pred::SeqKind(i, kind) => text(*i).and_then(classify_seq) == Some(*kind),
+            Pred::SeqKindIn(i, kinds) => text(*i)
+                .and_then(classify_seq)
+                .is_some_and(|k| kinds.contains(&k)),
+            Pred::TextLongerThan(i, len) => text(*i).is_some_and(|s| s.chars().count() > *len),
+            Pred::TextEmpty(i) => text(*i).is_some_and(str::is_empty),
+            Pred::AccKind(i, kind) => text(*i).is_some_and(|s| kind.is_valid(s)),
+            Pred::AccKindIn(i, kinds) => {
+                text(*i).is_some_and(|s| kinds.iter().any(|k| k.is_valid(s)))
+            }
+            Pred::RecFormat(i, format) => text(*i).is_some_and(|s| format.parse(s).is_ok()),
+            Pred::RecFormatIn(i, formats) => {
+                text(*i).is_some_and(|s| formats.iter().any(|f| f.parse(s).is_ok()))
+            }
+            Pred::GenericSeqRecord(i) => {
+                text(*i).is_some_and(|s| s.starts_with("SEQUENCE-RECORD"))
+            }
+            Pred::TextPrefixed(i, prefix) => text(*i).is_some_and(|s| s.starts_with(prefix)),
+            Pred::ConceptIs(i, concept) => inputs
+                .get(*i)
+                .and_then(|v| dex_values::classify::classify_concept(v))
+                == Some(concept.as_str()),
+            Pred::FloatAbove(i, bound) => inputs
+                .get(*i)
+                .and_then(|v| v.as_f64())
+                .is_some_and(|f| f > *bound),
+            Pred::FloatBelow(i, bound) => inputs
+                .get(*i)
+                .and_then(|v| v.as_f64())
+                .is_some_and(|f| f < *bound),
+            Pred::ListLongerThan(i, n) => inputs
+                .get(*i)
+                .and_then(|v| v.as_list())
+                .is_some_and(|l| l.len() > *n),
+            Pred::ListEmpty(i) => inputs
+                .get(*i)
+                .and_then(|v| v.as_list())
+                .is_some_and(<[Value]>::is_empty),
+            Pred::Not(p) => !p.eval(inputs),
+            Pred::All(ps) => ps.iter().all(|p| p.eval(inputs)),
+            Pred::AnyOf(ps) => ps.iter().any(|p| p.eval(inputs)),
+        }
+    }
+}
+
+/// One class of behavior: a task the module performs for the inputs matching
+/// `guard`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BehaviorClass {
+    /// Short task name (e.g. "retrieve uniprot record").
+    pub name: String,
+    /// Inputs exercising this class (first-match across the spec).
+    pub guard: Pred,
+}
+
+impl BehaviorClass {
+    /// Creates a class.
+    pub fn new(name: impl Into<String>, guard: Pred) -> Self {
+        BehaviorClass {
+            name: name.into(),
+            guard,
+        }
+    }
+}
+
+/// The ground-truth behavior specification of one module.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BehaviorSpec {
+    /// A human-readable statement of the overall task (what the paper's
+    /// study participants were asked to produce).
+    pub task: String,
+    /// Ordered classes; membership is first-match.
+    pub classes: Vec<BehaviorClass>,
+}
+
+impl BehaviorSpec {
+    /// A single-class spec: the module performs one task everywhere.
+    pub fn uniform(task: impl Into<String>) -> Self {
+        let task = task.into();
+        BehaviorSpec {
+            classes: vec![BehaviorClass::new(task.clone(), Pred::Always)],
+            task,
+        }
+    }
+
+    /// A spec with explicit classes.
+    pub fn new(task: impl Into<String>, classes: Vec<BehaviorClass>) -> Self {
+        BehaviorSpec {
+            task: task.into(),
+            classes,
+        }
+    }
+
+    /// First-match class index for an input vector.
+    pub fn class_of_inputs(&self, inputs: &[&Value]) -> Option<usize> {
+        self.classes.iter().position(|c| c.guard.eval(inputs))
+    }
+}
+
+/// Adapts a [`BehaviorSpec`] to the scoring interface of `dex-core`.
+pub struct SpecOracle<'a> {
+    spec: &'a BehaviorSpec,
+}
+
+impl<'a> SpecOracle<'a> {
+    /// Wraps a spec.
+    pub fn new(spec: &'a BehaviorSpec) -> Self {
+        SpecOracle { spec }
+    }
+}
+
+impl BehaviorOracle for SpecOracle<'_> {
+    fn class_count(&self) -> usize {
+        self.spec.classes.len()
+    }
+
+    fn class_of(&self, example: &DataExample) -> Option<usize> {
+        let inputs = example.input_values();
+        self.spec.class_of_inputs(&inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Value {
+        Value::text(s)
+    }
+
+    #[test]
+    fn first_match_semantics() {
+        let spec = BehaviorSpec::new(
+            "demo",
+            vec![
+                BehaviorClass::new("dna", Pred::SeqKind(0, SequenceKind::Dna)),
+                BehaviorClass::new("any-seq", Pred::SeqKindIn(0, vec![
+                    SequenceKind::Dna,
+                    SequenceKind::Rna,
+                    SequenceKind::Protein,
+                    SequenceKind::Generic,
+                ])),
+                BehaviorClass::new("other", Pred::Always),
+            ],
+        );
+        let dna = v("ACGTACGT");
+        let rna = v("ACGUACGU");
+        let junk = v("hello world");
+        assert_eq!(spec.class_of_inputs(&[&dna]), Some(0));
+        assert_eq!(spec.class_of_inputs(&[&rna]), Some(1));
+        assert_eq!(spec.class_of_inputs(&[&junk]), Some(2));
+    }
+
+    #[test]
+    fn numeric_and_list_predicates() {
+        let above = Pred::FloatAbove(0, 10.0);
+        let below = Pred::FloatBelow(0, 10.0);
+        let five = Value::Float(5.0);
+        let fifteen = Value::Integer(15);
+        assert!(!above.eval(&[&five]));
+        assert!(above.eval(&[&fifteen]));
+        assert!(below.eval(&[&five]));
+
+        let long = Pred::ListLongerThan(0, 2);
+        let empty = Pred::ListEmpty(0);
+        let l3 = Value::from(vec![1i64, 2, 3]);
+        let l0 = Value::List(vec![]);
+        assert!(long.eval(&[&l3]));
+        assert!(!long.eval(&[&l0]));
+        assert!(empty.eval(&[&l0]));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let p = Pred::All(vec![
+            Pred::TextPrefixed(0, "GO:".into()),
+            Pred::Not(Box::new(Pred::TextLongerThan(0, 15))),
+        ]);
+        assert!(p.eval(&[&v("GO:0008150")]));
+        assert!(!p.eval(&[&v("XX:0008150")]));
+        let q = Pred::AnyOf(vec![Pred::TextEmpty(0), Pred::TextPrefixed(0, "a".into())]);
+        assert!(q.eval(&[&v("")]));
+        assert!(q.eval(&[&v("abc")]));
+        assert!(!q.eval(&[&v("zzz")]));
+    }
+
+    #[test]
+    fn accession_and_record_predicates() {
+        let acc = Pred::AccKind(0, AccessionKind::Uniprot);
+        assert!(acc.eval(&[&v("P12345")]));
+        assert!(!acc.eval(&[&v("1ABC")]));
+        let multi = Pred::AccKindIn(0, vec![AccessionKind::Uniprot, AccessionKind::Pdb]);
+        assert!(multi.eval(&[&v("1ABC")]));
+
+        let entry = dex_values::formats::records::SeqEntry {
+            accession: "P12345".into(),
+            description: "d".into(),
+            organism: "o".into(),
+            sequence: "MKVLHP".into(),
+        };
+        let fasta = RecordFormat::Fasta.render(&entry);
+        assert!(Pred::RecFormat(0, RecordFormat::Fasta).eval(&[&v(&fasta)]));
+        assert!(!Pred::RecFormat(0, RecordFormat::Uniprot).eval(&[&v(&fasta)]));
+        assert!(Pred::GenericSeqRecord(0).eval(&[&v("SEQUENCE-RECORD X\n")]));
+    }
+
+    #[test]
+    fn uniform_spec_has_one_total_class() {
+        let spec = BehaviorSpec::uniform("echo");
+        assert_eq!(spec.classes.len(), 1);
+        assert_eq!(spec.class_of_inputs(&[&v("anything")]), Some(0));
+    }
+
+    #[test]
+    fn oracle_adapts_spec() {
+        use dex_core::Binding;
+        let spec = BehaviorSpec::new(
+            "t",
+            vec![
+                BehaviorClass::new("go", Pred::TextPrefixed(0, "GO:".into())),
+                BehaviorClass::new("other", Pred::Always),
+            ],
+        );
+        let oracle = SpecOracle::new(&spec);
+        assert_eq!(oracle.class_count(), 2);
+        let ex = DataExample::new(
+            vec![Binding::new("in", v("GO:0000001"))],
+            vec![Binding::new("out", v("x"))],
+            vec!["GOTerm".into()],
+        );
+        assert_eq!(oracle.class_of(&ex), Some(0));
+    }
+
+    #[test]
+    fn out_of_range_index_is_false_not_panic() {
+        assert!(!Pred::SeqKind(5, SequenceKind::Dna).eval(&[&v("ACGT")]));
+        assert!(!Pred::FloatAbove(9, 0.0).eval(&[]));
+    }
+}

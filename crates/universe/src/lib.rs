@@ -1,0 +1,34 @@
+//! # dex-universe
+//!
+//! The synthetic population of scientific modules the experiments run
+//! against — the stand-in for the paper's 252 real life-science modules
+//! (EBI/KEGG/DDBJ SOAP + REST services and local programs) plus the 72
+//! withdrawn ("legacy") modules of the §6 matching study.
+//!
+//! Everything here is *executable*: each module is a deterministic Rust
+//! function over the value formats of `dex-values`, backed by the infinite
+//! deterministic databases of [`db`]. Determinism is what lets two modules
+//! from different simulated providers implement *the same* database and
+//! therefore be genuinely equivalent — the property the §6 experiment
+//! (repairing decayed workflows by substitution) depends on.
+//!
+//! Ground truth lives in [`behavior`]: every module carries a hidden
+//! [`BehaviorSpec`] listing its classes of behavior as predicates over input
+//! values. The spec is consulted **only** by the evaluation harness (to
+//! score completeness/conciseness, like the paper's domain expert reading
+//! module documentation) — the data-example generator sees modules strictly
+//! as black boxes.
+//!
+//! [`build`](build()) assembles the whole universe with the category mix of the
+//! paper's Table 3 (53 format transformation, 51 data retrieval, 62 mapping
+//! identifiers, 27 filtering, 59 data analysis) and plants the
+//! over-/under-partitioning failure modes at the rates the paper observed.
+
+pub mod behavior;
+pub mod build;
+pub mod category;
+pub mod db;
+
+pub use behavior::{BehaviorClass, BehaviorSpec, Pred, SpecOracle};
+pub use build::{build, legacy_divergent, ExpectedMatch, Universe};
+pub use category::Category;

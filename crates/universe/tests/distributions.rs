@@ -1,0 +1,89 @@
+//! End-to-end calibration tests: generate data examples for all 252
+//! available modules and check that the completeness / conciseness /
+//! coverage distributions have the shape of the paper's Tables 1–2 and
+//! §4.3.
+
+use dex_core::{generate_examples, GenerationConfig};
+use dex_pool::build_synthetic_pool;
+use dex_universe::{build, SpecOracle};
+use std::collections::BTreeMap;
+
+use dex_core::coverage::measure_coverage;
+
+#[test]
+fn tables_1_2_and_coverage_shapes() {
+    let u = build();
+    let pool = build_synthetic_pool(&u.ontology, 6, 42);
+    let config = GenerationConfig::default();
+
+    let mut completeness: BTreeMap<String, usize> = BTreeMap::new();
+    let mut conciseness: BTreeMap<String, usize> = BTreeMap::new();
+    let mut input_uncovered: Vec<String> = Vec::new();
+    let mut output_uncovered: Vec<String> = Vec::new();
+
+    for id in u.available_ids() {
+        let module = u.catalog.get(&id).expect("available");
+        let report = generate_examples(module.as_ref(), &u.ontology, &pool, &config)
+            .unwrap_or_else(|e| panic!("{id}: {e}"));
+        assert!(
+            !report.examples.is_empty(),
+            "{id}: no data examples generated"
+        );
+        // §4.3: every input partition covered, for every module.
+        if report.input_partition_coverage(&u.ontology) < 1.0 {
+            input_uncovered.push(format!(
+                "{id}: failed={:?} unvalued={:?}",
+                report.failed_combinations, report.unvalued_partitions
+            ));
+        }
+        // Output partitions.
+        let descriptor = u.catalog.descriptor(&id).unwrap();
+        let cov = measure_coverage(
+            descriptor,
+            &report.examples,
+            &u.ontology,
+            dex_values::classify::classify_concept,
+        )
+        .unwrap();
+        if !cov.outputs_fully_covered() {
+            output_uncovered.push(id.to_string());
+        }
+
+        let oracle = SpecOracle::new(&u.specs[&id]);
+        let score = dex_core::metrics::score(&report.examples, &oracle);
+        *completeness
+            .entry(format!("{:.3}", score.completeness))
+            .or_default() += 1;
+        *conciseness
+            .entry(format!("{:.2}", score.conciseness))
+            .or_default() += 1;
+    }
+
+    assert!(
+        input_uncovered.is_empty(),
+        "input partitions uncovered for:\n{}",
+        input_uncovered.join("\n")
+    );
+
+    // §4.3: exactly the 19 designed modules have uncovered output partitions.
+    let expected: Vec<String> = u.partial_output.iter().map(|m| m.to_string()).collect();
+    assert_eq!(output_uncovered, expected, "output-coverage exceptions");
+
+    // Table 1 shape.
+    let complete = completeness.get("1.000").copied().unwrap_or(0);
+    assert_eq!(complete, 236, "complete modules: {completeness:?}");
+    assert_eq!(completeness.get("0.750").copied().unwrap_or(0), 8);
+    assert_eq!(completeness.get("0.625").copied().unwrap_or(0), 4);
+    assert_eq!(completeness.get("0.600").copied().unwrap_or(0), 2);
+    assert_eq!(completeness.get("0.500").copied().unwrap_or(0), 2);
+
+    // Table 2 shape.
+    assert_eq!(conciseness.get("1.00").copied().unwrap_or(0), 192, "{conciseness:?}");
+    assert_eq!(conciseness.get("0.50").copied().unwrap_or(0), 32);
+    assert_eq!(conciseness.get("0.47").copied().unwrap_or(0), 7);
+    assert_eq!(conciseness.get("0.40").copied().unwrap_or(0), 4);
+    assert_eq!(conciseness.get("0.33").copied().unwrap_or(0), 4);
+    assert_eq!(conciseness.get("0.20").copied().unwrap_or(0), 8);
+    assert_eq!(conciseness.get("0.17").copied().unwrap_or(0), 4);
+    assert_eq!(conciseness.get("0.09").copied().unwrap_or(0), 1);
+}

@@ -1,0 +1,264 @@
+//! Mapping values back to the *most specific* myGrid-like concept they
+//! instantiate.
+//!
+//! Two places need this inverse of [`crate::synth`]:
+//!
+//! * **Output-partition coverage** (paper §3.3/§4.3): deciding which
+//!   partitions of an output parameter's domain the generated data examples
+//!   cover requires classifying the produced output values.
+//! * **Provenance harvesting** (paper §4.1): data values in a provenance
+//!   trace are annotated with the most specific concept recoverable from the
+//!   value itself, falling back to the parameter's declared concept.
+//!
+//! Classification is syntactic and best-effort; values with no recognizable
+//! syntax return `None` and callers fall back to contextual annotations.
+
+use crate::formats::accession::AccessionKind;
+use crate::formats::records::{EntryRecord, RecordFormat};
+use crate::formats::reports::{AlignmentReport, AnnotationReport, IdentificationReport};
+use crate::formats::sequence::{classify as classify_seq, SequenceKind};
+use crate::formats::document;
+use crate::value::Value;
+
+/// Returns the name of the most specific concept `value` instantiates, or
+/// `None` when nothing is recognized.
+pub fn classify_concept(value: &Value) -> Option<&'static str> {
+    match value {
+        Value::Text(s) => classify_text(s),
+        Value::Float(_) => Some("MeasurementData"),
+        Value::List(items) => {
+            // Float lists are measurement-ish; pick the most specific list
+            // concept by length heuristics used by the synthesizer.
+            if !items.is_empty() && items.iter().all(|v| matches!(v, Value::Float(_))) {
+                Some(if items.len() < 20 {
+                    "PeptideMassList"
+                } else if items.len() < 60 {
+                    "MassSpectrum"
+                } else {
+                    "ExpressionProfile"
+                })
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+fn classify_text(s: &str) -> Option<&'static str> {
+    // Records first (multi-line, unambiguous).
+    if let Some(format) = RecordFormat::detect(s) {
+        return Some(match format {
+            RecordFormat::Fasta => "FastaRecord",
+            RecordFormat::Uniprot => "UniprotRecord",
+            RecordFormat::GenBank => "GenBankRecord",
+            RecordFormat::Embl => "EMBLRecord",
+            RecordFormat::Pdb => "PDBRecord",
+        });
+    }
+    if s.starts_with("SEQUENCE-RECORD") {
+        return Some("SequenceRecord");
+    }
+    if let Ok(entry) = EntryRecord::parse(s) {
+        return Some(match entry.kind.as_str() {
+            "Pathway" => "PathwayRecord",
+            "Enzyme" => "EnzymeRecord",
+            "Compound" => "CompoundRecord",
+            "Glycan" => "GlycanRecord",
+            "Ligand" => "LigandRecord",
+            "Gene" => "GeneRecord",
+            _ => "BiologicalRecord",
+        });
+    }
+    // Reports.
+    if let Some(report) = AlignmentReport::parse(s) {
+        return Some(match report.program.as_str() {
+            "blastp" | "blastn" | "tblastx" => "BlastReport",
+            "fasta" | "ssearch" => "FastaAlignmentReport",
+            _ => "AlignmentReport",
+        });
+    }
+    if IdentificationReport::parse(s).is_some() {
+        return Some("IdentificationReport");
+    }
+    if AnnotationReport::parse(s).is_some() {
+        return Some("AnnotationReport");
+    }
+    if s.starts_with("REPORT ") {
+        return Some("Report");
+    }
+    if (s.ends_with(';')) && s.len() > 1 && !s.contains(' ') {
+        return Some("PhylogeneticTree");
+    }
+    // Accessions (single token).
+    if !s.contains(char::is_whitespace) {
+        if let Some(kind) = AccessionKind::detect(s) {
+            return Some(match kind {
+                AccessionKind::Uniprot => "UniprotAccession",
+                AccessionKind::Pdb => "PDBAccession",
+                AccessionKind::Embl => "EMBLAccession",
+                AccessionKind::GenBank => "GenBankAccession",
+                AccessionKind::KeggGene => "KEGGGeneId",
+                AccessionKind::KeggPathway => "KEGGPathwayId",
+                AccessionKind::KeggCompound => "KEGGCompoundId",
+                AccessionKind::KeggEnzyme => "KEGGEnzymeId",
+                AccessionKind::Glycan => "GlycanAccession",
+                AccessionKind::Ligand => "LigandAccession",
+                AccessionKind::GoTerm => "GOTerm",
+                AccessionKind::EcNumber => "ECNumber",
+                AccessionKind::Entrez => "EntrezGeneId",
+                AccessionKind::Ensembl => "EnsemblGeneId",
+                AccessionKind::GeneSymbol => "GeneSymbol",
+            });
+        }
+        if s.starts_with("XDB:") {
+            return Some("DatabaseAccession");
+        }
+        if s.starts_with("TERM:") {
+            return Some("OntologyTerm");
+        }
+        if s.starts_with("gene-") {
+            return Some("GeneIdentifier");
+        }
+        if s.starts_with("id-") {
+            return Some("Identifier");
+        }
+        if s.starts_with("keywords:") {
+            return Some("KeywordSet");
+        }
+        if s.starts_with("xrefs:") {
+            return Some("CrossReferenceSet");
+        }
+        if s.starts_with("annotation:") {
+            return Some("AnnotationData");
+        }
+        if s.starts_with("data-blob-") {
+            return Some("BioinformaticsData");
+        }
+        if document::PATHWAY_CONCEPTS.contains(&s) {
+            return Some("PathwayConcept");
+        }
+        if crate::synth::FUNCTIONAL_CATEGORIES.contains(&s) {
+            return Some("FunctionalCategory");
+        }
+        if crate::synth::ALGORITHM_NAMES.contains(&s) {
+            return Some("AlgorithmName");
+        }
+        if crate::synth::DATABASE_NAMES.contains(&s) {
+            return Some("DatabaseName");
+        }
+        // Bare sequences.
+        if let Some(kind) = classify_seq(s) {
+            return Some(match kind {
+                SequenceKind::Dna => "DNASequence",
+                SequenceKind::Rna => "RNASequence",
+                SequenceKind::Protein => "ProteinSequence",
+                SequenceKind::Generic => "BiologicalSequence",
+            });
+        }
+    }
+    // Documents last: anything sentence-like.
+    if s.contains(' ') {
+        if s.contains("INTRODUCTION") {
+            return Some("FullTextArticle");
+        }
+        if !document::extract_concepts(s).is_empty() || s.contains("study") || s.contains("notes")
+        {
+            return Some("LiteratureAbstract");
+        }
+        return Some("Document");
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::synthesize;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Concepts whose synthesized values must classify back to themselves.
+    const EXACT: &[&str] = &[
+        "DNASequence",
+        "RNASequence",
+        "ProteinSequence",
+        "BiologicalSequence",
+        "UniprotAccession",
+        "PDBAccession",
+        "EMBLAccession",
+        "KEGGGeneId",
+        "KEGGPathwayId",
+        "KEGGCompoundId",
+        "KEGGEnzymeId",
+        "GlycanAccession",
+        "LigandAccession",
+        "GOTerm",
+        "EnsemblGeneId",
+        "UniprotRecord",
+        "FastaRecord",
+        "GenBankRecord",
+        "EMBLRecord",
+        "PDBRecord",
+        "SequenceRecord",
+        "PathwayRecord",
+        "EnzymeRecord",
+        "CompoundRecord",
+        "GlycanRecord",
+        "LigandRecord",
+        "GeneRecord",
+        "BlastReport",
+        "FastaAlignmentReport",
+        "IdentificationReport",
+        "AnnotationReport",
+        "Report",
+        "PhylogeneticTree",
+        "DatabaseAccession",
+        "OntologyTerm",
+        "GeneIdentifier",
+        "Identifier",
+        "AnnotationData",
+        "BioinformaticsData",
+        "PathwayConcept",
+        "FunctionalCategory",
+        "KeywordSet",
+        "CrossReferenceSet",
+        "AlgorithmName",
+        "PeptideMassList",
+    ];
+
+    #[test]
+    fn synthesized_values_classify_back() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for &concept in EXACT {
+            for _ in 0..20 {
+                let v = synthesize(concept, &mut rng).unwrap();
+                assert_eq!(
+                    classify_concept(&v),
+                    Some(concept),
+                    "value for {concept}: {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unrecognizable_values_return_none() {
+        assert_eq!(classify_concept(&Value::Null), None);
+        assert_eq!(classify_concept(&Value::Boolean(true)), None);
+        assert_eq!(classify_concept(&Value::List(vec![Value::Null])), None);
+    }
+
+    #[test]
+    fn floats_are_measurements() {
+        assert_eq!(classify_concept(&Value::Float(1.5)), Some("MeasurementData"));
+    }
+
+    #[test]
+    fn newick_is_a_tree() {
+        assert_eq!(
+            classify_concept(&Value::text("((P12345,P54321),O11111);")),
+            Some("PhylogeneticTree")
+        );
+    }
+}

@@ -1,0 +1,338 @@
+//! Accession (identifier) formats of the simulated databases.
+//!
+//! Each accession kind has a recognizable syntax, a deterministic generator,
+//! and a validator. Mapping modules translate between kinds; retrieval
+//! modules resolve an accession to a record in a simulated database; the
+//! matcher relies on accessions comparing exactly.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The identifier syntaxes used across the synthetic universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessionKind {
+    /// Uniprot protein accession: `[OPQ][0-9][A-Z0-9]{3}[0-9]`, e.g. `P12345`.
+    Uniprot,
+    /// PDB structure id: digit + three alphanumerics, e.g. `1ABC`.
+    Pdb,
+    /// EMBL nucleotide accession: two letters + six digits, e.g. `AB123456`.
+    Embl,
+    /// GenBank accession: one letter + five digits, e.g. `U12345`.
+    GenBank,
+    /// KEGG gene id: `hsa:` + digits, e.g. `hsa:10458`.
+    KeggGene,
+    /// KEGG pathway id: `path:map` + five digits, e.g. `path:map00010`.
+    KeggPathway,
+    /// KEGG compound id: `cpd:C` + five digits, e.g. `cpd:C00022`.
+    KeggCompound,
+    /// KEGG enzyme id (EC-number based): `ec:` + four dotted fields.
+    KeggEnzyme,
+    /// KEGG glycan accession: `gl:G` + five digits, e.g. `gl:G00001`.
+    Glycan,
+    /// Ligand database accession: `L` + six digits, e.g. `L000123`.
+    Ligand,
+    /// Gene Ontology term: `GO:` + seven digits, e.g. `GO:0008150`.
+    GoTerm,
+    /// Enzyme commission number: four dotted integers, e.g. `1.1.1.1`.
+    EcNumber,
+    /// NCBI Entrez gene id: plain digits.
+    Entrez,
+    /// Ensembl gene id: `ENSG` + eleven digits.
+    Ensembl,
+    /// HGNC-style gene symbol: 2–4 upper-case letters followed by 1–2
+    /// digits (like `BRCA2`, `TP53`) — the digits keep symbols syntactically
+    /// distinct from short residue sequences.
+    GeneSymbol,
+}
+
+impl AccessionKind {
+    /// All kinds, in a stable order.
+    pub const ALL: [AccessionKind; 15] = [
+        AccessionKind::Uniprot,
+        AccessionKind::Pdb,
+        AccessionKind::Embl,
+        AccessionKind::GenBank,
+        AccessionKind::KeggGene,
+        AccessionKind::KeggPathway,
+        AccessionKind::KeggCompound,
+        AccessionKind::KeggEnzyme,
+        AccessionKind::Glycan,
+        AccessionKind::Ligand,
+        AccessionKind::GoTerm,
+        AccessionKind::EcNumber,
+        AccessionKind::Entrez,
+        AccessionKind::Ensembl,
+        AccessionKind::GeneSymbol,
+    ];
+
+    /// Generates a syntactically valid accession of this kind.
+    pub fn generate<R: Rng + ?Sized>(self, rng: &mut R) -> String {
+        match self {
+            AccessionKind::Uniprot => {
+                let lead = *pick(rng, b"OPQ") as char;
+                let mut s = String::new();
+                s.push(lead);
+                s.push(digit(rng));
+                for _ in 0..3 {
+                    s.push(*pick(rng, b"ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789") as char);
+                }
+                s.push(digit(rng));
+                s
+            }
+            AccessionKind::Pdb => {
+                let mut s = String::new();
+                s.push(char::from(b'1' + rng.gen_range(0..9u8)));
+                for _ in 0..3 {
+                    s.push(*pick(rng, b"ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789") as char);
+                }
+                s
+            }
+            AccessionKind::Embl => format!(
+                "{}{}{:06}",
+                upper(rng),
+                upper(rng),
+                rng.gen_range(0..1_000_000u32)
+            ),
+            AccessionKind::GenBank => format!("{}{:05}", upper(rng), rng.gen_range(0..100_000u32)),
+            AccessionKind::KeggGene => format!("hsa:{}", rng.gen_range(100..99_999u32)),
+            AccessionKind::KeggPathway => format!("path:map{:05}", rng.gen_range(10..1_200u32) * 10),
+            AccessionKind::KeggCompound => format!("cpd:C{:05}", rng.gen_range(1..99_999u32)),
+            AccessionKind::KeggEnzyme => format!(
+                "ec:{}.{}.{}.{}",
+                rng.gen_range(1..7u8),
+                rng.gen_range(1..20u8),
+                rng.gen_range(1..20u8),
+                rng.gen_range(1..200u8)
+            ),
+            AccessionKind::Glycan => format!("gl:G{:05}", rng.gen_range(1..99_999u32)),
+            AccessionKind::Ligand => format!("L{:06}", rng.gen_range(1..999_999u32)),
+            AccessionKind::GoTerm => format!("GO:{:07}", rng.gen_range(1..9_999_999u32)),
+            AccessionKind::EcNumber => format!(
+                "{}.{}.{}.{}",
+                rng.gen_range(1..7u8),
+                rng.gen_range(1..20u8),
+                rng.gen_range(1..20u8),
+                rng.gen_range(1..200u8)
+            ),
+            AccessionKind::Entrez => format!("{}", rng.gen_range(1_000..999_999u32)),
+            AccessionKind::Ensembl => format!("ENSG{:011}", rng.gen_range(1..99_999_999u64)),
+            AccessionKind::GeneSymbol => {
+                let letters = rng.gen_range(2..=4usize);
+                let mut s: String = (0..letters).map(|_| upper(rng)).collect();
+                let digits = rng.gen_range(1..=2usize);
+                for _ in 0..digits {
+                    s.push(digit(rng));
+                }
+                s
+            }
+        }
+    }
+
+    /// Whether `s` is a syntactically valid accession of this kind.
+    pub fn is_valid(self, s: &str) -> bool {
+        match self {
+            AccessionKind::Uniprot => {
+                let b = s.as_bytes();
+                b.len() == 6
+                    && matches!(b[0], b'O' | b'P' | b'Q')
+                    && b[1].is_ascii_digit()
+                    && b[2..5]
+                        .iter()
+                        .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit())
+                    && b[5].is_ascii_digit()
+            }
+            AccessionKind::Pdb => {
+                let b = s.as_bytes();
+                b.len() == 4
+                    && (b'1'..=b'9').contains(&b[0])
+                    && b[1..]
+                        .iter()
+                        .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit())
+            }
+            AccessionKind::Embl => {
+                let b = s.as_bytes();
+                b.len() == 8
+                    && b[..2].iter().all(u8::is_ascii_uppercase)
+                    && b[2..].iter().all(u8::is_ascii_digit)
+            }
+            AccessionKind::GenBank => {
+                let b = s.as_bytes();
+                b.len() == 6 && b[0].is_ascii_uppercase() && b[1..].iter().all(u8::is_ascii_digit)
+            }
+            AccessionKind::KeggGene => prefixed_digits(s, "hsa:"),
+            AccessionKind::KeggPathway => prefixed_digits(s, "path:map"),
+            AccessionKind::KeggCompound => prefixed_digits(s, "cpd:C"),
+            AccessionKind::KeggEnzyme => s
+                .strip_prefix("ec:")
+                .is_some_and(|rest| AccessionKind::EcNumber.is_valid(rest)),
+            AccessionKind::Glycan => prefixed_digits(s, "gl:G") && s.len() == 9,
+            AccessionKind::Ligand => prefixed_digits(s, "L") && s.len() == 7,
+            AccessionKind::GoTerm => prefixed_digits(s, "GO:") && s.len() == 10,
+            AccessionKind::EcNumber => {
+                let parts: Vec<&str> = s.split('.').collect();
+                parts.len() == 4
+                    && parts
+                        .iter()
+                        .all(|p| !p.is_empty() && p.bytes().all(|c| c.is_ascii_digit()))
+            }
+            AccessionKind::Entrez => {
+                !s.is_empty() && s.len() <= 9 && s.bytes().all(|c| c.is_ascii_digit())
+            }
+            AccessionKind::Ensembl => {
+                s.len() == 15
+                    && s.starts_with("ENSG")
+                    && s[4..].bytes().all(|c| c.is_ascii_digit())
+            }
+            AccessionKind::GeneSymbol => {
+                let b = s.as_bytes();
+                let letters = b.iter().take_while(|c| c.is_ascii_uppercase()).count();
+                let digits = b.len() - letters;
+                (2..=4).contains(&letters)
+                    && (1..=2).contains(&digits)
+                    && b[letters..].iter().all(u8::is_ascii_digit)
+                    // Disambiguate from kinds that are also upper + digits.
+                    && !AccessionKind::Uniprot.is_valid(s)
+                    && !AccessionKind::GenBank.is_valid(s)
+            }
+        }
+    }
+
+    /// Detects the kind of an accession string, trying kinds in a fixed
+    /// priority order (more specific syntaxes first).
+    pub fn detect(s: &str) -> Option<AccessionKind> {
+        AccessionKind::ALL
+            .into_iter()
+            .find(|kind| kind.is_valid(s))
+    }
+}
+
+impl fmt::Display for AccessionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AccessionKind::Uniprot => "uniprot",
+            AccessionKind::Pdb => "pdb",
+            AccessionKind::Embl => "embl",
+            AccessionKind::GenBank => "genbank",
+            AccessionKind::KeggGene => "kegg-gene",
+            AccessionKind::KeggPathway => "kegg-pathway",
+            AccessionKind::KeggCompound => "kegg-compound",
+            AccessionKind::KeggEnzyme => "kegg-enzyme",
+            AccessionKind::Glycan => "glycan",
+            AccessionKind::Ligand => "ligand",
+            AccessionKind::GoTerm => "go-term",
+            AccessionKind::EcNumber => "ec-number",
+            AccessionKind::Entrez => "entrez",
+            AccessionKind::Ensembl => "ensembl",
+            AccessionKind::GeneSymbol => "gene-symbol",
+        };
+        f.write_str(name)
+    }
+}
+
+fn pick<'a, R: Rng + ?Sized>(rng: &mut R, set: &'a [u8]) -> &'a u8 {
+    &set[rng.gen_range(0..set.len())]
+}
+
+fn digit<R: Rng + ?Sized>(rng: &mut R) -> char {
+    char::from(b'0' + rng.gen_range(0..10u8))
+}
+
+fn upper<R: Rng + ?Sized>(rng: &mut R) -> char {
+    char::from(b'A' + rng.gen_range(0..26u8))
+}
+
+fn prefixed_digits(s: &str, prefix: &str) -> bool {
+    s.strip_prefix(prefix)
+        .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|c| c.is_ascii_digit()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_accessions_validate() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for kind in AccessionKind::ALL {
+            for _ in 0..200 {
+                let acc = kind.generate(&mut rng);
+                assert!(kind.is_valid(&acc), "{kind} rejected its own {acc}");
+            }
+        }
+    }
+
+    #[test]
+    fn known_examples_validate() {
+        assert!(AccessionKind::Uniprot.is_valid("P12345"));
+        assert!(AccessionKind::Pdb.is_valid("1ABC"));
+        assert!(AccessionKind::GoTerm.is_valid("GO:0008150"));
+        assert!(AccessionKind::EcNumber.is_valid("1.1.1.1"));
+        assert!(AccessionKind::KeggGene.is_valid("hsa:10458"));
+        assert!(AccessionKind::KeggPathway.is_valid("path:map00010"));
+        assert!(AccessionKind::Ensembl.is_valid("ENSG00000139618"));
+    }
+
+    #[test]
+    fn invalid_examples_rejected() {
+        assert!(!AccessionKind::Uniprot.is_valid("X12345"));
+        assert!(!AccessionKind::Uniprot.is_valid("P1234"));
+        assert!(!AccessionKind::GoTerm.is_valid("GO:123"));
+        assert!(!AccessionKind::EcNumber.is_valid("1.1.1"));
+        assert!(!AccessionKind::EcNumber.is_valid("1.1.1.x"));
+        assert!(!AccessionKind::Entrez.is_valid(""));
+        assert!(!AccessionKind::KeggGene.is_valid("hsa:"));
+    }
+
+    #[test]
+    fn detect_finds_generated_kind_or_compatible_one() {
+        // Some syntaxes overlap (e.g. a GenBank id is upper+digits like a
+        // symbol); detection must at least return a kind that validates.
+        let mut rng = StdRng::seed_from_u64(11);
+        for kind in AccessionKind::ALL {
+            for _ in 0..50 {
+                let acc = kind.generate(&mut rng);
+                let detected = AccessionKind::detect(&acc)
+                    .unwrap_or_else(|| panic!("no kind detected for {acc}"));
+                assert!(detected.is_valid(&acc));
+            }
+        }
+    }
+
+    #[test]
+    fn uniprot_detection_is_exact() {
+        assert_eq!(AccessionKind::detect("P12345"), Some(AccessionKind::Uniprot));
+        assert_eq!(
+            AccessionKind::detect("GO:0008150"),
+            Some(AccessionKind::GoTerm)
+        );
+    }
+
+    #[test]
+    fn gene_symbol_excludes_other_syntaxes() {
+        assert!(!AccessionKind::GeneSymbol.is_valid("1ABC")); // PDB-shaped
+        assert!(AccessionKind::GeneSymbol.is_valid("BRCA2"));
+        assert!(AccessionKind::GeneSymbol.is_valid("TP53"));
+        assert!(!AccessionKind::GeneSymbol.is_valid("ACGT")); // bare letters
+        assert!(!AccessionKind::GeneSymbol.is_valid("U12345")); // GenBank
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..10)
+                .map(|_| AccessionKind::Uniprot.generate(&mut rng))
+                .collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..10)
+                .map(|_| AccessionKind::Uniprot.generate(&mut rng))
+                .collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,135 @@
+//! Synthetic natural-language documents (abstracts, articles).
+//!
+//! Text-mining modules (`GetConcept` in the paper) extract pathway concepts
+//! from documents, so generated documents embed recognizable concept
+//! mentions (`the <X> pathway`) inside filler prose.
+
+use rand::Rng;
+
+/// Vocabulary of pathway concepts that can be mentioned in documents.
+pub const PATHWAY_CONCEPTS: &[&str] = &[
+    "glycolysis",
+    "apoptosis",
+    "citrate-cycle",
+    "mapk-signaling",
+    "wnt-signaling",
+    "dna-replication",
+    "oxidative-phosphorylation",
+    "purine-metabolism",
+    "cell-cycle",
+    "p53-signaling",
+];
+
+const FILLER: &[&str] = &[
+    "we report a systematic analysis of",
+    "recent evidence implicates",
+    "the role of",
+    "expression profiling revealed",
+    "our findings suggest that",
+    "mutations were observed in genes related to",
+    "a comparative study of",
+    "quantitative measurements demonstrate",
+];
+
+/// Generates an abstract-length document mentioning the given concepts.
+///
+/// Each concept appears exactly once as `the <concept> pathway`, in order,
+/// so extraction is well-defined and deterministic.
+pub fn generate_abstract<R: Rng + ?Sized>(rng: &mut R, concepts: &[&str]) -> String {
+    let mut out = String::new();
+    for (i, concept) in concepts.iter().enumerate() {
+        let filler = FILLER[rng.gen_range(0..FILLER.len())];
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&format!(
+            "{} the {} pathway in human tissue samples.",
+            capitalize(filler),
+            concept
+        ));
+    }
+    if concepts.is_empty() {
+        out.push_str("No pathway-related findings were reported in this study.");
+    }
+    out
+}
+
+/// Generates a longer full-text-like document (several abstract-sized
+/// sections) mentioning the given concepts once each.
+pub fn generate_article<R: Rng + ?Sized>(rng: &mut R, concepts: &[&str]) -> String {
+    let mut out = String::from("INTRODUCTION. ");
+    out.push_str(&generate_abstract(rng, concepts));
+    out.push_str(" METHODS. Samples were processed with standard protocols. ");
+    out.push_str("RESULTS. ");
+    let filler = FILLER[rng.gen_range(0..FILLER.len())];
+    out.push_str(&capitalize(filler));
+    out.push_str(" the measured effects. DISCUSSION. Further work is needed.");
+    out
+}
+
+/// Extracts the pathway concepts mentioned in a document, in order of first
+/// mention, without duplicates.
+pub fn extract_concepts(document: &str) -> Vec<String> {
+    let lower = document.to_lowercase();
+    let mut found: Vec<(usize, String)> = Vec::new();
+    for concept in PATHWAY_CONCEPTS {
+        let needle = format!("the {concept} pathway");
+        if let Some(pos) = lower.find(&needle) {
+            found.push((pos, (*concept).to_string()));
+        }
+    }
+    found.sort();
+    found.into_iter().map(|(_, c)| c).collect()
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn extraction_recovers_embedded_concepts() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let concepts = ["apoptosis", "glycolysis"];
+        let doc = generate_abstract(&mut rng, &concepts);
+        assert_eq!(extract_concepts(&doc), vec!["apoptosis", "glycolysis"]);
+    }
+
+    #[test]
+    fn empty_concepts_yield_extractable_nothing() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let doc = generate_abstract(&mut rng, &[]);
+        assert!(extract_concepts(&doc).is_empty());
+        assert!(!doc.is_empty());
+    }
+
+    #[test]
+    fn article_contains_sections_and_concepts() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let doc = generate_article(&mut rng, &["cell-cycle"]);
+        assert!(doc.contains("INTRODUCTION"));
+        assert!(doc.contains("DISCUSSION"));
+        assert_eq!(extract_concepts(&doc), vec!["cell-cycle"]);
+    }
+
+    #[test]
+    fn extraction_is_case_insensitive_and_ordered() {
+        let doc = "THE P53-SIGNALING PATHWAY precedes the apoptosis pathway.";
+        assert_eq!(extract_concepts(doc), vec!["p53-signaling", "apoptosis"]);
+    }
+
+    #[test]
+    fn extraction_deduplicates() {
+        let doc = "the apoptosis pathway and again the apoptosis pathway";
+        assert_eq!(extract_concepts(doc), vec!["apoptosis"]);
+    }
+}

@@ -1,0 +1,12 @@
+//! Textual life-science formats exchanged by the simulated modules.
+//!
+//! Everything here grounds to [`StructuralType::Text`](crate::StructuralType):
+//! the 2014-era services the paper evaluates exchange flat files and
+//! identifier strings, and the "shim" modules that dominate its corpus (§5,
+//! Table 3) exist precisely to translate between such formats.
+
+pub mod accession;
+pub mod document;
+pub mod records;
+pub mod reports;
+pub mod sequence;

@@ -1,0 +1,511 @@
+//! Flat-file record formats of the simulated databases.
+//!
+//! All sequence databases share a logical entry ([`SeqEntry`]); each
+//! [`RecordFormat`] is a concrete textual rendering with a parser. Format
+//! transformation modules — the paper's largest shim category — are
+//! `parse(from) → render(to)` pipelines over these.
+//!
+//! KEGG-style databases (pathway, enzyme, compound, glycan, ligand, gene)
+//! share [`EntryRecord`] with a single `ENTRY/NAME/DEFINITION` rendering.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Logical content of a sequence-database entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SeqEntry {
+    /// Primary accession (syntax depends on the owning database).
+    pub accession: String,
+    /// One-line description.
+    pub description: String,
+    /// Source organism.
+    pub organism: String,
+    /// Residues, upper-case, unwrapped.
+    pub sequence: String,
+}
+
+/// Errors from record parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// The text does not look like this format at all.
+    WrongFormat { expected: &'static str },
+    /// A mandatory field is missing.
+    MissingField { field: &'static str },
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::WrongFormat { expected } => {
+                write!(f, "text is not a {expected} record")
+            }
+            RecordError::MissingField { field } => {
+                write!(f, "record is missing mandatory field {field}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// The concrete sequence-record formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecordFormat {
+    Fasta,
+    Uniprot,
+    GenBank,
+    Embl,
+    Pdb,
+}
+
+impl RecordFormat {
+    /// All formats, stable order.
+    pub const ALL: [RecordFormat; 5] = [
+        RecordFormat::Fasta,
+        RecordFormat::Uniprot,
+        RecordFormat::GenBank,
+        RecordFormat::Embl,
+        RecordFormat::Pdb,
+    ];
+
+    /// Human name used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecordFormat::Fasta => "FASTA",
+            RecordFormat::Uniprot => "Uniprot",
+            RecordFormat::GenBank => "GenBank",
+            RecordFormat::Embl => "EMBL",
+            RecordFormat::Pdb => "PDB",
+        }
+    }
+
+    /// Renders an entry in this format. `parse` round-trips the result.
+    pub fn render(self, e: &SeqEntry) -> String {
+        match self {
+            RecordFormat::Fasta => {
+                format!(
+                    ">{} {}\n{}\n",
+                    e.accession,
+                    e.description,
+                    wrap(&e.sequence, 60)
+                )
+            }
+            RecordFormat::Uniprot => format!(
+                "ID   {}_ENTRY   Reviewed;   {} AA.\nAC   {};\nDE   {}\nOS   {}.\nSQ   SEQUENCE   {} AA;\n{}\n//\n",
+                e.accession,
+                e.sequence.len(),
+                e.accession,
+                e.description,
+                e.organism,
+                e.sequence.len(),
+                indent(&wrap(&e.sequence, 60), "     ")
+            ),
+            RecordFormat::GenBank => format!(
+                "LOCUS       {}   {} bp\nDEFINITION  {}\nACCESSION   {}\nSOURCE      {}\nORIGIN\n{}\n//\n",
+                e.accession,
+                e.sequence.len(),
+                e.description,
+                e.accession,
+                e.organism,
+                indent(&wrap(&e.sequence.to_lowercase(), 60), "        ")
+            ),
+            RecordFormat::Embl => format!(
+                "ID   {}; SV 1; linear; {} BP.\nAC   {};\nDE   {}\nOS   {}\nSQ   Sequence {} BP;\n{}\n//\n",
+                e.accession,
+                e.sequence.len(),
+                e.accession,
+                e.description,
+                e.organism,
+                e.sequence.len(),
+                indent(&wrap(&e.sequence.to_lowercase(), 60), "     ")
+            ),
+            RecordFormat::Pdb => format!(
+                "HEADER    MOLECULE                                {}\nTITLE     {}\nSOURCE    {}\nSEQRES    {}\nEND\n",
+                e.accession, e.description, e.organism, e.sequence
+            ),
+        }
+    }
+
+    /// Parses a record of this format back into a [`SeqEntry`].
+    pub fn parse(self, text: &str) -> Result<SeqEntry, RecordError> {
+        match self {
+            RecordFormat::Fasta => parse_fasta(text),
+            RecordFormat::Uniprot => parse_tagged(
+                text,
+                "Uniprot",
+                "AC   ",
+                "DE   ",
+                "OS   ",
+                "SQ   ",
+                |line| line.starts_with("ID   "),
+                true,
+            ),
+            RecordFormat::GenBank => parse_genbank(text),
+            RecordFormat::Embl => parse_tagged(
+                text,
+                "EMBL",
+                "AC   ",
+                "DE   ",
+                "OS   ",
+                "SQ   ",
+                |line| line.starts_with("ID   ") && line.contains("SV "),
+                true,
+            ),
+            RecordFormat::Pdb => parse_pdb(text),
+        }
+    }
+
+    /// Detects the format of a record, or `None` if it parses as none.
+    pub fn detect(text: &str) -> Option<RecordFormat> {
+        // Uniprot and EMBL both use ID/AC tags; try EMBL first since its ID
+        // line is more specific ("SV").
+        [
+            RecordFormat::Fasta,
+            RecordFormat::Embl,
+            RecordFormat::Uniprot,
+            RecordFormat::GenBank,
+            RecordFormat::Pdb,
+        ].into_iter().find(|&format| format.parse(text).is_ok())
+    }
+}
+
+fn parse_fasta(text: &str) -> Result<SeqEntry, RecordError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(RecordError::WrongFormat { expected: "FASTA" })?;
+    let header = header
+        .strip_prefix('>')
+        .ok_or(RecordError::WrongFormat { expected: "FASTA" })?;
+    let (accession, description) = match header.split_once(' ') {
+        Some((a, d)) => (a.to_string(), d.trim().to_string()),
+        None => (header.to_string(), String::new()),
+    };
+    if accession.is_empty() {
+        return Err(RecordError::MissingField { field: "accession" });
+    }
+    let sequence: String = lines.flat_map(|l| l.trim().chars()).collect();
+    if sequence.is_empty() {
+        return Err(RecordError::MissingField { field: "sequence" });
+    }
+    Ok(SeqEntry {
+        accession,
+        description,
+        organism: String::new(),
+        sequence,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn parse_tagged(
+    text: &str,
+    expected: &'static str,
+    ac: &str,
+    de: &str,
+    os: &str,
+    sq: &str,
+    id_line: impl Fn(&str) -> bool,
+    uppercase_seq: bool,
+) -> Result<SeqEntry, RecordError> {
+    let first = text.lines().next().unwrap_or("");
+    if !id_line(first) {
+        return Err(RecordError::WrongFormat { expected });
+    }
+    let mut accession = None;
+    let mut description = None;
+    let mut organism = None;
+    let mut sequence = String::new();
+    let mut in_seq = false;
+    for line in text.lines() {
+        if line.starts_with("//") {
+            break;
+        }
+        if in_seq {
+            sequence.extend(line.chars().filter(|c| c.is_ascii_alphabetic()));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(ac) {
+            accession = Some(rest.trim_end_matches(';').trim().to_string());
+        } else if let Some(rest) = line.strip_prefix(de) {
+            description = Some(rest.trim().to_string());
+        } else if let Some(rest) = line.strip_prefix(os) {
+            organism = Some(rest.trim_end_matches('.').trim().to_string());
+        } else if line.starts_with(sq) {
+            in_seq = true;
+        }
+    }
+    let sequence = if uppercase_seq {
+        sequence.to_uppercase()
+    } else {
+        sequence
+    };
+    Ok(SeqEntry {
+        accession: accession.ok_or(RecordError::MissingField { field: "AC" })?,
+        description: description.ok_or(RecordError::MissingField { field: "DE" })?,
+        organism: organism.ok_or(RecordError::MissingField { field: "OS" })?,
+        sequence: if sequence.is_empty() {
+            return Err(RecordError::MissingField { field: "SQ" });
+        } else {
+            sequence
+        },
+    })
+}
+
+fn parse_genbank(text: &str) -> Result<SeqEntry, RecordError> {
+    if !text.starts_with("LOCUS") {
+        return Err(RecordError::WrongFormat { expected: "GenBank" });
+    }
+    let mut accession = None;
+    let mut description = None;
+    let mut organism = None;
+    let mut sequence = String::new();
+    let mut in_seq = false;
+    for line in text.lines() {
+        if line.starts_with("//") {
+            break;
+        }
+        if in_seq {
+            sequence.extend(line.chars().filter(|c| c.is_ascii_alphabetic()));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("ACCESSION   ") {
+            accession = Some(rest.trim().to_string());
+        } else if let Some(rest) = line.strip_prefix("DEFINITION  ") {
+            description = Some(rest.trim().to_string());
+        } else if let Some(rest) = line.strip_prefix("SOURCE      ") {
+            organism = Some(rest.trim().to_string());
+        } else if line.starts_with("ORIGIN") {
+            in_seq = true;
+        }
+    }
+    Ok(SeqEntry {
+        accession: accession.ok_or(RecordError::MissingField { field: "ACCESSION" })?,
+        description: description.ok_or(RecordError::MissingField { field: "DEFINITION" })?,
+        organism: organism.ok_or(RecordError::MissingField { field: "SOURCE" })?,
+        sequence: if sequence.is_empty() {
+            return Err(RecordError::MissingField { field: "ORIGIN" });
+        } else {
+            sequence.to_uppercase()
+        },
+    })
+}
+
+fn parse_pdb(text: &str) -> Result<SeqEntry, RecordError> {
+    if !text.starts_with("HEADER") {
+        return Err(RecordError::WrongFormat { expected: "PDB" });
+    }
+    let mut accession = None;
+    let mut description = None;
+    let mut organism = None;
+    let mut sequence = None;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("HEADER") {
+            accession = rest.split_whitespace().last().map(str::to_string);
+        } else if let Some(rest) = line.strip_prefix("TITLE     ") {
+            description = Some(rest.trim().to_string());
+        } else if let Some(rest) = line.strip_prefix("SOURCE    ") {
+            organism = Some(rest.trim().to_string());
+        } else if let Some(rest) = line.strip_prefix("SEQRES    ") {
+            sequence = Some(rest.trim().to_string());
+        }
+    }
+    Ok(SeqEntry {
+        accession: accession
+            .filter(|a| !a.is_empty())
+            .ok_or(RecordError::MissingField { field: "HEADER" })?,
+        description: description.ok_or(RecordError::MissingField { field: "TITLE" })?,
+        organism: organism.ok_or(RecordError::MissingField { field: "SOURCE" })?,
+        sequence: sequence.ok_or(RecordError::MissingField { field: "SEQRES" })?,
+    })
+}
+
+/// Logical content of a KEGG-style (non-sequence) database entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EntryRecord {
+    /// Accession of this entry.
+    pub accession: String,
+    /// Entry kind label, e.g. `Pathway`, `Enzyme`, `Glycan`.
+    pub kind: String,
+    /// Short name.
+    pub name: String,
+    /// One-line definition.
+    pub definition: String,
+    /// Cross-references to other accessions.
+    pub links: Vec<String>,
+}
+
+impl EntryRecord {
+    /// Renders the KEGG-style flat text.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "ENTRY       {}            {}\nNAME        {}\nDEFINITION  {}\n",
+            self.accession, self.kind, self.name, self.definition
+        );
+        if !self.links.is_empty() {
+            out.push_str("DBLINKS     ");
+            out.push_str(&self.links.join(" "));
+            out.push('\n');
+        }
+        out.push_str("///\n");
+        out
+    }
+
+    /// Parses the KEGG-style flat text.
+    pub fn parse(text: &str) -> Result<EntryRecord, RecordError> {
+        if !text.starts_with("ENTRY") {
+            return Err(RecordError::WrongFormat { expected: "KEGG entry" });
+        }
+        let mut accession = None;
+        let mut kind = String::new();
+        let mut name = None;
+        let mut definition = None;
+        let mut links = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("ENTRY       ") {
+                let mut parts = rest.split_whitespace();
+                accession = parts.next().map(str::to_string);
+                kind = parts.collect::<Vec<_>>().join(" ");
+            } else if let Some(rest) = line.strip_prefix("NAME        ") {
+                name = Some(rest.trim().to_string());
+            } else if let Some(rest) = line.strip_prefix("DEFINITION  ") {
+                definition = Some(rest.trim().to_string());
+            } else if let Some(rest) = line.strip_prefix("DBLINKS     ") {
+                links = rest.split_whitespace().map(str::to_string).collect();
+            }
+        }
+        Ok(EntryRecord {
+            accession: accession.ok_or(RecordError::MissingField { field: "ENTRY" })?,
+            kind,
+            name: name.ok_or(RecordError::MissingField { field: "NAME" })?,
+            definition: definition.ok_or(RecordError::MissingField { field: "DEFINITION" })?,
+            links,
+        })
+    }
+}
+
+/// Wraps text at `width` characters per line (character-aware, so non-ASCII
+/// residues never split mid-character).
+pub fn wrap(s: &str, width: usize) -> String {
+    assert!(width > 0);
+    let chars: Vec<char> = s.chars().collect();
+    chars
+        .chunks(width)
+        .map(|chunk| chunk.iter().collect::<String>())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn indent(s: &str, prefix: &str) -> String {
+    s.lines()
+        .map(|l| format!("{prefix}{l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> SeqEntry {
+        SeqEntry {
+            accession: "P12345".into(),
+            description: "putative kinase".into(),
+            organism: "Homo sapiens".into(),
+            sequence: "MKVLATGCDEFHIKLMNPQRSTVWYACDEFGHIKLMNPQRSTVWYMKVLATGCDEFHIKLMNPQ".into(),
+        }
+    }
+
+    #[test]
+    fn every_format_round_trips_core_fields() {
+        let e = entry();
+        for format in RecordFormat::ALL {
+            let text = format.render(&e);
+            let back = format
+                .parse(&text)
+                .unwrap_or_else(|err| panic!("{}: {err}\n{text}", format.name()));
+            assert_eq!(back.accession, e.accession, "{}", format.name());
+            assert_eq!(back.sequence, e.sequence, "{}", format.name());
+            assert_eq!(back.description, e.description, "{}", format.name());
+            // FASTA has no organism field.
+            if format != RecordFormat::Fasta {
+                assert_eq!(back.organism, e.organism, "{}", format.name());
+            }
+        }
+    }
+
+    #[test]
+    fn detect_identifies_each_rendering() {
+        let e = entry();
+        for format in RecordFormat::ALL {
+            let text = format.render(&e);
+            assert_eq!(RecordFormat::detect(&text), Some(format), "\n{text}");
+        }
+        assert_eq!(RecordFormat::detect("not a record"), None);
+    }
+
+    #[test]
+    fn fasta_header_without_description() {
+        let parsed = RecordFormat::Fasta.parse(">P12345\nMKVLAT\n").unwrap();
+        assert_eq!(parsed.accession, "P12345");
+        assert_eq!(parsed.description, "");
+    }
+
+    #[test]
+    fn fasta_rejects_empty_sequence() {
+        assert_eq!(
+            RecordFormat::Fasta.parse(">P12345 desc\n"),
+            Err(RecordError::MissingField { field: "sequence" })
+        );
+    }
+
+    #[test]
+    fn uniprot_rejects_embl_and_vice_versa() {
+        let e = entry();
+        let uni = RecordFormat::Uniprot.render(&e);
+        let embl = RecordFormat::Embl.render(&e);
+        assert!(RecordFormat::Embl.parse(&uni).is_err());
+        // EMBL records carry an "SV" marker Uniprot's ID line lacks; Uniprot's
+        // parser is laxer, so only assert the strict direction.
+        assert!(RecordFormat::Embl.parse(&embl).is_ok());
+    }
+
+    #[test]
+    fn genbank_lowercases_then_restores_sequence() {
+        let e = entry();
+        let text = RecordFormat::GenBank.render(&e);
+        assert!(text.contains("mkvlat"), "sequence should be lowercased");
+        assert_eq!(RecordFormat::GenBank.parse(&text).unwrap().sequence, e.sequence);
+    }
+
+    #[test]
+    fn kegg_entry_round_trips() {
+        let rec = EntryRecord {
+            accession: "path:map00010".into(),
+            kind: "Pathway".into(),
+            name: "Glycolysis".into(),
+            definition: "Glycolysis / Gluconeogenesis".into(),
+            links: vec!["ec:1.1.1.1".into(), "cpd:C00022".into()],
+        };
+        let text = rec.render();
+        assert_eq!(EntryRecord::parse(&text).unwrap(), rec);
+    }
+
+    #[test]
+    fn kegg_entry_without_links_round_trips() {
+        let rec = EntryRecord {
+            accession: "G00001".into(),
+            kind: "Glycan".into(),
+            name: "N-glycan".into(),
+            definition: "a glycan".into(),
+            links: vec![],
+        };
+        assert_eq!(EntryRecord::parse(&rec.render()).unwrap(), rec);
+    }
+
+    #[test]
+    fn wrap_respects_width() {
+        let w = wrap(&"A".repeat(125), 60);
+        let lines: Vec<&str> = w.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.len() <= 60));
+        assert_eq!(lines[2].len(), 5);
+    }
+}

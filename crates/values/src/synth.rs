@@ -1,0 +1,488 @@
+//! Concept-keyed synthesis of realistic values.
+//!
+//! Maps each *realizable* concept of the myGrid-like ontology (by name, so
+//! this crate stays ontology-agnostic) to a deterministic, seeded generator
+//! of values that **realize** that concept: an instance of the concept that
+//! is an instance of none of its strict sub-concepts. Interior concepts get
+//! deliberately "generic" forms (e.g. a nucleotide sequence with IUPAC
+//! ambiguity codes realizes `BiologicalSequence` without being DNA, RNA or
+//! protein).
+//!
+//! Used to seed the simulated databases behind retrieval modules and to
+//! populate annotated instance pools.
+
+use crate::formats::accession::AccessionKind;
+use crate::formats::document;
+use crate::formats::records::{EntryRecord, RecordFormat, SeqEntry};
+use crate::formats::reports::{AlignmentHit, AlignmentReport};
+use crate::formats::sequence::SequenceKind;
+use crate::structural::StructuralType;
+use crate::value::Value;
+use rand::Rng;
+
+/// Algorithm names an `AlgorithmName` setting may take.
+pub const ALGORITHM_NAMES: &[&str] = &["blastp", "blastn", "fasta", "ssearch", "tblastx"];
+/// Database names a `DatabaseName` setting may take.
+pub const DATABASE_NAMES: &[&str] = &["uniprot", "pdb", "embl", "genbank", "kegg"];
+/// Functional categories for `FunctionalCategory` values.
+pub const FUNCTIONAL_CATEGORIES: &[&str] =
+    &["enzyme", "transporter", "receptor", "structural", "regulatory"];
+
+/// Synthesizes a value realizing `concept`, or `None` when the concept name
+/// is unknown or abstract (abstract concepts cannot be realized).
+pub fn synthesize<R: Rng + ?Sized>(concept: &str, rng: &mut R) -> Option<Value> {
+    let v = match concept {
+        // --- roots and generic interiors -------------------------------
+        "BioinformaticsData" => Value::text(format!("data-blob-{:08x}", rng.gen::<u32>())),
+        "BiologicalSequence" => {
+            let len = rng.gen_range(30..90);
+            Value::text(SequenceKind::Generic.generate(rng, len))
+        }
+        "DNASequence" => {
+            let len = rng.gen_range(30..120);
+            Value::text(SequenceKind::Dna.generate(rng, len))
+        }
+        "RNASequence" => {
+            let len = rng.gen_range(30..120);
+            Value::text(SequenceKind::Rna.generate(rng, len))
+        }
+        "ProteinSequence" => {
+            let len = rng.gen_range(30..120);
+            Value::text(SequenceKind::Protein.generate(rng, len))
+        }
+        "Identifier" => Value::text(format!("id-{:06}", rng.gen_range(0..1_000_000u32))),
+        "DatabaseAccession" => Value::text(format!("XDB:{:06}", rng.gen_range(0..1_000_000u32))),
+        "OntologyTerm" => Value::text(format!("TERM:{:05}", rng.gen_range(0..100_000u32))),
+        "GeneIdentifier" => Value::text(format!("gene-{:05}", rng.gen_range(0..100_000u32))),
+        // --- concrete accessions ---------------------------------------
+        "UniprotAccession" => Value::text(AccessionKind::Uniprot.generate(rng)),
+        "PDBAccession" => Value::text(AccessionKind::Pdb.generate(rng)),
+        "EMBLAccession" => Value::text(AccessionKind::Embl.generate(rng)),
+        "GenBankAccession" => Value::text(AccessionKind::GenBank.generate(rng)),
+        "KEGGGeneId" => Value::text(AccessionKind::KeggGene.generate(rng)),
+        "KEGGPathwayId" => Value::text(AccessionKind::KeggPathway.generate(rng)),
+        "KEGGCompoundId" => Value::text(AccessionKind::KeggCompound.generate(rng)),
+        "KEGGEnzymeId" => Value::text(AccessionKind::KeggEnzyme.generate(rng)),
+        "GlycanAccession" => Value::text(AccessionKind::Glycan.generate(rng)),
+        "LigandAccession" => Value::text(AccessionKind::Ligand.generate(rng)),
+        "GOTerm" => Value::text(AccessionKind::GoTerm.generate(rng)),
+        "ECNumber" => Value::text(AccessionKind::EcNumber.generate(rng)),
+        "EntrezGeneId" => Value::text(AccessionKind::Entrez.generate(rng)),
+        "EnsemblGeneId" => Value::text(AccessionKind::Ensembl.generate(rng)),
+        "GeneSymbol" => Value::text(AccessionKind::GeneSymbol.generate(rng)),
+        // --- sequence records -------------------------------------------
+        "SequenceRecord" => {
+            let entry = seq_entry(rng, AccessionKind::GenBank, SequenceKind::Generic);
+            Value::text(format!(
+                "SEQUENCE-RECORD {}\nDESC {}\nSEQ  {}\n",
+                entry.accession, entry.description, entry.sequence
+            ))
+        }
+        "UniprotRecord" => Value::text(
+            RecordFormat::Uniprot.render(&seq_entry(rng, AccessionKind::Uniprot, SequenceKind::Protein)),
+        ),
+        "FastaRecord" => Value::text(
+            RecordFormat::Fasta.render(&seq_entry(rng, AccessionKind::Uniprot, SequenceKind::Protein)),
+        ),
+        "GenBankRecord" => Value::text(
+            RecordFormat::GenBank.render(&seq_entry(rng, AccessionKind::GenBank, SequenceKind::Dna)),
+        ),
+        "EMBLRecord" => Value::text(
+            RecordFormat::Embl.render(&seq_entry(rng, AccessionKind::Embl, SequenceKind::Dna)),
+        ),
+        "PDBRecord" => Value::text(
+            RecordFormat::Pdb.render(&seq_entry(rng, AccessionKind::Pdb, SequenceKind::Protein)),
+        ),
+        // --- KEGG-style records ------------------------------------------
+        "PathwayRecord" => Value::text(entry_record(rng, AccessionKind::KeggPathway, "Pathway")),
+        "EnzymeRecord" => Value::text(entry_record(rng, AccessionKind::KeggEnzyme, "Enzyme")),
+        "CompoundRecord" => Value::text(entry_record(rng, AccessionKind::KeggCompound, "Compound")),
+        "GlycanRecord" => Value::text(entry_record(rng, AccessionKind::Glycan, "Glycan")),
+        "LigandRecord" => Value::text(entry_record(rng, AccessionKind::Ligand, "Ligand")),
+        "GeneRecord" => Value::text(entry_record(rng, AccessionKind::KeggGene, "Gene")),
+        // --- reports -----------------------------------------------------
+        "Report" => Value::text(format!(
+            "REPORT generic\nSTATUS ok\nPAYLOAD {:08x}\n",
+            rng.gen::<u32>()
+        )),
+        "AlignmentReport" => Value::text(alignment_report(rng, "generic-align")),
+        "BlastReport" => Value::text(alignment_report(rng, "blastp")),
+        "FastaAlignmentReport" => Value::text(alignment_report(rng, "fasta")),
+        "IdentificationReport" => Value::text(
+            crate::formats::reports::IdentificationReport {
+                accession: AccessionKind::Uniprot.generate(rng),
+                confidence: rng.gen_range(0.5..1.0),
+                matched_peptides: rng.gen_range(3..30),
+            }
+            .to_string(),
+        ),
+        "PhylogeneticTree" => {
+            let n = rng.gen_range(3..7usize);
+            let leaves: Vec<String> =
+                (0..n).map(|_| AccessionKind::Uniprot.generate(rng)).collect();
+            Value::text(crate::formats::reports::newick_ladder(&leaves))
+        }
+        "AnnotationReport" => {
+            let n = rng.gen_range(1..4usize);
+            let terms = (0..n)
+                .map(|_| (AccessionKind::GoTerm.generate(rng), rng.gen_range(0.0..1.0)))
+                .collect();
+            Value::text(
+                crate::formats::reports::AnnotationReport {
+                    accession: AccessionKind::Uniprot.generate(rng),
+                    terms,
+                }
+                .render(),
+            )
+        }
+        // --- documents ----------------------------------------------------
+        "Document" => Value::text(format!(
+            "Untyped document #{:04}: general laboratory notes without pathway mentions.",
+            rng.gen_range(0..10_000u32)
+        )),
+        "LiteratureAbstract" => {
+            let concepts = pick_concepts(rng);
+            let refs: Vec<&str> = concepts.iter().map(String::as_str).collect();
+            Value::text(document::generate_abstract(rng, &refs))
+        }
+        "FullTextArticle" => {
+            let concepts = pick_concepts(rng);
+            let refs: Vec<&str> = concepts.iter().map(String::as_str).collect();
+            Value::text(document::generate_article(rng, &refs))
+        }
+        // --- annotation data ----------------------------------------------
+        "AnnotationData" => Value::text(format!(
+            "annotation:{:04x}",
+            rng.gen_range(0..0xFFFFu32)
+        )),
+        "PathwayConcept" => Value::text(
+            document::PATHWAY_CONCEPTS[rng.gen_range(0..document::PATHWAY_CONCEPTS.len())],
+        ),
+        "FunctionalCategory" => Value::text(
+            FUNCTIONAL_CATEGORIES[rng.gen_range(0..FUNCTIONAL_CATEGORIES.len())],
+        ),
+        "KeywordSet" => {
+            let n = rng.gen_range(2..5usize);
+            let words: Vec<&str> = (0..n)
+                .map(|_| {
+                    FUNCTIONAL_CATEGORIES[rng.gen_range(0..FUNCTIONAL_CATEGORIES.len())]
+                })
+                .collect();
+            Value::text(format!("keywords:{}", words.join(",")))
+        }
+        "CrossReferenceSet" => {
+            let n = rng.gen_range(1..4usize);
+            let refs: Vec<String> = (0..n)
+                .map(|_| AccessionKind::Uniprot.generate(rng))
+                .collect();
+            Value::text(format!("xrefs:{}", refs.join("|")))
+        }
+        // --- settings ------------------------------------------------------
+        "ErrorTolerance" => Value::Float((rng.gen_range(1..=100u32) as f64) / 10.0),
+        "AlgorithmName" => {
+            Value::text(ALGORITHM_NAMES[rng.gen_range(0..ALGORITHM_NAMES.len())])
+        }
+        "DatabaseName" => Value::text(DATABASE_NAMES[rng.gen_range(0..DATABASE_NAMES.len())]),
+        "ScoreThreshold" => Value::Float(rng.gen_range(0..2000u32) as f64 / 2.0),
+        "EValueCutoff" => Value::Float(10f64.powi(-rng.gen_range(0..50i32))),
+        // --- measurements ---------------------------------------------------
+        "MeasurementData" => Value::Float(rng.gen_range(0.0..1e4)),
+        "PeptideMassList" => {
+            let n = rng.gen_range(5..20usize);
+            Value::List(
+                (0..n)
+                    .map(|_| Value::Float((rng.gen_range(4000..35_000u32) as f64) / 10.0))
+                    .collect(),
+            )
+        }
+        "MassSpectrum" => {
+            let n = rng.gen_range(20..60usize);
+            Value::List(
+                (0..n)
+                    .map(|_| Value::Float((rng.gen_range(500..30_000u32) as f64) / 10.0))
+                    .collect(),
+            )
+        }
+        "ExpressionProfile" => {
+            let n = rng.gen_range(60..100usize);
+            Value::List(
+                (0..n)
+                    .map(|_| Value::Float((rng.gen_range(-5000..5000i32) as f64) / 100.0))
+                    .collect(),
+            )
+        }
+        _ => return None,
+    };
+    Some(v)
+}
+
+/// The structural type of values synthesized for `concept`, or `None` when
+/// the concept is unknown or abstract.
+pub fn structural_type_of(concept: &str) -> Option<StructuralType> {
+    let t = match concept {
+        "ErrorTolerance" | "ScoreThreshold" | "EValueCutoff" | "MeasurementData" => {
+            StructuralType::Float
+        }
+        "PeptideMassList" | "MassSpectrum" | "ExpressionProfile" => {
+            StructuralType::list_of(StructuralType::Float)
+        }
+        // Abstract concepts have no realization and hence no grounding here.
+        "NucleotideSequence" | "KEGGAccession" | "BiologicalRecord" | "Setting" => return None,
+        // Everything else in the myGrid-like ontology grounds to text.
+        "BioinformaticsData" | "BiologicalSequence" | "DNASequence" | "RNASequence"
+        | "ProteinSequence" | "Identifier" | "DatabaseAccession" | "UniprotAccession"
+        | "PDBAccession" | "EMBLAccession" | "GenBankAccession" | "KEGGGeneId"
+        | "KEGGPathwayId" | "KEGGCompoundId" | "KEGGEnzymeId" | "GlycanAccession"
+        | "LigandAccession" | "OntologyTerm" | "GOTerm" | "ECNumber" | "GeneIdentifier"
+        | "EntrezGeneId" | "EnsemblGeneId" | "GeneSymbol" | "SequenceRecord"
+        | "UniprotRecord" | "FastaRecord" | "GenBankRecord" | "EMBLRecord" | "PDBRecord"
+        | "PathwayRecord" | "EnzymeRecord" | "CompoundRecord" | "GlycanRecord"
+        | "LigandRecord" | "GeneRecord" | "Report" | "AlignmentReport" | "BlastReport"
+        | "FastaAlignmentReport" | "IdentificationReport" | "PhylogeneticTree"
+        | "AnnotationReport" | "Document" | "LiteratureAbstract" | "FullTextArticle"
+        | "AnnotationData" | "PathwayConcept" | "FunctionalCategory" | "KeywordSet"
+        | "CrossReferenceSet" | "AlgorithmName"
+        | "DatabaseName" => StructuralType::Text,
+        _ => return None,
+    };
+    Some(t)
+}
+
+fn seq_entry<R: Rng + ?Sized>(
+    rng: &mut R,
+    acc: AccessionKind,
+    kind: SequenceKind,
+) -> SeqEntry {
+    const ADJ: &[&str] = &["putative", "conserved", "hypothetical", "characterized"];
+    const NOUN: &[&str] = &["kinase", "transporter", "polymerase", "receptor", "ligase"];
+    const ORG: &[&str] = &[
+        "Homo sapiens",
+        "Mus musculus",
+        "Escherichia coli",
+        "Saccharomyces cerevisiae",
+    ];
+    SeqEntry {
+        accession: acc.generate(rng),
+        description: format!(
+            "{} {}",
+            ADJ[rng.gen_range(0..ADJ.len())],
+            NOUN[rng.gen_range(0..NOUN.len())]
+        ),
+        organism: ORG[rng.gen_range(0..ORG.len())].to_string(),
+        sequence: {
+            let len = rng.gen_range(40..120);
+            kind.generate(rng, len)
+        },
+    }
+}
+
+fn entry_record<R: Rng + ?Sized>(rng: &mut R, acc: AccessionKind, kind: &str) -> String {
+    const NAMES: &[&str] = &["alpha", "beta", "gamma", "delta", "epsilon"];
+    let links = (0..rng.gen_range(0..3usize))
+        .map(|_| AccessionKind::KeggGene.generate(rng))
+        .collect();
+    EntryRecord {
+        accession: acc.generate(rng),
+        kind: kind.to_string(),
+        name: format!("{}-{}", kind.to_lowercase(), NAMES[rng.gen_range(0..NAMES.len())]),
+        definition: format!("simulated {kind} entry"),
+        links,
+    }
+    .render()
+}
+
+fn alignment_report<R: Rng + ?Sized>(rng: &mut R, program: &str) -> String {
+    let n = rng.gen_range(1..6usize);
+    let hits = (0..n)
+        .map(|i| AlignmentHit {
+            accession: AccessionKind::Uniprot.generate(rng),
+            score: rng.gen_range(50.0..900.0) - i as f64 * 10.0,
+            evalue: 10f64.powi(-(rng.gen_range(5..60i32))),
+        })
+        .collect();
+    AlignmentReport {
+        program: program.to_string(),
+        database: DATABASE_NAMES[rng.gen_range(0..DATABASE_NAMES.len())].to_string(),
+        query: AccessionKind::Uniprot.generate(rng),
+        hits,
+    }
+    .render()
+}
+
+fn pick_concepts<R: Rng + ?Sized>(rng: &mut R) -> Vec<String> {
+    let n = rng.gen_range(1..4usize);
+    let mut picked = Vec::with_capacity(n);
+    while picked.len() < n {
+        let c = document::PATHWAY_CONCEPTS[rng.gen_range(0..document::PATHWAY_CONCEPTS.len())];
+        if !picked.iter().any(|p: &String| p == c) {
+            picked.push(c.to_string());
+        }
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formats::sequence::{classify, SequenceKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// All concepts `synthesize` supports (mirrors the match arms).
+    pub const SUPPORTED: &[&str] = &[
+        "BioinformaticsData",
+        "BiologicalSequence",
+        "DNASequence",
+        "RNASequence",
+        "ProteinSequence",
+        "Identifier",
+        "DatabaseAccession",
+        "OntologyTerm",
+        "GeneIdentifier",
+        "UniprotAccession",
+        "PDBAccession",
+        "EMBLAccession",
+        "GenBankAccession",
+        "KEGGGeneId",
+        "KEGGPathwayId",
+        "KEGGCompoundId",
+        "KEGGEnzymeId",
+        "GlycanAccession",
+        "LigandAccession",
+        "GOTerm",
+        "ECNumber",
+        "EntrezGeneId",
+        "EnsemblGeneId",
+        "GeneSymbol",
+        "SequenceRecord",
+        "UniprotRecord",
+        "FastaRecord",
+        "GenBankRecord",
+        "EMBLRecord",
+        "PDBRecord",
+        "PathwayRecord",
+        "EnzymeRecord",
+        "CompoundRecord",
+        "GlycanRecord",
+        "LigandRecord",
+        "GeneRecord",
+        "Report",
+        "AlignmentReport",
+        "BlastReport",
+        "FastaAlignmentReport",
+        "IdentificationReport",
+        "PhylogeneticTree",
+        "AnnotationReport",
+        "Document",
+        "LiteratureAbstract",
+        "FullTextArticle",
+        "AnnotationData",
+        "PathwayConcept",
+        "FunctionalCategory",
+        "KeywordSet",
+        "CrossReferenceSet",
+        "ErrorTolerance",
+        "AlgorithmName",
+        "DatabaseName",
+        "ScoreThreshold",
+        "EValueCutoff",
+        "MeasurementData",
+        "PeptideMassList",
+        "MassSpectrum",
+        "ExpressionProfile",
+    ];
+
+    #[test]
+    fn every_supported_concept_synthesizes_and_types_agree() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for &concept in SUPPORTED {
+            let v = synthesize(concept, &mut rng)
+                .unwrap_or_else(|| panic!("no generator for {concept}"));
+            let declared = structural_type_of(concept)
+                .unwrap_or_else(|| panic!("no structural type for {concept}"));
+            assert!(
+                v.conforms_to(&declared),
+                "{concept}: value {v} does not conform to {declared}"
+            );
+        }
+    }
+
+    #[test]
+    fn abstract_and_unknown_concepts_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for c in ["NucleotideSequence", "KEGGAccession", "Setting", "Nope"] {
+            assert!(synthesize(c, &mut rng).is_none(), "{c}");
+            assert!(structural_type_of(c).is_none(), "{c}");
+        }
+    }
+
+    #[test]
+    fn generic_sequences_realize_biological_sequence_only() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let v = synthesize("BiologicalSequence", &mut rng).unwrap();
+            let kind = classify(v.as_text().unwrap()).unwrap();
+            assert_eq!(kind, SequenceKind::Generic, "{v}");
+        }
+    }
+
+    #[test]
+    fn dna_values_are_dna() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let v = synthesize("DNASequence", &mut rng).unwrap();
+            assert_eq!(classify(v.as_text().unwrap()), Some(SequenceKind::Dna));
+        }
+    }
+
+    #[test]
+    fn uniprot_record_values_parse() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = synthesize("UniprotRecord", &mut rng).unwrap();
+        let parsed = RecordFormat::Uniprot.parse(v.as_text().unwrap()).unwrap();
+        assert!(AccessionKind::Uniprot.is_valid(&parsed.accession));
+    }
+
+    #[test]
+    fn literature_abstract_contains_extractable_concepts() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let v = synthesize("LiteratureAbstract", &mut rng).unwrap();
+        assert!(!document::extract_concepts(v.as_text().unwrap()).is_empty());
+    }
+
+    #[test]
+    fn generic_accessions_realize_no_concrete_kind() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..20 {
+            let v = synthesize("DatabaseAccession", &mut rng).unwrap();
+            let s = v.as_text().unwrap();
+            assert!(
+                AccessionKind::detect(s).is_none(),
+                "generic accession {s} collides with a concrete kind"
+            );
+        }
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = {
+            let mut rng = StdRng::seed_from_u64(42);
+            synthesize("BlastReport", &mut rng).unwrap()
+        };
+        let b = {
+            let mut rng = StdRng::seed_from_u64(42);
+            synthesize("BlastReport", &mut rng).unwrap()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_tolerance_is_percentage_like() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let v = synthesize("ErrorTolerance", &mut rng).unwrap();
+            let f = v.as_f64().unwrap();
+            assert!((0.1..=10.0).contains(&f), "{f}");
+        }
+    }
+}

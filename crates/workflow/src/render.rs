@@ -1,0 +1,83 @@
+//! Plain-text rendering of workflows, for CLIs, examples and logs.
+
+use crate::model::{Source, Workflow};
+
+/// Renders a workflow as an indented step list with link arrows:
+///
+/// ```text
+/// workflow fig1: protein identification
+///   inputs: peptide masses, identification error, program, database
+///   0. Identify [da:identify]  <- in:0, in:1
+///   1. GetRecord [dr:get_uniprot_record]  <- 0.0
+///   2. SearchSimple [da:search_simple]  <- 1.0, in:2, in:3
+///   outputs: alignment report <- 2.0
+/// ```
+pub fn render(workflow: &Workflow) -> String {
+    let mut out = format!("workflow {}: {}\n", workflow.id, workflow.name);
+    let input_names: Vec<&str> = workflow.inputs.iter().map(|p| p.name.as_str()).collect();
+    out.push_str(&format!("  inputs: {}\n", input_names.join(", ")));
+    for (i, step) in workflow.steps.iter().enumerate() {
+        let feeds: Vec<String> = workflow
+            .links_into(i)
+            .iter()
+            .map(|l| source_label(&l.source))
+            .collect();
+        out.push_str(&format!(
+            "  {i}. {} [{}]{}\n",
+            step.name,
+            step.module,
+            if feeds.is_empty() {
+                String::new()
+            } else {
+                format!("  <- {}", feeds.join(", "))
+            }
+        ));
+    }
+    for binding in &workflow.outputs {
+        out.push_str(&format!(
+            "  outputs: {} <- {}\n",
+            binding.name,
+            source_label(&binding.source)
+        ));
+    }
+    out
+}
+
+fn source_label(source: &Source) -> String {
+    match source {
+        Source::WorkflowInput(i) => format!("in:{i}"),
+        Source::StepOutput { step, output } => format!("{step}.{output}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_modules::Parameter;
+    use dex_values::StructuralType;
+
+    #[test]
+    fn rendering_shows_steps_links_and_outputs() {
+        let mut b = Workflow::builder("w", "demo");
+        let i = b.input(Parameter::required("acc", StructuralType::Text, "GOTerm"));
+        let s0 = b.step("First", "m1");
+        let s1 = b.step("Second", "m2");
+        b.link(Source::WorkflowInput(i), s0, 0);
+        b.link(Source::StepOutput { step: s0, output: 0 }, s1, 0);
+        b.output("result", Source::StepOutput { step: s1, output: 0 });
+        let text = render(&b.build());
+        assert!(text.contains("workflow w: demo"));
+        assert!(text.contains("inputs: acc"));
+        assert!(text.contains("0. First [m1]  <- in:0"));
+        assert!(text.contains("1. Second [m2]  <- 0.0"));
+        assert!(text.contains("outputs: result <- 1.0"));
+    }
+
+    #[test]
+    fn step_without_feeds_renders_cleanly() {
+        let mut b = Workflow::builder("w", "demo");
+        b.step("Lonely", "m");
+        let text = render(&b.build());
+        assert!(text.contains("0. Lonely [m]\n"));
+    }
+}

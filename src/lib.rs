@@ -1,0 +1,26 @@
+//! # data-examples
+//!
+//! Facade crate for the reproduction of *"Annotating the Behavior of
+//! Scientific Modules Using Data Examples: A Practical Approach"*
+//! (K. Belhajjame, EDBT 2014).
+//!
+//! Re-exports every sub-crate under a stable namespace so applications and
+//! the root `examples/` can depend on a single crate:
+//!
+//! ```
+//! use data_examples::ontology::mygrid;
+//! let onto = mygrid::ontology();
+//! assert!(onto.len() > 50);
+//! ```
+
+pub use dex_core as core;
+pub use dex_modules as modules;
+pub use dex_ontology as ontology;
+pub use dex_pool as pool;
+pub use dex_provenance as provenance;
+pub use dex_registry as registry;
+pub use dex_repair as repair;
+pub use dex_study as study;
+pub use dex_universe as universe;
+pub use dex_values as values;
+pub use dex_workflow as workflow;
