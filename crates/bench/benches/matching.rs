@@ -68,8 +68,16 @@ fn bench_compare(c: &mut Criterion) {
     let ontology = &universe.ontology;
     let pool = build_synthetic_pool(ontology, 6, 42);
     let config = GenerationConfig::default();
-    let a = universe.catalog.get(&"da:align_seq_ebi".into()).unwrap().clone();
-    let b_mod = universe.catalog.get(&"da:align_seq_ddbj".into()).unwrap().clone();
+    let a = universe
+        .catalog
+        .get(&"da:align_seq_ebi".into())
+        .unwrap()
+        .clone();
+    let b_mod = universe
+        .catalog
+        .get(&"da:align_seq_ddbj".into())
+        .unwrap()
+        .clone();
 
     let mut group = c.benchmark_group("compare");
     group.bench_function("aligned_examples", |bench| {

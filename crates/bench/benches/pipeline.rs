@@ -27,9 +27,9 @@ fn bench_partition_plan(c: &mut Criterion) {
     let ontology = &universe.ontology;
     let mut group = c.benchmark_group("partition_plan");
     for module in [
-        "dr:get_uniprot_record",   // leaf input: 1 partition
-        "da:align_seq_ebi",        // BiologicalSequence: 4 partitions
-        "dr:get_genes_by_enzyme",  // leaf in, broad out
+        "dr:get_uniprot_record",      // leaf input: 1 partition
+        "da:align_seq_ebi",           // BiologicalSequence: 4 partitions
+        "dr:get_genes_by_enzyme",     // leaf in, broad out
         "mi:normalize_identifier_v0", // Identifier: 19 partitions
     ] {
         let descriptor = universe.catalog.descriptor(&module.into()).unwrap();
@@ -134,8 +134,7 @@ fn bench_scoring(c: &mut Criterion) {
             let mut produced = 0usize;
             for id in universe.available_ids() {
                 let handle = universe.catalog.get(&id).unwrap();
-                let report =
-                    generate_examples(handle.as_ref(), ontology, &pool, &config).unwrap();
+                let report = generate_examples(handle.as_ref(), ontology, &pool, &config).unwrap();
                 produced += report.examples.len();
             }
             black_box(produced)

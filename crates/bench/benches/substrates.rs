@@ -27,7 +27,9 @@ fn bench_ontology(c: &mut Criterion) {
     group.bench_function("partitions_of_identifier", |b| {
         b.iter(|| onto.partitions_of(black_box(identifier)))
     });
-    group.bench_function("lca", |b| b.iter(|| onto.lca(black_box(dna), black_box(go))));
+    group.bench_function("lca", |b| {
+        b.iter(|| onto.lca(black_box(dna), black_box(go)))
+    });
     group.bench_function("parse_mygrid_text", |b| {
         b.iter(|| dex_ontology::text::parse(black_box(mygrid::MYGRID_TEXT)).unwrap())
     });
@@ -77,9 +79,7 @@ fn bench_values(c: &mut Criterion) {
 fn bench_study_and_universe(c: &mut Criterion) {
     let mut group = c.benchmark_group("universe");
     group.sample_size(10);
-    group.bench_function("build_324_modules", |b| {
-        b.iter(dex_universe::build)
-    });
+    group.bench_function("build_324_modules", |b| b.iter(dex_universe::build));
     group.finish();
 
     let universe = dex_universe::build();

@@ -10,8 +10,8 @@
 //!   "do the two modules have traces with similar inputs and outputs?",
 //!   approximated by Jaccard similarity over classified value concepts.
 
-use crate::example::{Binding, DataExample, ExampleSet};
 use crate::error::GenerationError;
+use crate::example::{Binding, DataExample, ExampleSet};
 use dex_modules::BlackBox;
 use dex_ontology::Ontology;
 use dex_pool::InstancePool;

@@ -101,11 +101,13 @@ pub fn suggest_downstream(
         let mut best: Option<CompositionScore> = None;
         for (o, out_param) in upstream_outputs.iter().enumerate() {
             for (i, in_param) in candidate.descriptor().inputs.iter().enumerate() {
-                let semantic_ok =
-                    match (ontology.id(&in_param.semantic), ontology.id(&out_param.semantic)) {
-                        (Some(t), Some(s)) => ontology.subsumes(t, s),
-                        _ => false,
-                    };
+                let semantic_ok = match (
+                    ontology.id(&in_param.semantic),
+                    ontology.id(&out_param.semantic),
+                ) {
+                    (Some(t), Some(s)) => ontology.subsumes(t, s),
+                    _ => false,
+                };
                 if !semantic_ok || !in_param.structural.accepts(&out_param.structural) {
                     continue;
                 }
@@ -149,7 +151,10 @@ mod tests {
         // by conv_uniprot_fasta.
         let universe = dex_universe::build();
         let pool = build_synthetic_pool(&universe.ontology, 4, 3);
-        let up = universe.catalog.get(&"dr:get_uniprot_record".into()).unwrap();
+        let up = universe
+            .catalog
+            .get(&"dr:get_uniprot_record".into())
+            .unwrap();
         let report = generate_examples(
             up.as_ref(),
             &universe.ontology,
@@ -157,7 +162,10 @@ mod tests {
             &GenerationConfig::default(),
         )
         .unwrap();
-        let down = universe.catalog.get(&"ft:conv_uniprot_fasta".into()).unwrap();
+        let down = universe
+            .catalog
+            .get(&"ft:conv_uniprot_fasta".into())
+            .unwrap();
         let score = composition_score(&report.examples, 0, down.as_ref(), 0);
         assert_eq!(score.attempted, 1);
         assert_eq!(score.accepted, 1);
@@ -169,7 +177,10 @@ mod tests {
         // Feeding a Uniprot *record* into a GenBank parser fails.
         let universe = dex_universe::build();
         let pool = build_synthetic_pool(&universe.ontology, 4, 3);
-        let up = universe.catalog.get(&"dr:get_uniprot_record".into()).unwrap();
+        let up = universe
+            .catalog
+            .get(&"dr:get_uniprot_record".into())
+            .unwrap();
         let report = generate_examples(
             up.as_ref(),
             &universe.ontology,
@@ -177,7 +188,10 @@ mod tests {
             &GenerationConfig::default(),
         )
         .unwrap();
-        let down = universe.catalog.get(&"ft:conv_genbank_fasta".into()).unwrap();
+        let down = universe
+            .catalog
+            .get(&"ft:conv_genbank_fasta".into())
+            .unwrap();
         let score = composition_score(&report.examples, 0, down.as_ref(), 0);
         assert_eq!(score.accepted, 0);
         assert_eq!(score.ratio(), 0.0);
@@ -198,8 +212,12 @@ mod tests {
             &GenerationConfig::default(),
         )
         .unwrap();
-        let suggestions =
-            suggest_downstream(up.as_ref(), &report.examples, &universe.catalog, &universe.ontology);
+        let suggestions = suggest_downstream(
+            up.as_ref(),
+            &report.examples,
+            &universe.catalog,
+            &universe.ontology,
+        );
         assert!(!suggestions.is_empty());
         // Ratios are sorted descending.
         for pair in suggestions.windows(2) {
@@ -221,7 +239,10 @@ mod tests {
     #[test]
     fn empty_examples_attempt_nothing() {
         let universe = dex_universe::build();
-        let down = universe.catalog.get(&"ft:conv_uniprot_fasta".into()).unwrap();
+        let down = universe
+            .catalog
+            .get(&"ft:conv_uniprot_fasta".into())
+            .unwrap();
         let empty = ExampleSet::new("up".into());
         let score = composition_score(&empty, 0, down.as_ref(), 0);
         assert_eq!(score.attempted, 0);

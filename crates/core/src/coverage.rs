@@ -162,7 +162,8 @@ mod tests {
         let d = descriptor("UniprotAccession", "BiologicalSequence");
         let mut set = ExampleSet::new(ModuleId::from("m"));
         // One example producing DNA; leaves RNA/protein/generic uncovered.
-        set.examples.push(example("UniprotAccession", "P12345", "ACGTACGT"));
+        set.examples
+            .push(example("UniprotAccession", "P12345", "ACGTACGT"));
         let report = measure_coverage(&d, &set, &onto, classify_concept).unwrap();
         assert!(report.inputs_fully_covered());
         assert!(!report.outputs_fully_covered());

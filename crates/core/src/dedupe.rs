@@ -211,11 +211,14 @@ mod tests {
         let config = GenerationConfig::default();
 
         // record_to_fasta_ebi: 6 examples, 1 true class.
-        let m = universe.catalog.get(&"ft:record_to_fasta_ebi".into()).unwrap();
-        let report =
-            generate_examples(m.as_ref(), &universe.ontology, &pool, &config).unwrap();
+        let m = universe
+            .catalog
+            .get(&"ft:record_to_fasta_ebi".into())
+            .unwrap();
+        let report = generate_examples(m.as_ref(), &universe.ontology, &pool, &config).unwrap();
         assert_eq!(report.examples.len(), 6);
-        let deduped = detect_redundant(&report.examples, classify_concept, &DedupeConfig::default());
+        let deduped =
+            detect_redundant(&report.examples, classify_concept, &DedupeConfig::default());
         assert!(
             deduped.pruned.len() <= 2,
             "over-partitioned module kept {} examples",
@@ -223,10 +226,13 @@ mod tests {
         );
 
         // A concise retrieval module: 1 example, nothing to prune.
-        let m = universe.catalog.get(&"dr:get_uniprot_record".into()).unwrap();
-        let report =
-            generate_examples(m.as_ref(), &universe.ontology, &pool, &config).unwrap();
-        let deduped = detect_redundant(&report.examples, classify_concept, &DedupeConfig::default());
+        let m = universe
+            .catalog
+            .get(&"dr:get_uniprot_record".into())
+            .unwrap();
+        let report = generate_examples(m.as_ref(), &universe.ontology, &pool, &config).unwrap();
+        let deduped =
+            detect_redundant(&report.examples, classify_concept, &DedupeConfig::default());
         assert_eq!(deduped.pruned.len(), report.examples.len());
     }
 }

@@ -29,7 +29,10 @@ pub fn to_markdown(descriptor: &ModuleDescriptor, examples: &ExampleSet) -> Stri
     }
     out.push_str("\n**Outputs**\n\n");
     for p in &descriptor.outputs {
-        out.push_str(&format!("- `{}`: {} ({})\n", p.name, p.semantic, p.structural));
+        out.push_str(&format!(
+            "- `{}`: {} ({})\n",
+            p.name, p.semantic, p.structural
+        ));
     }
 
     out.push_str(&format!("\n**Data examples ({})**\n\n", examples.len()));

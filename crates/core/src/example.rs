@@ -44,11 +44,7 @@ pub struct DataExample {
 
 impl DataExample {
     /// Builds an example with known partitions.
-    pub fn new(
-        inputs: Vec<Binding>,
-        outputs: Vec<Binding>,
-        input_partitions: Vec<String>,
-    ) -> Self {
+    pub fn new(inputs: Vec<Binding>, outputs: Vec<Binding>, input_partitions: Vec<String>) -> Self {
         debug_assert!(input_partitions.is_empty() || input_partitions.len() == inputs.len());
         DataExample {
             inputs,

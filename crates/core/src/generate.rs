@@ -63,11 +63,13 @@ impl GenerationReport {
         if total == 0 {
             return 1.0;
         }
+        // Keyed by (input, ConceptId): ids are Copy, so counting coverage
+        // allocates nothing per example.
         let mut covered = std::collections::HashSet::new();
         for example in self.examples.iter() {
             for (input_idx, concept) in example.input_partitions.iter().enumerate() {
-                if ontology.id(concept).is_some() {
-                    covered.insert((input_idx, concept.clone()));
+                if let Some(id) = ontology.id(concept) {
+                    covered.insert((input_idx, id));
                 }
             }
         }
@@ -133,7 +135,11 @@ pub fn generate_examples(
 
         for attempt in 0..=config.retries_per_combination {
             let skip = config.value_offset + attempt;
-            let mut values: Vec<Value> = Vec::with_capacity(combo.len());
+            // Select borrowed candidates first; the owned input vector is
+            // materialized once per attempt (invocation needs `&[Value]`),
+            // and on success it is *moved* into the example's bindings
+            // instead of being cloned a second time.
+            let mut picks: Vec<&Value> = Vec::with_capacity(combo.len());
             let mut complete = true;
             for (i, concept) in concept_names.iter().enumerate() {
                 // Fall back to the base offset and then to the first pick
@@ -149,11 +155,9 @@ pub fn generate_examples(
                             config.value_offset,
                         )
                     })
-                    .or_else(|| {
-                        pool.get_instance(concept, &descriptor.inputs[i].structural, 0)
-                    });
+                    .or_else(|| pool.get_instance(concept, &descriptor.inputs[i].structural, 0));
                 match inst {
-                    Some(inst) => values.push(inst.value.clone()),
+                    Some(inst) => picks.push(&inst.value),
                     None => {
                         complete = false;
                         break;
@@ -167,14 +171,15 @@ pub fn generate_examples(
                 continue 'combos;
             }
 
+            let values: Vec<Value> = picks.into_iter().cloned().collect();
             invocations += 1;
             match module.invoke(&values) {
                 Ok(outputs) => {
                     let inputs = descriptor
                         .inputs
                         .iter()
-                        .zip(&values)
-                        .map(|(p, v)| Binding::new(p.name.clone(), v.clone()))
+                        .zip(values)
+                        .map(|(p, v)| Binding::new(p.name.clone(), v))
                         .collect();
                     let outputs = descriptor
                         .outputs
@@ -232,12 +237,16 @@ mod tests {
                     StructuralType::Text,
                     "BiologicalSequence",
                 )],
-                vec![Parameter::required("kind", StructuralType::Text, "Document")],
+                vec![Parameter::required(
+                    "kind",
+                    StructuralType::Text,
+                    "Document",
+                )],
             ),
             |inputs| {
                 let s = inputs[0].as_text().expect("validated text");
-                let kind = classify(s)
-                    .ok_or_else(|| InvocationError::rejected("not a sequence"))?;
+                let kind =
+                    classify(s).ok_or_else(|| InvocationError::rejected("not a sequence"))?;
                 Ok(vec![Value::text(format!("{kind:?}"))])
             },
         )
@@ -247,8 +256,7 @@ mod tests {
     fn generates_one_example_per_partition() {
         let (onto, pool) = fixture();
         let m = seq_kind_module();
-        let report =
-            generate_examples(&m, &onto, &pool, &GenerationConfig::default()).unwrap();
+        let report = generate_examples(&m, &onto, &pool, &GenerationConfig::default()).unwrap();
         assert_eq!(report.examples.len(), 4, "one per partition");
         assert!(report.failed_combinations.is_empty());
         assert!(report.unvalued_partitions.is_empty());
@@ -274,8 +282,7 @@ mod tests {
     fn outputs_reflect_module_behavior() {
         let (onto, pool) = fixture();
         let m = seq_kind_module();
-        let report =
-            generate_examples(&m, &onto, &pool, &GenerationConfig::default()).unwrap();
+        let report = generate_examples(&m, &onto, &pool, &GenerationConfig::default()).unwrap();
         let by_partition: std::collections::HashMap<&str, &str> = report
             .examples
             .iter()
@@ -318,8 +325,7 @@ mod tests {
                 }
             },
         );
-        let report =
-            generate_examples(&m, &onto, &pool, &GenerationConfig::default()).unwrap();
+        let report = generate_examples(&m, &onto, &pool, &GenerationConfig::default()).unwrap();
         assert_eq!(report.examples.len(), 3);
         assert_eq!(report.failed_combinations.len(), 1);
         assert_eq!(report.failed_combinations[0], vec!["ProteinSequence"]);
@@ -400,11 +406,12 @@ mod tests {
                     // Nucleotide program fed a protein: invalid combination.
                     return Err(InvocationError::rejected("blastn needs nucleotides"));
                 }
-                Ok(vec![Value::text(format!("PROGRAM  {program}\nDATABASE d\nQUERY    q\nHITS     0\n"))])
+                Ok(vec![Value::text(format!(
+                    "PROGRAM  {program}\nDATABASE d\nQUERY    q\nHITS     0\n"
+                ))])
             },
         );
-        let report =
-            generate_examples(&m, &onto, &pool, &GenerationConfig::default()).unwrap();
+        let report = generate_examples(&m, &onto, &pool, &GenerationConfig::default()).unwrap();
         // 1 × 1 partitions; whether it survives depends on the pooled
         // algorithm name value — with seed 11 and retries, a non-blastn pick
         // must eventually be found (pool holds 5 AlgorithmName values).
@@ -420,7 +427,11 @@ mod tests {
                 "op:ghost",
                 "Ghost",
                 ModuleKind::RestService,
-                vec![Parameter::required("x", StructuralType::Text, "GhostConcept")],
+                vec![Parameter::required(
+                    "x",
+                    StructuralType::Text,
+                    "GhostConcept",
+                )],
                 vec![Parameter::required("y", StructuralType::Text, "Document")],
             ),
             |_| Ok(vec![Value::text("y")]),

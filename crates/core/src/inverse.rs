@@ -83,8 +83,7 @@ pub fn cover_output_partitions(
             continue;
         };
         // 2. Backwards through the inverse.
-        let Ok(candidate_inputs) = inverse.invoke(std::slice::from_ref(&instance.value))
-        else {
+        let Ok(candidate_inputs) = inverse.invoke(std::slice::from_ref(&instance.value)) else {
             uncovered.push(concept);
             continue;
         };
@@ -134,8 +133,16 @@ mod tests {
                 "t",
                 "transcribe",
                 ModuleKind::LocalProgram,
-                vec![Parameter::required("dna", StructuralType::Text, "DNASequence")],
-                vec![Parameter::required("rna", StructuralType::Text, "RNASequence")],
+                vec![Parameter::required(
+                    "dna",
+                    StructuralType::Text,
+                    "DNASequence",
+                )],
+                vec![Parameter::required(
+                    "rna",
+                    StructuralType::Text,
+                    "RNASequence",
+                )],
             ),
             |inputs| {
                 let s = inputs[0].as_text().unwrap();
@@ -153,8 +160,16 @@ mod tests {
                 "rt",
                 "reverse_transcribe",
                 ModuleKind::LocalProgram,
-                vec![Parameter::required("rna", StructuralType::Text, "RNASequence")],
-                vec![Parameter::required("dna", StructuralType::Text, "DNASequence")],
+                vec![Parameter::required(
+                    "rna",
+                    StructuralType::Text,
+                    "RNASequence",
+                )],
+                vec![Parameter::required(
+                    "dna",
+                    StructuralType::Text,
+                    "DNASequence",
+                )],
             ),
             |inputs| {
                 let s = inputs[0].as_text().unwrap();
@@ -196,14 +211,21 @@ mod tests {
                 "bogus",
                 "bogus",
                 ModuleKind::LocalProgram,
-                vec![Parameter::required("rna", StructuralType::Text, "RNASequence")],
-                vec![Parameter::required("dna", StructuralType::Text, "DNASequence")],
+                vec![Parameter::required(
+                    "rna",
+                    StructuralType::Text,
+                    "RNASequence",
+                )],
+                vec![Parameter::required(
+                    "dna",
+                    StructuralType::Text,
+                    "DNASequence",
+                )],
             ),
             |_| Ok(vec![Value::text("MKVLHPQ")]),
         );
         let report =
-            cover_output_partitions(&transcribe(), &bogus, &onto, &pool, classify_concept)
-                .unwrap();
+            cover_output_partitions(&transcribe(), &bogus, &onto, &pool, classify_concept).unwrap();
         assert!(report.covered.is_empty());
         assert_eq!(report.uncovered, vec!["RNASequence"]);
     }
@@ -217,7 +239,11 @@ mod tests {
                 "two",
                 "two",
                 ModuleKind::LocalProgram,
-                vec![Parameter::required("x", StructuralType::Text, "DNASequence")],
+                vec![Parameter::required(
+                    "x",
+                    StructuralType::Text,
+                    "DNASequence",
+                )],
                 vec![
                     Parameter::required("a", StructuralType::Text, "RNASequence"),
                     Parameter::required("b", StructuralType::Text, "RNASequence"),
@@ -226,7 +252,13 @@ mod tests {
             |i| Ok(vec![i[0].clone(), i[0].clone()]),
         );
         assert!(matches!(
-            cover_output_partitions(&two_out, &reverse_transcribe(), &onto, &pool, classify_concept),
+            cover_output_partitions(
+                &two_out,
+                &reverse_transcribe(),
+                &onto,
+                &pool,
+                classify_concept
+            ),
             Err(GenerationError::BadDescriptor(_))
         ));
     }
@@ -257,14 +289,9 @@ mod tests {
                 |i| Ok(vec![i[0].clone()]),
             )
         };
-        let report = cover_output_partitions(
-            &echo("fwd"),
-            &echo("inv"),
-            &onto,
-            &pool,
-            classify_concept,
-        )
-        .unwrap();
+        let report =
+            cover_output_partitions(&echo("fwd"), &echo("inv"), &onto, &pool, classify_concept)
+                .unwrap();
         assert_eq!(report.covered.len(), 4, "{:?}", report.uncovered);
         assert_eq!(report.examples.len(), 4);
     }

@@ -2,13 +2,15 @@
 
 use crate::error::GenerationError;
 use crate::example::ExampleSet;
-use crate::generate::{generate_examples, GenerationConfig};
-use dex_modules::{BlackBox, ModuleDescriptor};
+use crate::generate::{generate_examples, GenerationConfig, GenerationReport};
+use dex_modules::{BlackBox, ModuleDescriptor, ModuleId};
 use dex_ontology::Ontology;
 use dex_pool::InstancePool;
 use dex_values::Value;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// How strictly parameters must correspond for two modules to be compared.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -112,9 +114,7 @@ pub fn map_parameters(
         MappingMode::Subsuming => {
             t.structural == c.structural
                 && match (ontology.id(&c.semantic), ontology.id(&t.semantic)) {
-                    (Some(cs), Some(ts)) => {
-                        ontology.subsumes(cs, ts) || ontology.subsumes(ts, cs)
-                    }
+                    (Some(cs), Some(ts)) => ontology.subsumes(cs, ts) || ontology.subsumes(ts, cs),
                     _ => false,
                 }
         }
@@ -197,8 +197,7 @@ pub fn match_against_examples(
     for example in examples.iter() {
         compared += 1;
         // Build the candidate's input vector.
-        let mut inputs: Vec<Value> =
-            vec![Value::Null; candidate.descriptor().inputs.len()];
+        let mut inputs: Vec<Value> = vec![Value::Null; candidate.descriptor().inputs.len()];
         for (t_idx, &c_idx) in mapping.inputs.iter().enumerate() {
             inputs[c_idx] = example.inputs[t_idx].value.clone();
         }
@@ -227,6 +226,10 @@ pub fn match_against_examples(
 /// Compares two live modules by generating *aligned* data examples for the
 /// target (same pool, same value offsets — §6 requires "the same values for
 /// both i and i′") and replaying them against the candidate.
+///
+/// For repeated comparisons over the same ontology/pool/config, build one
+/// [`MatchSession`] instead: it memoizes the target-side generation, so each
+/// module is invoked once per value offset rather than once per pair.
 pub fn compare_modules(
     target: &dyn BlackBox,
     candidate: &dyn BlackBox,
@@ -244,6 +247,140 @@ pub fn compare_modules(
     )
 }
 
+/// How one pair in an all-pairs matching run concluded: a behavioral verdict,
+/// or the reason the pair could not be compared at all (no parameter mapping,
+/// target generation failure).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MatchOutcome {
+    /// The pair was compared over the target's data examples.
+    Verdict(MatchVerdict),
+    /// The pair admits no honest verdict; the string is the
+    /// [`GenerationError`] rendering.
+    Incomparable(String),
+}
+
+/// One entry of an all-pairs matching run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchReport {
+    /// The module whose data examples were replayed.
+    pub target: ModuleId,
+    /// The module the examples were replayed against.
+    pub candidate: ModuleId,
+    /// How the comparison concluded.
+    pub outcome: MatchOutcome,
+    /// Number of data examples the target side contributed (0 when
+    /// incomparable before replay).
+    pub examples: usize,
+}
+
+/// A memoized generation result, shared between all readers of a session.
+type CachedGeneration = Arc<Result<GenerationReport, GenerationError>>;
+
+/// A matching context that memoizes target-side example generation.
+///
+/// `compare_modules` regenerates the target's data examples on every call, so
+/// matching all pairs of an N-module registry invokes each module O(N) times.
+/// A session caches one [`GenerationReport`] per `(module, value_offset)`
+/// (behind `Arc`, shared with all readers), collapsing that to a single
+/// generation per module per offset. The cache is internally synchronized —
+/// a session can be shared by reference across the threads of a parallel
+/// all-pairs run.
+pub struct MatchSession<'a> {
+    ontology: &'a Ontology,
+    pool: &'a InstancePool,
+    config: GenerationConfig,
+    cache: Mutex<HashMap<(ModuleId, usize), CachedGeneration>>,
+}
+
+impl<'a> MatchSession<'a> {
+    /// Creates a session over fixed ontology, pool, and generation config.
+    pub fn new(ontology: &'a Ontology, pool: &'a InstancePool, config: GenerationConfig) -> Self {
+        MatchSession {
+            ontology,
+            pool,
+            config,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The generation config this session aligns examples with.
+    pub fn config(&self) -> &GenerationConfig {
+        &self.config
+    }
+
+    /// Number of memoized `(module, value_offset)` generation results.
+    pub fn cached_reports(&self) -> usize {
+        self.cache.lock().expect("no poisoning").len()
+    }
+
+    /// The memoized generation result for `module` at the session's base
+    /// value offset, generating it on first use.
+    pub fn report_for(&self, module: &dyn BlackBox) -> CachedGeneration {
+        self.report_at(module, self.config.value_offset)
+    }
+
+    /// The memoized generation result for `module` at an explicit value
+    /// offset (ablations vary the offset to probe value sensitivity).
+    pub fn report_at(&self, module: &dyn BlackBox, value_offset: usize) -> CachedGeneration {
+        let key = (module.descriptor().id.clone(), value_offset);
+        if let Some(hit) = self.cache.lock().expect("no poisoning").get(&key) {
+            return Arc::clone(hit);
+        }
+        // Generate outside the lock: generation invokes the module, which can
+        // be arbitrarily slow, and concurrent misses on *different* modules
+        // must not serialize. A racing duplicate of the same key is harmless
+        // (generation is deterministic) and the second insert wins.
+        let config = GenerationConfig {
+            value_offset,
+            ..self.config.clone()
+        };
+        let report = Arc::new(generate_examples(module, self.ontology, self.pool, &config));
+        self.cache
+            .lock()
+            .expect("no poisoning")
+            .insert(key, Arc::clone(&report));
+        report
+    }
+
+    /// [`compare_modules`] through the cache: the target's examples are
+    /// generated at most once per value offset across the whole session.
+    pub fn compare(
+        &self,
+        target: &dyn BlackBox,
+        candidate: &dyn BlackBox,
+    ) -> Result<MatchVerdict, GenerationError> {
+        match self.report_for(target).as_ref() {
+            Ok(report) => match_against_examples(
+                target.descriptor(),
+                &report.examples,
+                candidate,
+                self.ontology,
+                MappingMode::Strict,
+            ),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// Like [`compare`](MatchSession::compare), but always yields a
+    /// [`MatchReport`] — incomparability becomes data instead of an error,
+    /// which is what an all-pairs sweep wants.
+    pub fn compare_report(&self, target: &dyn BlackBox, candidate: &dyn BlackBox) -> MatchReport {
+        let examples = match self.report_for(target).as_ref() {
+            Ok(report) => report.examples.len(),
+            Err(_) => 0,
+        };
+        MatchReport {
+            target: target.descriptor().id.clone(),
+            candidate: candidate.descriptor().id.clone(),
+            outcome: match self.compare(target, candidate) {
+                Ok(verdict) => MatchOutcome::Verdict(verdict),
+                Err(e) => MatchOutcome::Incomparable(e.to_string()),
+            },
+            examples,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,8 +396,16 @@ mod tests {
                 id,
                 id,
                 ModuleKind::SoapService,
-                vec![Parameter::required("seq", StructuralType::Text, semantic_in)],
-                vec![Parameter::required("out", StructuralType::Text, semantic_out)],
+                vec![Parameter::required(
+                    "seq",
+                    StructuralType::Text,
+                    semantic_in,
+                )],
+                vec![Parameter::required(
+                    "out",
+                    StructuralType::Text,
+                    semantic_out,
+                )],
             ),
             move |inputs| {
                 let s = inputs[0].as_text().unwrap();
@@ -287,8 +432,7 @@ mod tests {
         let (onto, pool) = fixture();
         let a = seq_echo("a", "BiologicalSequence", "BiologicalSequence", false);
         let b = seq_echo("b", "BiologicalSequence", "BiologicalSequence", false);
-        let v =
-            compare_modules(&a, &b, &onto, &pool, &GenerationConfig::default()).unwrap();
+        let v = compare_modules(&a, &b, &onto, &pool, &GenerationConfig::default()).unwrap();
         assert_eq!(v, MatchVerdict::Equivalent { compared: 4 });
         assert!(v.is_usable());
     }
@@ -298,8 +442,7 @@ mod tests {
         let (onto, pool) = fixture();
         let a = seq_echo("a", "BiologicalSequence", "BiologicalSequence", false);
         let b = seq_echo("b", "BiologicalSequence", "BiologicalSequence", true);
-        let v =
-            compare_modules(&a, &b, &onto, &pool, &GenerationConfig::default()).unwrap();
+        let v = compare_modules(&a, &b, &onto, &pool, &GenerationConfig::default()).unwrap();
         assert_eq!(
             v,
             MatchVerdict::Overlapping {
@@ -331,8 +474,7 @@ mod tests {
             ),
             |_| Ok(vec![Value::text("MKVLHHH")]),
         );
-        let v =
-            compare_modules(&a, &b, &onto, &pool, &GenerationConfig::default()).unwrap();
+        let v = compare_modules(&a, &b, &onto, &pool, &GenerationConfig::default()).unwrap();
         assert!(matches!(v, MatchVerdict::Disjoint { compared: 1 }));
         assert!(!v.is_usable());
     }
@@ -342,13 +484,9 @@ mod tests {
         let (onto, _) = fixture();
         let a = seq_echo("a", "ProteinSequence", "ProteinSequence", false);
         let b = seq_echo("b", "BiologicalSequence", "BiologicalSequence", false);
-        assert!(map_parameters(
-            a.descriptor(),
-            b.descriptor(),
-            &onto,
-            MappingMode::Strict
-        )
-        .is_err());
+        assert!(
+            map_parameters(a.descriptor(), b.descriptor(), &onto, MappingMode::Strict).is_err()
+        );
     }
 
     /// The Figure 7 scenario: GetBiologicalSequence substitutes
@@ -428,14 +566,105 @@ mod tests {
         let a = seq_echo("a", "ProteinSequence", "ProteinSequence", false);
         let b = seq_echo("b", "ProteinSequence", "ProteinSequence", false);
         let empty = ExampleSet::new(dex_modules::ModuleId::from("a"));
-        assert!(match_against_examples(
-            a.descriptor(),
-            &empty,
-            &b,
-            &onto,
-            MappingMode::Strict
-        )
-        .is_err());
+        assert!(
+            match_against_examples(a.descriptor(), &empty, &b, &onto, MappingMode::Strict).is_err()
+        );
+    }
+
+    /// A seq_echo clone whose invocations are counted, to observe caching.
+    fn counted_echo(
+        id: &str,
+        semantic: &str,
+    ) -> (FnModule, std::sync::Arc<std::sync::atomic::AtomicUsize>) {
+        let count = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let seen = std::sync::Arc::clone(&count);
+        let module = FnModule::new(
+            ModuleDescriptor::new(
+                id,
+                id,
+                ModuleKind::SoapService,
+                vec![Parameter::required("seq", StructuralType::Text, semantic)],
+                vec![Parameter::required("out", StructuralType::Text, semantic)],
+            ),
+            move |inputs| {
+                seen.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let s = inputs[0].as_text().unwrap();
+                if classify(s).is_none() {
+                    return Err(InvocationError::rejected("not a sequence"));
+                }
+                Ok(vec![Value::text(s.to_string())])
+            },
+        );
+        (module, count)
+    }
+
+    #[test]
+    fn session_memoizes_target_generation() {
+        let (onto, pool) = fixture();
+        let (target, invocations) = counted_echo("t", "BiologicalSequence");
+        let candidates: Vec<FnModule> = (0..4)
+            .map(|i| {
+                seq_echo(
+                    &format!("c{i}"),
+                    "BiologicalSequence",
+                    "BiologicalSequence",
+                    i % 2 == 0,
+                )
+            })
+            .collect();
+        let session = MatchSession::new(&onto, &pool, GenerationConfig::default());
+        for c in &candidates {
+            session.compare(&target, c).unwrap();
+        }
+        // One generation pass for four comparisons: 4 partitions invoked once.
+        assert_eq!(invocations.load(std::sync::atomic::Ordering::Relaxed), 4);
+        assert_eq!(session.cached_reports(), 1);
+        // A different offset is a different cache entry.
+        assert!(session.report_at(&target, 1).is_ok());
+        assert_eq!(session.cached_reports(), 2);
+    }
+
+    #[test]
+    fn session_compare_agrees_with_compare_modules() {
+        let (onto, pool) = fixture();
+        let config = GenerationConfig::default();
+        let session = MatchSession::new(&onto, &pool, config.clone());
+        let modules = [
+            seq_echo("a", "BiologicalSequence", "BiologicalSequence", false),
+            seq_echo("b", "BiologicalSequence", "BiologicalSequence", true),
+            seq_echo("c", "ProteinSequence", "ProteinSequence", false),
+        ];
+        for t in &modules {
+            for c in &modules {
+                let direct = compare_modules(t, c, &onto, &pool, &config);
+                let cached = session.compare(t, c);
+                assert_eq!(
+                    direct,
+                    cached,
+                    "{:?} vs {:?}",
+                    t.descriptor().id,
+                    c.descriptor().id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compare_report_surfaces_incomparability_as_data() {
+        let (onto, pool) = fixture();
+        let session = MatchSession::new(&onto, &pool, GenerationConfig::default());
+        let a = seq_echo("a", "BiologicalSequence", "BiologicalSequence", false);
+        let b = seq_echo("b", "ProteinSequence", "ProteinSequence", false);
+        let report = session.compare_report(&a, &b);
+        assert_eq!(report.target, dex_modules::ModuleId::from("a"));
+        assert_eq!(report.candidate, dex_modules::ModuleId::from("b"));
+        assert!(matches!(report.outcome, MatchOutcome::Incomparable(_)));
+        assert_eq!(report.examples, 4);
+        let same = session.compare_report(&a, &a);
+        assert!(matches!(
+            same.outcome,
+            MatchOutcome::Verdict(MatchVerdict::Equivalent { compared: 4 })
+        ));
     }
 
     #[test]

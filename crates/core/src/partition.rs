@@ -122,11 +122,7 @@ mod tests {
                 .enumerate()
                 .map(|(i, s)| Parameter::required(format!("in{i}"), StructuralType::Text, *s))
                 .collect(),
-            vec![Parameter::required(
-                "out",
-                StructuralType::Text,
-                "Report",
-            )],
+            vec![Parameter::required("out", StructuralType::Text, "Report")],
         )
     }
 

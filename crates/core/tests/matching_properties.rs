@@ -82,10 +82,10 @@ fn verdicts_are_deterministic() {
     for (a, b) in pairs {
         let ma = universe.catalog.get(&a.into()).unwrap();
         let mb = universe.catalog.get(&b.into()).unwrap();
-        let v1 = compare_modules(ma.as_ref(), mb.as_ref(), &universe.ontology, &pool, &config)
-            .unwrap();
-        let v2 = compare_modules(ma.as_ref(), mb.as_ref(), &universe.ontology, &pool, &config)
-            .unwrap();
+        let v1 =
+            compare_modules(ma.as_ref(), mb.as_ref(), &universe.ontology, &pool, &config).unwrap();
+        let v2 =
+            compare_modules(ma.as_ref(), mb.as_ref(), &universe.ontology, &pool, &config).unwrap();
         assert_eq!(v1, v2, "{a} vs {b}");
     }
 }
@@ -103,9 +103,8 @@ fn planted_equivalences_hold_pairwise() {
         };
         let a = universe.catalog.get(legacy).expect("pre-decay: available");
         let b = universe.catalog.get(target).expect("available");
-        let verdict =
-            compare_modules(a.as_ref(), b.as_ref(), &universe.ontology, &pool, &config)
-                .unwrap_or_else(|e| panic!("{legacy} vs {target}: {e}"));
+        let verdict = compare_modules(a.as_ref(), b.as_ref(), &universe.ontology, &pool, &config)
+            .unwrap_or_else(|e| panic!("{legacy} vs {target}: {e}"));
         assert!(
             matches!(verdict, MatchVerdict::Equivalent { .. }),
             "{legacy} vs {target}: {verdict}"

@@ -98,7 +98,11 @@ pub fn pool_size_sweep(ctx: &Context) -> String {
     }
     let mut out = heading("Ablation B: pool size (realizations per concept)");
     out.push_str(&table(
-        &["pool realizations/concept", "mean input coverage", "mean completeness"],
+        &[
+            "pool realizations/concept",
+            "mean input coverage",
+            "mean completeness",
+        ],
         &rows,
     ));
     out.push('\n');
@@ -122,8 +126,10 @@ pub fn annotation_specificity(ctx: &Context) -> String {
     }
 
     let mut rows = Vec::new();
-    for (label, pool) in [("most-specific (ours)", &ctx.pool), ("declared-level (coarse)", &coarse)]
-    {
+    for (label, pool) in [
+        ("most-specific (ours)", &ctx.pool),
+        ("declared-level (coarse)", &coarse),
+    ] {
         let mut coverage_sum = 0.0;
         let mut produced = 0usize;
         let mut n = 0.0;
@@ -143,7 +149,11 @@ pub fn annotation_specificity(ctx: &Context) -> String {
     }
     let mut out = heading("Ablation C: pool annotation specificity");
     out.push_str(&table(
-        &["instance annotation", "mean input coverage", "total examples"],
+        &[
+            "instance annotation",
+            "mean input coverage",
+            "total examples",
+        ],
         &rows,
     ));
     out.push('\n');
@@ -192,8 +202,7 @@ pub fn matching_method(plan: &RepositoryPlan) -> String {
     let (mut tp, mut fp, mut fnr) = (0usize, 0usize, 0usize);
     for legacy in universe.catalog.withdrawn_ids() {
         let descriptor = universe.catalog.descriptor(&legacy).expect("kept").clone();
-        let legacy_examples =
-            dex_provenance::reconstruct_examples(&corpus, &legacy, &descriptor);
+        let legacy_examples = dex_provenance::reconstruct_examples(&corpus, &legacy, &descriptor);
         let mut predicted = false;
         for (_, candidate) in universe.catalog.iter_available() {
             if dex_core::matching::map_parameters(
@@ -230,9 +239,15 @@ pub fn matching_method(plan: &RepositoryPlan) -> String {
         fnr.to_string(),
     ];
 
-    let mut out = heading("Ablation D: matching method on the Figure 8 task (39 substitutable / 33 not)");
+    let mut out =
+        heading("Ablation D: matching method on the Figure 8 task (39 substitutable / 33 not)");
     out.push_str(&table(
-        &["method", "true positives", "false positives", "false negatives"],
+        &[
+            "method",
+            "true positives",
+            "false positives",
+            "false negatives",
+        ],
         &[aligned_row, baseline_row],
     ));
     out.push('\n');

@@ -59,7 +59,10 @@ pub fn table1(ctx: &Context) -> String {
         }
     }
     let mut out = heading("Table 1: data example completeness");
-    out.push_str(&table(&["completeness", "paper #modules", "measured #modules"], &rows));
+    out.push_str(&table(
+        &["completeness", "paper #modules", "measured #modules"],
+        &rows,
+    ));
     out.push('\n');
     out
 }
@@ -100,7 +103,10 @@ pub fn table2(ctx: &Context) -> String {
         }
     }
     let mut out = heading("Table 2: data example conciseness");
-    out.push_str(&table(&["conciseness", "paper #modules", "measured #modules"], &rows));
+    out.push_str(&table(
+        &["conciseness", "paper #modules", "measured #modules"],
+        &rows,
+    ));
     out.push('\n');
     out
 }
@@ -122,7 +128,10 @@ pub fn table3(ctx: &Context) -> String {
         })
         .collect();
     let mut out = heading("Table 3: kinds of data manipulation");
-    out.push_str(&table(&["category", "paper #modules", "measured #modules"], &rows));
+    out.push_str(&table(
+        &["category", "paper #modules", "measured #modules"],
+        &rows,
+    ));
     out.push('\n');
     out
 }
@@ -181,10 +190,12 @@ pub fn coverage(ctx: &Context) -> String {
 pub fn figure5(ctx: &Context) -> String {
     let outcome = run_user_study(&ctx.universe, &ctx.example_sets());
     let mut rows: Vec<Vec<String>> = Vec::new();
-    let paper = [("user1", 47usize, 169usize), ("user2", 45, 166), ("user3", 49, 171)];
-    for (user, (paper_user, paper_without, paper_with)) in
-        outcome.users.iter().zip(paper.iter())
-    {
+    let paper = [
+        ("user1", 47usize, 169usize),
+        ("user2", 45, 166),
+        ("user3", 49, 171),
+    ];
+    for (user, (paper_user, paper_without, paper_with)) in outcome.users.iter().zip(paper.iter()) {
         debug_assert_eq!(&user.user, paper_user);
         rows.push(vec![
             user.user.clone(),
@@ -194,7 +205,11 @@ pub fn figure5(ctx: &Context) -> String {
     }
     let mut out = heading("Figure 5: understanding modules with/without data examples");
     out.push_str(&table(
-        &["user", "paper without/with (user1 exact; others ≈)", "measured without/with"],
+        &[
+            "user",
+            "paper without/with (user1 exact; others ≈)",
+            "measured without/with",
+        ],
         &rows,
     ));
 
@@ -246,16 +261,29 @@ pub fn decay_experiments(plan: &RepositoryPlan) -> DecayResults {
             "72".into(),
             with_examples.to_string(),
         ],
-        vec!["equivalent substitute found".into(), "16".into(), eq.to_string()],
-        vec!["overlapping substitute found".into(), "23".into(), ov.to_string()],
+        vec![
+            "equivalent substitute found".into(),
+            "16".into(),
+            eq.to_string(),
+        ],
+        vec![
+            "overlapping substitute found".into(),
+            "23".into(),
+            ov.to_string(),
+        ],
         vec!["no usable substitute".into(), "33".into(), none.to_string()],
     ];
     let mut figure8 = heading("Figure 8: matching unavailable modules");
     figure8.push_str(&table(&["measure", "paper", "measured"], &rows));
     figure8.push('\n');
 
-    let (_, summary) =
-        repair_repository(&repository, &universe.catalog, &study, &corpus, &universe.ontology);
+    let (_, summary) = repair_repository(
+        &repository,
+        &universe.catalog,
+        &study,
+        &corpus,
+        &universe.ontology,
+    );
     let broken = repository.len() - summary.healthy;
     let rows = vec![
         vec![

@@ -26,8 +26,8 @@ use std::collections::BTreeMap;
 
 pub mod ablations;
 pub mod experiments;
-pub mod parallel;
 pub mod format;
+pub mod parallel;
 
 /// Seed of the synthetic curator pool used by the evaluation.
 pub const POOL_SEED: u64 = 42;

@@ -1,20 +1,25 @@
-//! Parallel data-example generation across a module population.
+//! Parallel data-example generation and all-pairs matching.
 //!
-//! Generation is embarrassingly parallel per module — modules are
-//! `Send + Sync` black boxes and the pool/ontology are shared read-only —
-//! so the experiment harness fans out over `std::thread::scope` without
-//! extra dependencies. Results are returned in deterministic (sorted id)
-//! order regardless of scheduling.
+//! Both workloads are embarrassingly parallel — modules are `Send + Sync`
+//! black boxes and the pool/ontology are shared read-only — so the experiment
+//! harness fans out over `std::thread::scope` without extra dependencies.
+//! Results are returned in deterministic (sorted key) order regardless of
+//! scheduling.
 
-use dex_core::{generate_examples, GenerationConfig, GenerationReport};
+use dex_core::{generate_examples, GenerationConfig, GenerationReport, MatchReport, MatchSession};
 use dex_modules::ModuleId;
 use dex_pool::InstancePool;
 use dex_universe::Universe;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Generates reports for every available module of the universe, fanning
 /// out over `threads` workers (values below 1 are clamped to 1).
+///
+/// Each worker owns a disjoint `&mut` chunk of the results buffer, so
+/// collection is lock-free — no per-slot mutex, no channel, no allocation
+/// beyond the output itself.
 ///
 /// Panics if generation fails for any module, like the serial experiment
 /// context does — the shipped universe is expected to be fully generable.
@@ -25,40 +30,96 @@ pub fn generate_all_parallel(
     threads: usize,
 ) -> BTreeMap<ModuleId, GenerationReport> {
     let ids = universe.available_ids();
-    let cursor = AtomicUsize::new(0);
     let threads = threads.max(1).min(ids.len().max(1));
+    let chunk = ids.len().div_ceil(threads);
 
     let mut results: Vec<Option<(ModuleId, GenerationReport)>> = Vec::new();
     results.resize_with(ids.len(), || None);
-    let slots: Vec<std::sync::Mutex<Option<(ModuleId, GenerationReport)>>> =
-        results.into_iter().map(std::sync::Mutex::new).collect();
 
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= ids.len() {
-                    break;
+        for (id_chunk, out_chunk) in ids.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (id, slot) in id_chunk.iter().zip(out_chunk) {
+                    let module = universe.catalog.get(id).expect("available");
+                    let report =
+                        generate_examples(module.as_ref(), &universe.ontology, pool, config)
+                            .unwrap_or_else(|e| panic!("{id}: {e}"));
+                    *slot = Some((id.clone(), report));
                 }
-                let id = &ids[i];
-                let module = universe.catalog.get(id).expect("available");
-                let report =
-                    generate_examples(module.as_ref(), &universe.ontology, pool, config)
-                        .unwrap_or_else(|e| panic!("{id}: {e}"));
-                *slots[i].lock().expect("no poisoning") = Some((id.clone(), report));
             });
         }
     });
 
-    slots
+    results
         .into_iter()
-        .map(|slot| slot.into_inner().expect("no poisoning").expect("filled"))
+        .map(|slot| slot.expect("filled"))
         .collect()
+}
+
+/// Matches every ordered pair of distinct modules in `ids` against each
+/// other, fanning the O(N²) comparisons out over `threads` workers.
+///
+/// Target-side example generation goes through one shared [`MatchSession`],
+/// so each module is generated once for the whole run instead of once per
+/// pair. Workers claim pairs off an atomic cursor (comparison costs vary
+/// wildly between trivially-incomparable and fully-replayed pairs) and ship
+/// reports back over a channel; the final `BTreeMap` keying makes the result
+/// independent of scheduling.
+pub fn match_pairs_parallel(
+    universe: &Universe,
+    ids: &[ModuleId],
+    pool: &InstancePool,
+    config: &GenerationConfig,
+    threads: usize,
+) -> BTreeMap<(ModuleId, ModuleId), MatchReport> {
+    let pairs: Vec<(usize, usize)> = (0..ids.len())
+        .flat_map(|t| (0..ids.len()).map(move |c| (t, c)))
+        .filter(|(t, c)| t != c)
+        .collect();
+    let threads = threads.max(1).min(pairs.len().max(1));
+    let session = MatchSession::new(&universe.ontology, pool, config.clone());
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<((ModuleId, ModuleId), MatchReport)>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let session = &session;
+            let pairs = &pairs;
+            let cursor = &cursor;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= pairs.len() {
+                    break;
+                }
+                let (t, c) = pairs[i];
+                let target = universe.catalog.get(&ids[t]).expect("available");
+                let candidate = universe.catalog.get(&ids[c]).expect("available");
+                let report = session.compare_report(target.as_ref(), candidate.as_ref());
+                let key = (ids[t].clone(), ids[c].clone());
+                tx.send((key, report)).expect("collector alive");
+            });
+        }
+        drop(tx);
+        rx.into_iter().collect()
+    })
+}
+
+/// [`match_pairs_parallel`] over every available module of the universe: the
+/// registry-wide all-pairs matching matrix.
+pub fn match_all_parallel(
+    universe: &Universe,
+    pool: &InstancePool,
+    config: &GenerationConfig,
+    threads: usize,
+) -> BTreeMap<(ModuleId, ModuleId), MatchReport> {
+    match_pairs_parallel(universe, &universe.available_ids(), pool, config, threads)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dex_core::{compare_modules, MatchOutcome};
     use dex_pool::build_synthetic_pool;
 
     #[test]
@@ -85,5 +146,50 @@ mod tests {
         let config = GenerationConfig::default();
         let reports = generate_all_parallel(&universe, &pool, &config, 1);
         assert_eq!(reports.len(), 252);
+    }
+
+    #[test]
+    fn all_pairs_matches_serial_comparisons() {
+        let universe = dex_universe::build();
+        let pool = build_synthetic_pool(&universe.ontology, 4, 42);
+        let config = GenerationConfig::default();
+        // A modest slice keeps the quadratic test quick; every 11th module
+        // still crosses all five categories.
+        let ids: Vec<ModuleId> = universe.available_ids().into_iter().step_by(11).collect();
+
+        let matrix = match_pairs_parallel(&universe, &ids, &pool, &config, 8);
+        assert_eq!(matrix.len(), ids.len() * (ids.len() - 1));
+
+        for ((t, c), report) in &matrix {
+            assert_eq!(&report.target, t);
+            assert_eq!(&report.candidate, c);
+            let target = universe.catalog.get(t).unwrap();
+            let candidate = universe.catalog.get(c).unwrap();
+            let serial = compare_modules(
+                target.as_ref(),
+                candidate.as_ref(),
+                &universe.ontology,
+                &pool,
+                &config,
+            );
+            match (&report.outcome, serial) {
+                (MatchOutcome::Verdict(v), Ok(w)) => assert_eq!(*v, w, "{t} vs {c}"),
+                (MatchOutcome::Incomparable(msg), Err(e)) => {
+                    assert_eq!(msg, &e.to_string(), "{t} vs {c}")
+                }
+                (got, want) => panic!("{t} vs {c}: {got:?} but serial said {want:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_is_deterministic_across_thread_counts() {
+        let universe = dex_universe::build();
+        let pool = build_synthetic_pool(&universe.ontology, 3, 7);
+        let config = GenerationConfig::default();
+        let ids: Vec<ModuleId> = universe.available_ids().into_iter().step_by(23).collect();
+        let one = match_pairs_parallel(&universe, &ids, &pool, &config, 1);
+        let many = match_pairs_parallel(&universe, &ids, &pool, &config, 8);
+        assert_eq!(one, many);
     }
 }

@@ -145,9 +145,7 @@ mod tests {
     #[test]
     fn happy_path_invocation() {
         let m = upper_module();
-        let out = m
-            .invoke(&[Value::text("abc"), Value::text("?")])
-            .unwrap();
+        let out = m.invoke(&[Value::text("abc"), Value::text("?")]).unwrap();
         assert_eq!(out, vec![Value::text("ABC?")]);
     }
 
@@ -180,9 +178,7 @@ mod tests {
     #[test]
     fn structural_mismatch_rejected() {
         let m = upper_module();
-        let err = m
-            .invoke(&[Value::Integer(3), Value::Null])
-            .unwrap_err();
+        let err = m.invoke(&[Value::Integer(3), Value::Null]).unwrap_err();
         assert!(matches!(err, InvocationError::BadInput { .. }));
     }
 
@@ -190,13 +186,7 @@ mod tests {
     #[should_panic(expected = "invalid module descriptor")]
     fn malformed_descriptor_panics() {
         let _ = FnModule::new(
-            ModuleDescriptor::new(
-                "bad",
-                "Bad",
-                ModuleKind::LocalProgram,
-                vec![],
-                vec![],
-            ),
+            ModuleDescriptor::new("bad", "Bad", ModuleKind::LocalProgram, vec![], vec![]),
             |_| Ok(vec![]),
         );
     }

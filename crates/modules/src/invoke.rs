@@ -79,7 +79,9 @@ mod tests {
         assert!(InvocationError::rejected("no such accession")
             .to_string()
             .contains("no such accession"));
-        assert!(InvocationError::Unavailable.to_string().contains("no longer"));
+        assert!(InvocationError::Unavailable
+            .to_string()
+            .contains("no longer"));
         assert!(InvocationError::fault("boom").to_string().contains("boom"));
         assert!(InvocationError::BadInput {
             parameter: "seq".into(),

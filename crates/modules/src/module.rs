@@ -97,10 +97,7 @@ impl ModuleDescriptor {
 
     /// Looks up an input parameter by name.
     pub fn input(&self, name: &str) -> Option<(usize, &Parameter)> {
-        self.inputs
-            .iter()
-            .enumerate()
-            .find(|(_, p)| p.name == name)
+        self.inputs.iter().enumerate().find(|(_, p)| p.name == name)
     }
 
     /// Looks up an output parameter by name.

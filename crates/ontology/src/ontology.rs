@@ -33,6 +33,22 @@ pub struct Ontology {
     /// such concepts cannot be realized and get no data example of their own.
     abstract_flags: Vec<bool>,
     depths: Vec<u32>,
+    /// DFS entry time of each concept (its position in [`preorder`]).
+    ///
+    /// Together with [`last`], this labels every concept with the interval
+    /// `entry[c]..=last[c]` covering exactly its subtree, so subsumption is
+    /// an O(1) interval containment test instead of a parent walk. Derived
+    /// state: skipped by serde and rebuilt by
+    /// [`rebuild_index`](Ontology::rebuild_index).
+    #[serde(skip)]
+    entry: Vec<u32>,
+    /// Largest DFS entry time within each concept's subtree.
+    #[serde(skip)]
+    last: Vec<u32>,
+    /// Concepts in DFS pre-order (roots and children in insertion order):
+    /// any subtree is the contiguous slice `preorder[entry[c]..=last[c]]`.
+    #[serde(skip)]
+    preorder: Vec<ConceptId>,
     #[serde(skip)]
     by_name: HashMap<String, ConceptId>,
 }
@@ -140,12 +156,35 @@ impl Ontology {
         }
     }
 
+    /// Whether the DFS interval labels cover the current arena (they are
+    /// derived state, absent between deserialization and
+    /// [`rebuild_index`](Ontology::rebuild_index)).
+    #[inline]
+    fn intervals_ready(&self) -> bool {
+        self.entry.len() == self.concepts.len()
+    }
+
     /// Non-strict subsumption: does `general` subsume `specific`
     /// (`specific <= general`)?
     ///
-    /// Runs in `O(depth)` by walking parent pointers; `depth(general)` is
-    /// compared first so deep mismatches bail out without a full walk.
+    /// Runs in O(1) via DFS interval containment: `general`'s subtree is
+    /// exactly the entry-time interval `entry[general]..=last[general]`, so
+    /// membership is two integer comparisons. Falls back to the O(depth)
+    /// parent walk only when the labels have not been (re)built yet.
+    #[inline]
     pub fn subsumes(&self, general: ConceptId, specific: ConceptId) -> bool {
+        if self.intervals_ready() {
+            let e = self.entry[specific.index()];
+            self.entry[general.index()] <= e && e <= self.last[general.index()]
+        } else {
+            self.subsumes_walk(general, specific)
+        }
+    }
+
+    /// Walk-based reference implementation of [`subsumes`](Ontology::subsumes):
+    /// O(depth) along parent pointers. Kept private as the fallback before
+    /// interval labels exist and as the oracle for equivalence tests.
+    fn subsumes_walk(&self, general: ConceptId, specific: ConceptId) -> bool {
         let dg = self.depths[general.index()];
         let mut cur = specific;
         while self.depths[cur.index()] > dg {
@@ -159,13 +198,32 @@ impl Ontology {
     }
 
     /// Strict subsumption: `specific < general`.
+    #[inline]
     pub fn strictly_subsumes(&self, general: ConceptId, specific: ConceptId) -> bool {
         general != specific && self.subsumes(general, specific)
     }
 
     /// All concepts subsumed by `root` (including `root` itself), in
     /// deterministic pre-order.
+    ///
+    /// With interval labels this is a copy of the contiguous pre-order
+    /// slice covering `root`'s subtree — O(k) for k descendants, no stack
+    /// and no per-node child iteration.
     pub fn descendants(&self, root: ConceptId) -> Vec<ConceptId> {
+        if self.intervals_ready() {
+            let lo = self.entry[root.index()] as usize;
+            let hi = self.last[root.index()] as usize;
+            self.preorder[lo..=hi].to_vec()
+        } else {
+            self.descendants_walk(root)
+        }
+    }
+
+    /// Walk-based reference implementation of
+    /// [`descendants`](Ontology::descendants): explicit-stack DFS. Kept
+    /// private as the fallback before interval labels exist and as the
+    /// oracle for equivalence tests.
+    fn descendants_walk(&self, root: ConceptId) -> Vec<ConceptId> {
         let mut out = Vec::new();
         let mut stack = vec![root];
         while let Some(c) = stack.pop() {
@@ -194,7 +252,25 @@ impl Ontology {
 
     /// Lowest common ancestor of two concepts, or `None` when they live in
     /// different trees of the forest.
+    ///
+    /// Fast path: when one argument subsumes the other (an O(1) interval
+    /// test) the subsumer is the LCA. Otherwise the answer is the first
+    /// ancestor of the shallower-after-leveling argument whose interval
+    /// contains the other — one O(1) test per climbed edge instead of the
+    /// dual-pointer lock-step walk.
     pub fn lca(&self, a: ConceptId, b: ConceptId) -> Option<ConceptId> {
+        if self.intervals_ready() {
+            if self.subsumes(a, b) {
+                return Some(a);
+            }
+            let mut cur = a;
+            loop {
+                cur = self.concepts[cur.index()].parent?;
+                if self.subsumes(cur, b) {
+                    return Some(cur);
+                }
+            }
+        }
         let (mut a, mut b) = (a, b);
         while self.depths[a.index()] > self.depths[b.index()] {
             a = self.concepts[a.index()].parent?;
@@ -225,8 +301,9 @@ impl Ontology {
         }
     }
 
-    /// Rebuilds the name index. Needed after deserialization, because the
-    /// index is derived state and is skipped by serde.
+    /// Rebuilds the derived state skipped by serde: the name index and the
+    /// DFS interval labels backing the O(1) subsumption / O(k) descendants
+    /// fast paths. Needed after deserialization.
     pub fn rebuild_index(&mut self) {
         self.by_name = self
             .concepts
@@ -234,7 +311,57 @@ impl Ontology {
             .enumerate()
             .map(|(i, c)| (c.name.clone(), ConceptId::from_index(i)))
             .collect();
+        let (entry, last, preorder) = compute_intervals(&self.concepts, &self.children);
+        self.entry = entry;
+        self.last = last;
+        self.preorder = preorder;
     }
+}
+
+/// Labels every concept with its DFS entry time and the largest entry time in
+/// its subtree, visiting roots and children in insertion order. One global
+/// counter runs across the whole forest, so intervals of disjoint trees never
+/// overlap and `preorder` matches the historical explicit-stack DFS order.
+fn compute_intervals(
+    concepts: &[Concept],
+    children: &[Vec<ConceptId>],
+) -> (Vec<u32>, Vec<u32>, Vec<ConceptId>) {
+    let n = concepts.len();
+    let mut entry = vec![0u32; n];
+    let mut last = vec![0u32; n];
+    let mut preorder = Vec::with_capacity(n);
+    let mut clock = 0u32;
+    let mut stack: Vec<ConceptId> = Vec::new();
+    for (i, c) in concepts.iter().enumerate() {
+        if c.parent.is_some() {
+            continue;
+        }
+        stack.push(ConceptId::from_index(i));
+        while let Some(c) = stack.pop() {
+            entry[c.index()] = clock;
+            preorder.push(c);
+            clock += 1;
+            for &child in children[c.index()].iter().rev() {
+                stack.push(child);
+            }
+        }
+    }
+    // `last[c]` is the max entry time in c's subtree: seed with own entry,
+    // then fold children into parents in reverse arena order (children always
+    // follow their parents in the arena, so each child's value is final).
+    for (i, e) in entry.iter().enumerate() {
+        last[i] = *e;
+    }
+    for i in (0..n).rev() {
+        if let Some(p) = concepts[i].parent {
+            let li = last[i];
+            let lp = &mut last[p.index()];
+            if li > *lp {
+                *lp = li;
+            }
+        }
+    }
+    (entry, last, preorder)
 }
 
 /// Iterator over a concept and its ancestors, root-ward.
@@ -353,12 +480,16 @@ impl OntologyBuilder {
                 )));
             }
         }
+        let (entry, last, preorder) = compute_intervals(&self.concepts, &children);
         Ok(Ontology {
             name: self.name,
             concepts: self.concepts,
             children,
             abstract_flags: self.abstract_flags,
             depths,
+            entry,
+            last,
+            preorder,
             by_name: self.by_name,
         })
     }
@@ -539,5 +670,72 @@ mod tests {
         let dna = back.id("DNASequence").unwrap();
         assert!(back.subsumes(bio, dna));
         assert_eq!(back.len(), o.len());
+    }
+
+    #[test]
+    fn interval_labels_agree_with_walks_on_sample() {
+        let o = sample();
+        assert!(o.intervals_ready());
+        for a in o.iter() {
+            assert_eq!(o.descendants(a), o.descendants_walk(a), "descendants");
+            for b in o.iter() {
+                assert_eq!(
+                    o.subsumes(a, b),
+                    o.subsumes_walk(a, b),
+                    "subsumes({}, {})",
+                    o.concept_name(a),
+                    o.concept_name(b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deserialized_ontology_answers_before_and_after_reindex() {
+        // Queries must be correct in the walk-fallback window between
+        // deserialization and rebuild_index, and identical afterwards.
+        let o = sample();
+        let json = serde_json::to_string(&o).unwrap();
+        let mut back: Ontology = serde_json::from_str(&json).unwrap();
+        assert!(!back.intervals_ready());
+        let answers_before: Vec<bool> = o
+            .iter()
+            .flat_map(|a| o.iter().map(move |b| (a, b)))
+            .map(|(a, b)| back.subsumes(a, b))
+            .collect();
+        back.rebuild_index();
+        assert!(back.intervals_ready());
+        let answers_after: Vec<bool> = o
+            .iter()
+            .flat_map(|a| o.iter().map(move |b| (a, b)))
+            .map(|(a, b)| back.subsumes(a, b))
+            .collect();
+        assert_eq!(answers_before, answers_after);
+        for id in o.iter() {
+            assert_eq!(back.descendants(id), o.descendants(id));
+        }
+    }
+
+    #[test]
+    fn intervals_cover_forest_disjointly() {
+        let mut b = Ontology::builder("forest");
+        b.root("A").unwrap();
+        b.child("A1", "A").unwrap();
+        b.root("B").unwrap();
+        b.child("B1", "B").unwrap();
+        b.child("B2", "B").unwrap();
+        let o = b.build().unwrap();
+        let a = o.id("A").unwrap();
+        let bb = o.id("B").unwrap();
+        // One global clock across trees: every concept has a unique entry
+        // time and the two root intervals do not overlap.
+        assert_eq!(o.descendants(a).len(), 2);
+        assert_eq!(o.descendants(bb).len(), 3);
+        assert!(!o.subsumes(a, bb) && !o.subsumes(bb, a));
+        for x in o.descendants(a) {
+            for y in o.descendants(bb) {
+                assert!(!o.subsumes(x, y) && !o.subsumes(y, x));
+            }
+        }
     }
 }

@@ -1,10 +1,100 @@
 //! The instance pool and its `getInstance` lookups.
 
 use crate::instance::AnnotatedInstance;
-use dex_ontology::Ontology;
-use dex_values::StructuralType;
+use dex_ontology::{ConceptId, Ontology};
+use dex_values::{StructuralType, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// Structural conformance of one pool instance, precomputed at index time.
+///
+/// `get_instance` must test every realization candidate against the
+/// parameter's structural type; caching the verdict-determining shape here
+/// turns that test into an enum match + [`StructuralType::accepts`] instead
+/// of a recursive walk over the value on every query.
+#[derive(Debug, Clone)]
+enum CachedShape {
+    /// `Null`: conforms to every structural type.
+    Any,
+    /// A value whose conformance is exactly `query.accepts(shape)` — scalars,
+    /// and lists whose non-null elements all share one structural type.
+    Exact(StructuralType),
+    /// Mixed or empty lists: conformance needs the full recursive
+    /// [`Value::conforms_to`] walk.
+    Opaque,
+}
+
+impl CachedShape {
+    fn of(value: &Value) -> CachedShape {
+        match value {
+            Value::Null => CachedShape::Any,
+            Value::List(items) => {
+                let mut inner: Option<StructuralType> = None;
+                for item in items {
+                    match CachedShape::of(item) {
+                        CachedShape::Any => {}
+                        CachedShape::Exact(t) => match &inner {
+                            None => inner = Some(t),
+                            Some(prev) if *prev == t => {}
+                            Some(_) => return CachedShape::Opaque,
+                        },
+                        CachedShape::Opaque => return CachedShape::Opaque,
+                    }
+                }
+                match inner {
+                    Some(t) => CachedShape::Exact(StructuralType::list_of(t)),
+                    // Empty / all-null lists conform to every list type but
+                    // no scalar type; leave those to the full walk.
+                    None => CachedShape::Opaque,
+                }
+            }
+            scalar => match scalar.structural_type() {
+                Some(t) => CachedShape::Exact(t),
+                None => CachedShape::Opaque,
+            },
+        }
+    }
+}
+
+/// Realizations of one exact concept: instance indices in insertion order,
+/// each with its cached structural shape.
+#[derive(Debug, Clone, Default)]
+struct Bucket {
+    entries: Vec<(usize, CachedShape)>,
+}
+
+/// Derived lookup structures, skipped by serde and rebuilt by
+/// [`InstancePool::rebuild_index`].
+#[derive(Debug, Clone, Default)]
+struct PoolIndex {
+    /// concept name → slot in `buckets`.
+    slot_by_name: HashMap<String, usize>,
+    buckets: Vec<Bucket>,
+}
+
+impl PoolIndex {
+    fn add(&mut self, instance_idx: usize, instance: &AnnotatedInstance) {
+        let slot = match self.slot_by_name.get(&instance.concept) {
+            Some(&slot) => slot,
+            None => {
+                let slot = self.buckets.len();
+                self.slot_by_name.insert(instance.concept.clone(), slot);
+                self.buckets.push(Bucket::default());
+                slot
+            }
+        };
+        self.buckets[slot]
+            .entries
+            .push((instance_idx, CachedShape::of(&instance.value)));
+    }
+
+    fn bucket(&self, concept: &str) -> &[(usize, CachedShape)] {
+        self.slot_by_name
+            .get(concept)
+            .map(|&slot| self.buckets[slot].entries.as_slice())
+            .unwrap_or(&[])
+    }
+}
 
 /// A pool of annotated instances with concept-indexed lookup.
 ///
@@ -15,9 +105,8 @@ use std::collections::HashMap;
 pub struct InstancePool {
     name: String,
     instances: Vec<AnnotatedInstance>,
-    /// concept name → indices of instances annotated with exactly it.
     #[serde(skip)]
-    by_concept: HashMap<String, Vec<usize>>,
+    index: PoolIndex,
 }
 
 impl InstancePool {
@@ -26,7 +115,7 @@ impl InstancePool {
         InstancePool {
             name: name.into(),
             instances: Vec::new(),
-            by_concept: HashMap::new(),
+            index: PoolIndex::default(),
         }
     }
 
@@ -48,10 +137,7 @@ impl InstancePool {
     /// Adds an instance.
     pub fn add(&mut self, instance: AnnotatedInstance) {
         let idx = self.instances.len();
-        self.by_concept
-            .entry(instance.concept.clone())
-            .or_default()
-            .push(idx);
+        self.index.add(idx, &instance);
         self.instances.push(instance);
     }
 
@@ -62,53 +148,102 @@ impl InstancePool {
 
     /// Instances that *realize* `concept` — annotated with exactly it.
     pub fn realizations_of(&self, concept: &str) -> impl Iterator<Item = &AnnotatedInstance> {
-        self.by_concept
-            .get(concept)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        self.index
+            .bucket(concept)
             .iter()
-            .map(|&i| &self.instances[i])
+            .map(|&(i, _)| &self.instances[i])
     }
 
     /// The paper's `getInstance(c, pl)`: the first instance realizing
     /// `concept` whose structure is accepted by `structural`; `skip` selects
     /// later candidates deterministically (used by the matcher to pick the
     /// *same* values for two modules, and by ablations to vary values).
+    ///
+    /// An indexed lookup: candidates come from the concept's bucket and the
+    /// structural test uses the shape cached at index time, so no value is
+    /// re-walked per query.
     pub fn get_instance(
         &self,
         concept: &str,
         structural: &StructuralType,
         skip: usize,
     ) -> Option<&AnnotatedInstance> {
-        self.realizations_of(concept)
-            .filter(|inst| inst.value.conforms_to(structural))
-            .nth(skip)
+        let mut remaining = skip;
+        for (i, shape) in self.index.bucket(concept) {
+            let conforms = match shape {
+                CachedShape::Any => true,
+                CachedShape::Exact(actual) => structural.accepts(actual),
+                CachedShape::Opaque => self.instances[*i].value.conforms_to(structural),
+            };
+            if conforms {
+                if remaining == 0 {
+                    return Some(&self.instances[*i]);
+                }
+                remaining -= 1;
+            }
+        }
+        None
     }
 
     /// Instances of `concept` under instance-of semantics: annotated with
     /// `concept` or any concept subsumed by it. Requires the ontology to
     /// resolve subsumption; instances annotated with names the ontology does
     /// not know are skipped.
+    ///
+    /// Subtree-aware: enumerates the concept's descendants (a contiguous
+    /// pre-order slice under the ontology's interval labels) and merges
+    /// their realization buckets, instead of scanning every instance and
+    /// walking parent chains. Cost is O(descendants + hits·log hits) rather
+    /// than O(pool size × depth).
     pub fn instances_of<'a>(
         &'a self,
         concept: &str,
         ontology: &'a Ontology,
     ) -> impl Iterator<Item = &'a AnnotatedInstance> {
-        let target = ontology.id(concept);
-        self.instances.iter().filter(move |inst| {
-            let Some(target) = target else { return false };
-            ontology
-                .id(&inst.concept)
-                .is_some_and(|c| ontology.subsumes(target, c))
-        })
+        let indices = match ontology.id(concept) {
+            Some(target) => self.subtree_indices(target, ontology),
+            None => Vec::new(),
+        };
+        indices.into_iter().map(move |i| &self.instances[i])
+    }
+
+    /// Pool indices of all instances-of `concept`, in insertion order.
+    fn subtree_indices(&self, concept: ConceptId, ontology: &Ontology) -> Vec<usize> {
+        let mut indices: Vec<usize> = Vec::new();
+        for c in ontology.descendants(concept) {
+            indices.extend(
+                self.index
+                    .bucket(ontology.concept_name(c))
+                    .iter()
+                    .map(|&(i, _)| i),
+            );
+        }
+        // Buckets are per-concept runs; sorting restores global insertion
+        // order across the merged subtree.
+        indices.sort_unstable();
+        indices
+    }
+
+    /// Resolves this pool's buckets against an ontology once, yielding a
+    /// [`ConceptIndex`] whose lookups are keyed by [`ConceptId`] — no name
+    /// hashing on any subsequent query.
+    pub fn bind<'p>(&'p self, ontology: &Ontology) -> ConceptIndex<'p> {
+        let mut slots = vec![None; ontology.len()];
+        for (name, &slot) in &self.index.slot_by_name {
+            if let Some(id) = ontology.id(name) {
+                slots[id.index()] = Some(slot);
+            }
+        }
+        ConceptIndex { pool: self, slots }
     }
 
     /// Concepts that have at least one realization in the pool, sorted.
     pub fn covered_concepts(&self) -> Vec<&str> {
         let mut names: Vec<&str> = self
-            .by_concept
+            .index
+            .slot_by_name
             .iter()
-            .filter(|(_, v)| !v.is_empty())
+            .filter(|(_, &slot)| !self.index.buckets[slot].entries.is_empty())
             .map(|(k, _)| k.as_str())
             .collect();
         names.sort_unstable();
@@ -117,12 +252,9 @@ impl InstancePool {
 
     /// Rebuilds the concept index (needed after deserialization).
     pub fn rebuild_index(&mut self) {
-        self.by_concept.clear();
+        self.index = PoolIndex::default();
         for (idx, inst) in self.instances.iter().enumerate() {
-            self.by_concept
-                .entry(inst.concept.clone())
-                .or_default()
-                .push(idx);
+            self.index.add(idx, inst);
         }
     }
 
@@ -146,6 +278,86 @@ impl InstancePool {
     }
 }
 
+/// An ontology-bound view of an [`InstancePool`]: every lookup is keyed by
+/// [`ConceptId`], with the concept-name → bucket resolution done once in
+/// [`InstancePool::bind`]. Build it outside a matching loop and reuse it for
+/// every query against the same ontology.
+#[derive(Debug, Clone)]
+pub struct ConceptIndex<'p> {
+    pool: &'p InstancePool,
+    /// `ConceptId` index → bucket slot in the pool's index (`None` when the
+    /// pool holds no realization of that concept).
+    slots: Vec<Option<usize>>,
+}
+
+impl<'p> ConceptIndex<'p> {
+    /// The pool this index resolves into.
+    pub fn pool(&self) -> &'p InstancePool {
+        self.pool
+    }
+
+    fn bucket(&self, concept: ConceptId) -> &'p [(usize, CachedShape)] {
+        self.slots
+            .get(concept.index())
+            .copied()
+            .flatten()
+            .map(|slot| self.pool.index.buckets[slot].entries.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Instances realizing exactly `concept`, in insertion order.
+    pub fn realizations_of(
+        &self,
+        concept: ConceptId,
+    ) -> impl Iterator<Item = &'p AnnotatedInstance> {
+        self.bucket(concept)
+            .iter()
+            .map(|&(i, _)| &self.pool.instances[i])
+    }
+
+    /// [`InstancePool::get_instance`] keyed by concept id.
+    pub fn get_instance(
+        &self,
+        concept: ConceptId,
+        structural: &StructuralType,
+        skip: usize,
+    ) -> Option<&'p AnnotatedInstance> {
+        let mut remaining = skip;
+        for (i, shape) in self.bucket(concept) {
+            let conforms = match shape {
+                CachedShape::Any => true,
+                CachedShape::Exact(actual) => structural.accepts(actual),
+                CachedShape::Opaque => self.pool.instances[*i].value.conforms_to(structural),
+            };
+            if conforms {
+                if remaining == 0 {
+                    return Some(&self.pool.instances[*i]);
+                }
+                remaining -= 1;
+            }
+        }
+        None
+    }
+
+    /// [`InstancePool::instances_of`] keyed by concept id: merges the
+    /// realization buckets of the concept's descendant slice.
+    pub fn instances_of(
+        &self,
+        concept: ConceptId,
+        ontology: &Ontology,
+    ) -> Vec<&'p AnnotatedInstance> {
+        let mut indices: Vec<usize> = Vec::new();
+        for c in ontology.descendants(concept) {
+            indices.extend(self.bucket(c).iter().map(|&(i, _)| i));
+        }
+        indices.sort_unstable();
+        indices
+            .into_iter()
+            .map(|i| &self.pool.instances[i])
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,7 +375,10 @@ mod tests {
         let mut p = InstancePool::new("test");
         p.add(AnnotatedInstance::synthetic(Value::text("ACGT"), "DNA"));
         p.add(AnnotatedInstance::synthetic(Value::text("MKVL"), "Protein"));
-        p.add(AnnotatedInstance::synthetic(Value::text("NNNN"), "Sequence"));
+        p.add(AnnotatedInstance::synthetic(
+            Value::text("NNNN"),
+            "Sequence",
+        ));
         p.add(AnnotatedInstance::synthetic(Value::text("TTTT"), "DNA"));
         p.add(AnnotatedInstance::synthetic(Value::Integer(7), "Accession"));
         p
@@ -183,13 +398,9 @@ mod tests {
     #[test]
     fn get_instance_respects_structure_and_skip() {
         let p = pool();
-        let first = p
-            .get_instance("DNA", &StructuralType::Text, 0)
-            .unwrap();
+        let first = p.get_instance("DNA", &StructuralType::Text, 0).unwrap();
         assert_eq!(first.value, Value::text("ACGT"));
-        let second = p
-            .get_instance("DNA", &StructuralType::Text, 1)
-            .unwrap();
+        let second = p.get_instance("DNA", &StructuralType::Text, 1).unwrap();
         assert_eq!(second.value, Value::text("TTTT"));
         assert!(p.get_instance("DNA", &StructuralType::Text, 2).is_none());
         // Structural filter: the Accession instance is an Integer.
@@ -243,5 +454,105 @@ mod tests {
         assert!(back
             .get_instance("Protein", &StructuralType::Text, 0)
             .is_some());
+    }
+
+    #[test]
+    fn bound_index_agrees_with_name_keyed_lookups() {
+        let p = pool();
+        let o = sample_ontology();
+        let idx = p.bind(&o);
+        for name in ["BioData", "Sequence", "DNA", "Protein", "Accession"] {
+            let id = o.id(name).unwrap();
+            let by_name: Vec<&AnnotatedInstance> = p.realizations_of(name).collect();
+            let by_id: Vec<&AnnotatedInstance> = idx.realizations_of(id).collect();
+            assert_eq!(by_id.len(), by_name.len(), "{name}");
+            for (a, b) in by_id.iter().zip(&by_name) {
+                assert_eq!(a.value, b.value);
+            }
+            let of_name: Vec<String> = p
+                .instances_of(name, &o)
+                .map(|i| i.value.to_string())
+                .collect();
+            let of_id: Vec<String> = idx
+                .instances_of(id, &o)
+                .into_iter()
+                .map(|i| i.value.to_string())
+                .collect();
+            assert_eq!(of_id, of_name, "{name}");
+            for skip in 0..3 {
+                assert_eq!(
+                    idx.get_instance(id, &StructuralType::Text, skip)
+                        .map(|i| &i.value),
+                    p.get_instance(name, &StructuralType::Text, skip)
+                        .map(|i| &i.value),
+                    "{name} skip {skip}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_shapes_preserve_conformance_semantics() {
+        let mut p = InstancePool::new("shapes");
+        p.add(AnnotatedInstance::synthetic(Value::Null, "C"));
+        p.add(AnnotatedInstance::synthetic(Value::Integer(1), "C"));
+        p.add(AnnotatedInstance::synthetic(
+            Value::from(vec![1i64, 2]),
+            "C",
+        ));
+        p.add(AnnotatedInstance::synthetic(Value::List(vec![]), "C"));
+        p.add(AnnotatedInstance::synthetic(
+            Value::List(vec![Value::Integer(1), Value::text("x")]),
+            "C",
+        ));
+        let queries = [
+            StructuralType::Text,
+            StructuralType::Integer,
+            StructuralType::Float,
+            StructuralType::list_of(StructuralType::Integer),
+            StructuralType::list_of(StructuralType::Float),
+            StructuralType::list_of(StructuralType::Text),
+        ];
+        // Oracle: the unindexed per-value conformance walk.
+        for q in &queries {
+            let expected: Vec<&AnnotatedInstance> =
+                p.iter().filter(|i| i.value.conforms_to(q)).collect();
+            for (skip, want) in expected.iter().enumerate() {
+                let got = p.get_instance("C", q, skip).unwrap();
+                assert_eq!(got.value, want.value, "query {q:?} skip {skip}");
+            }
+            assert!(p.get_instance("C", q, expected.len()).is_none());
+        }
+    }
+
+    #[test]
+    fn rebuild_index_matches_fresh_scan_after_retain_and_serde() {
+        let assert_consistent = |p: &InstancePool| {
+            // Every concept's bucket must list exactly the pool indices a
+            // fresh scan finds, in insertion order.
+            for name in p.covered_concepts() {
+                let scanned: Vec<&AnnotatedInstance> =
+                    p.iter().filter(|i| i.concept == name).collect();
+                let indexed: Vec<&AnnotatedInstance> = p.realizations_of(name).collect();
+                assert_eq!(indexed.len(), scanned.len(), "{name}");
+                for (a, b) in indexed.iter().zip(&scanned) {
+                    assert_eq!(a.value, b.value, "{name}");
+                }
+            }
+            let total: usize = p
+                .covered_concepts()
+                .iter()
+                .map(|n| p.realizations_of(n).count())
+                .sum();
+            assert_eq!(total, p.len(), "index covers every instance");
+        };
+
+        let mut p = pool();
+        assert_consistent(&p);
+        p.retain(|i| i.concept != "DNA");
+        assert_consistent(&p);
+        let back = InstancePool::from_json(&p.to_json().unwrap()).unwrap();
+        assert_consistent(&back);
+        assert_eq!(back.covered_concepts(), p.covered_concepts());
     }
 }

@@ -14,11 +14,7 @@ use rand::SeedableRng;
 /// order; unsupported concepts (none, for the shipped myGrid-like ontology)
 /// are skipped silently — callers can detect gaps via
 /// [`InstancePool::covered_concepts`].
-pub fn build_synthetic_pool(
-    ontology: &Ontology,
-    per_concept: usize,
-    seed: u64,
-) -> InstancePool {
+pub fn build_synthetic_pool(ontology: &Ontology, per_concept: usize, seed: u64) -> InstancePool {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut pool = InstancePool::new(format!("synthetic-{seed}"));
     for concept in ontology.iter() {
@@ -45,10 +41,7 @@ mod tests {
     fn pool_covers_every_realizable_concept() {
         let onto = mygrid::ontology();
         let pool = build_synthetic_pool(&onto, 3, 1);
-        let realizable = onto
-            .iter()
-            .filter(|&c| onto.can_be_realized(c))
-            .count();
+        let realizable = onto.iter().filter(|&c| onto.can_be_realized(c)).count();
         assert_eq!(pool.covered_concepts().len(), realizable);
         assert_eq!(pool.len(), realizable * 3);
     }

@@ -80,7 +80,9 @@ impl ProvenanceCorpus {
         &'a self,
         workflow_id: &'a str,
     ) -> impl Iterator<Item = &'a EnactmentTrace> {
-        self.traces.iter().filter(move |t| t.workflow == workflow_id)
+        self.traces
+            .iter()
+            .filter(move |t| t.workflow == workflow_id)
     }
 }
 

@@ -29,8 +29,7 @@ pub fn harvest_pool(
     for trace in corpus.traces() {
         for record in &trace.steps {
             let descriptor = catalog.descriptor(&record.module);
-            let sides: [(&[Value], bool); 2] =
-                [(&record.inputs, false), (&record.outputs, true)];
+            let sides: [(&[Value], bool); 2] = [(&record.inputs, false), (&record.outputs, true)];
             for (values, is_output) in sides {
                 for (idx, value) in values.iter().enumerate() {
                     if value.is_null() {

@@ -34,7 +34,10 @@ pub fn annotate_catalog(
     ontology: &Ontology,
     pool: &InstancePool,
     config: &GenerationConfig,
-) -> (ModuleRegistry, Vec<(dex_modules::ModuleId, GenerationError)>) {
+) -> (
+    ModuleRegistry,
+    Vec<(dex_modules::ModuleId, GenerationError)>,
+) {
     let mut registry = ModuleRegistry::new("registry");
     let mut failures = Vec::new();
     for (id, module) in catalog.iter_available() {
@@ -60,8 +63,12 @@ mod tests {
         let universe = dex_universe::build();
         let onto = mygrid::ontology();
         let pool = build_synthetic_pool(&onto, 4, 9);
-        let (registry, failures) =
-            annotate_catalog(&universe.catalog, &onto, &pool, &GenerationConfig::default());
+        let (registry, failures) = annotate_catalog(
+            &universe.catalog,
+            &onto,
+            &pool,
+            &GenerationConfig::default(),
+        );
         assert!(failures.is_empty(), "{failures:?}");
         // All 324 modules are currently available (decay not yet run).
         assert_eq!(registry.len(), 324);

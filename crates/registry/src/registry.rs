@@ -71,11 +71,7 @@ impl ModuleRegistry {
     }
 
     /// Attaches generated data examples to a registered module.
-    pub fn attach_examples(
-        &mut self,
-        id: &ModuleId,
-        examples: ExampleSet,
-    ) -> Result<(), String> {
+    pub fn attach_examples(&mut self, id: &ModuleId, examples: ExampleSet) -> Result<(), String> {
         let entry = self
             .entries
             .get_mut(id)

@@ -218,12 +218,7 @@ mod tests {
     fn substitution_candidates_by_mode() {
         let onto = mygrid::ontology();
         let r = registry();
-        let target = descriptor(
-            "t",
-            "Target",
-            "UniprotAccession",
-            "ProteinSequence",
-        );
+        let target = descriptor("t", "Target", "UniprotAccession", "ProteinSequence");
         // Strict: only b matches exactly, but b is unavailable.
         let strict = substitution_candidates(&r, &target, &onto, MappingMode::Strict);
         assert!(strict.is_empty());

@@ -65,7 +65,7 @@ impl RegistryStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dex_core::{GenerationConfig};
+    use dex_core::GenerationConfig;
     use dex_pool::build_synthetic_pool;
 
     #[test]

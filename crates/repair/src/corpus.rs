@@ -40,7 +40,10 @@ pub fn build_corpus(
     }
 
     for legacy in &universe.legacy {
-        for (k, inputs) in archive_inputs(universe, pool, legacy).into_iter().enumerate() {
+        for (k, inputs) in archive_inputs(universe, pool, legacy)
+            .into_iter()
+            .enumerate()
+        {
             match universe.catalog.invoke(legacy, &inputs) {
                 Ok(outputs) => corpus.add(EnactmentTrace {
                     workflow: format!("ispider:{legacy}:{k}"),
@@ -66,11 +69,7 @@ pub fn build_corpus(
 /// realizations per input slot, balanced across the divergence split for
 /// overlapping modules (real archives are heterogeneous; this guarantees
 /// the heterogeneity survives a small sample).
-fn archive_inputs(
-    universe: &Universe,
-    pool: &InstancePool,
-    legacy: &ModuleId,
-) -> Vec<Vec<Value>> {
+fn archive_inputs(universe: &Universe, pool: &InstancePool, legacy: &ModuleId) -> Vec<Vec<Value>> {
     let descriptor = universe
         .catalog
         .descriptor(legacy)
@@ -107,8 +106,8 @@ fn archive_inputs(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::repository::{generate_repository, RepositoryPlan};
     use crate::keys::diverges_on;
+    use crate::repository::{generate_repository, RepositoryPlan};
     use dex_pool::build_synthetic_pool;
     use dex_universe::{build, ExpectedMatch};
 

@@ -201,8 +201,7 @@ fn verify_substitution(
     let mut replayed = 0usize;
     for trace in corpus.traces_of(&workflow.id) {
         for record in trace.steps.iter().filter(|r| r.step == step) {
-            let mut inputs: Vec<Value> =
-                vec![Value::Null; candidate.descriptor().inputs.len()];
+            let mut inputs: Vec<Value> = vec![Value::Null; candidate.descriptor().inputs.len()];
             for (t_idx, &c_idx) in mapping.inputs.iter().enumerate() {
                 inputs[c_idx] = record.inputs[t_idx].clone();
             }
@@ -250,9 +249,7 @@ mod tests {
         for (stored, outcome) in repo.workflows.iter().zip(&outcomes) {
             let expected = match stored.group {
                 PlanGroup::Healthy => RepairStatus::Healthy,
-                PlanGroup::EquivalentFull | PlanGroup::OverlapFull => {
-                    RepairStatus::FullyRepaired
-                }
+                PlanGroup::EquivalentFull | PlanGroup::OverlapFull => RepairStatus::FullyRepaired,
                 PlanGroup::EquivalentPartial | PlanGroup::OverlapPartial => {
                     RepairStatus::PartiallyRepaired
                 }
@@ -284,7 +281,10 @@ mod tests {
         );
         assert_eq!(
             summary.repaired(),
-            plan.equivalent_full + plan.equivalent_partial + plan.overlap_full + plan.overlap_partial
+            plan.equivalent_full
+                + plan.equivalent_partial
+                + plan.overlap_full
+                + plan.overlap_partial
         );
     }
 
@@ -297,8 +297,7 @@ mod tests {
         let corpus = build_corpus(&u, &repo, &pool);
         u.decay();
         let study = run_matching_study(&u.catalog, &corpus, &u.ontology);
-        let (outcomes, _) =
-            repair_repository(&repo, &u.catalog, &study, &corpus, &u.ontology);
+        let (outcomes, _) = repair_repository(&repo, &u.catalog, &study, &corpus, &u.ontology);
 
         for (stored, outcome) in repo.workflows.iter().zip(&outcomes) {
             if outcome.status != RepairStatus::FullyRepaired {
@@ -308,9 +307,8 @@ mod tests {
             for s in &outcome.substitutions {
                 repaired.steps[s.step].module = s.to.clone();
             }
-            let trace =
-                dex_workflow::enact(&repaired, &u.catalog, &stored.sample_inputs)
-                    .unwrap_or_else(|e| panic!("{}: {e}", stored.workflow.id));
+            let trace = dex_workflow::enact(&repaired, &u.catalog, &stored.sample_inputs)
+                .unwrap_or_else(|e| panic!("{}: {e}", stored.workflow.id));
             // The repaired workflow must deliver the pre-decay results.
             let original = corpus.traces_of(&stored.workflow.id).next().unwrap();
             assert_eq!(

@@ -38,9 +38,7 @@ pub fn divergence_key(module: &ModuleId, input: &Value) -> Option<String> {
         | "legacy:seq_stats_old"
         | "legacy:gc_content_old"
         | "legacy:get_concept_old" => text.to_string(),
-        "legacy:conv_genbank_fasta_old" => {
-            RecordFormat::GenBank.parse(text).ok()?.accession
-        }
+        "legacy:conv_genbank_fasta_old" => RecordFormat::GenBank.parse(text).ok()?.accession,
         "legacy:conv_embl_fasta_old" => RecordFormat::Embl.parse(text).ok()?.accession,
         "legacy:conv_pdb_fasta_old" => RecordFormat::Pdb.parse(text).ok()?.accession,
         "legacy:normalize_uniprot_old" => RecordFormat::Uniprot.parse(text).ok()?.accession,

@@ -197,7 +197,11 @@ mod tests {
             let m = &study.matches[legacy];
             match expected {
                 ExpectedMatch::Equivalent(_) => {
-                    assert!(m.has_equivalent(), "{legacy}: expected equivalent, got {:?}", m.best)
+                    assert!(
+                        m.has_equivalent(),
+                        "{legacy}: expected equivalent, got {:?}",
+                        m.best
+                    )
                 }
                 ExpectedMatch::Overlapping(_) => assert!(
                     m.has_overlap_only(),
@@ -205,7 +209,11 @@ mod tests {
                     m.best
                 ),
                 ExpectedMatch::None => {
-                    assert!(m.best.is_none(), "{legacy}: expected none, got {:?}", m.best)
+                    assert!(
+                        m.best.is_none(),
+                        "{legacy}: expected none, got {:?}",
+                        m.best
+                    )
                 }
             }
         }

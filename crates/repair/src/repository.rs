@@ -78,7 +78,9 @@ impl WorkflowRepository {
         &'a self,
         id: &'a ModuleId,
     ) -> impl Iterator<Item = &'a StoredWorkflow> {
-        self.workflows.iter().filter(move |w| w.workflow.uses_module(id))
+        self.workflows
+            .iter()
+            .filter(move |w| w.workflow.uses_module(id))
     }
 }
 
@@ -176,7 +178,14 @@ pub fn generate_repository(
     }
     for i in 0..plan.equivalent_full {
         let first = eq_legacy[i % eq_legacy.len()];
-        let stored = gen.compose(first, None, None, PlanGroup::EquivalentFull, counter, &mut rng);
+        let stored = gen.compose(
+            first,
+            None,
+            None,
+            PlanGroup::EquivalentFull,
+            counter,
+            &mut rng,
+        );
         counter += 1;
         push(&mut repo, stored);
     }
@@ -260,11 +269,7 @@ impl<'a> Generator<'a> {
         let available = universe.available_ids();
         // Index every module (legacy ones included: their outputs feed
         // downstream steps too).
-        let all_ids: Vec<ModuleId> = universe
-            .catalog
-            .available_ids()
-            .into_iter()
-            .collect();
+        let all_ids: Vec<ModuleId> = universe.catalog.available_ids().into_iter().collect();
         for id in &all_ids {
             let out = &universe.catalog.descriptor(id).expect("registered").outputs[0];
             let mut compatible = Vec::new();
@@ -272,9 +277,12 @@ impl<'a> Generator<'a> {
                 if cand == id {
                     continue;
                 }
-                let cin = &universe.catalog.descriptor(cand).expect("registered").inputs[0];
-                let semantic_ok = match (ontology.id(&cin.semantic), ontology.id(&out.semantic))
-                {
+                let cin = &universe
+                    .catalog
+                    .descriptor(cand)
+                    .expect("registered")
+                    .inputs[0];
+                let semantic_ok = match (ontology.id(&cin.semantic), ontology.id(&out.semantic)) {
                     (Some(t), Some(s)) => ontology.subsumes(t, s),
                     _ => false,
                 };
@@ -340,7 +348,9 @@ impl<'a> Generator<'a> {
         let mut upstream = (s0, first.clone());
         let chain_len = rng.gen_range(0..=2usize);
         for _ in 0..chain_len {
-            let Some(candidates) = self.downstream.get(&upstream.1) else { break };
+            let Some(candidates) = self.downstream.get(&upstream.1) else {
+                break;
+            };
             if candidates.is_empty() {
                 break;
             }
@@ -467,11 +477,7 @@ mod tests {
         let (u, pool) = fixture();
         let repo = generate_repository(&u, &pool, &RepositoryPlan::small(3));
         for stored in &repo.workflows {
-            let uses_legacy = stored
-                .workflow
-                .module_ids()
-                .iter()
-                .any(|m| u.is_legacy(m));
+            let uses_legacy = stored.workflow.module_ids().iter().any(|m| u.is_legacy(m));
             assert_eq!(
                 uses_legacy,
                 stored.group != PlanGroup::Healthy,

@@ -160,8 +160,18 @@ mod tests {
     fn unfamiliar_retrieval_outputs_block_identification() {
         let user = &UserModel::panel()[0];
         let d = descriptor("get");
-        assert!(user.identifies_with_examples(&d, &examples("get"), Category::DataRetrieval, false));
-        assert!(!user.identifies_with_examples(&d, &examples("get"), Category::DataRetrieval, true));
+        assert!(user.identifies_with_examples(
+            &d,
+            &examples("get"),
+            Category::DataRetrieval,
+            false
+        ));
+        assert!(!user.identifies_with_examples(
+            &d,
+            &examples("get"),
+            Category::DataRetrieval,
+            true
+        ));
     }
 
     #[test]

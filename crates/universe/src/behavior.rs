@@ -82,14 +82,14 @@ impl Pred {
             Pred::RecFormatIn(i, formats) => {
                 text(*i).is_some_and(|s| formats.iter().any(|f| f.parse(s).is_ok()))
             }
-            Pred::GenericSeqRecord(i) => {
-                text(*i).is_some_and(|s| s.starts_with("SEQUENCE-RECORD"))
-            }
+            Pred::GenericSeqRecord(i) => text(*i).is_some_and(|s| s.starts_with("SEQUENCE-RECORD")),
             Pred::TextPrefixed(i, prefix) => text(*i).is_some_and(|s| s.starts_with(prefix)),
-            Pred::ConceptIs(i, concept) => inputs
-                .get(*i)
-                .and_then(|v| dex_values::classify::classify_concept(v))
-                == Some(concept.as_str()),
+            Pred::ConceptIs(i, concept) => {
+                inputs
+                    .get(*i)
+                    .and_then(|v| dex_values::classify::classify_concept(v))
+                    == Some(concept.as_str())
+            }
             Pred::FloatAbove(i, bound) => inputs
                 .get(*i)
                 .and_then(|v| v.as_f64())
@@ -204,12 +204,18 @@ mod tests {
             "demo",
             vec![
                 BehaviorClass::new("dna", Pred::SeqKind(0, SequenceKind::Dna)),
-                BehaviorClass::new("any-seq", Pred::SeqKindIn(0, vec![
-                    SequenceKind::Dna,
-                    SequenceKind::Rna,
-                    SequenceKind::Protein,
-                    SequenceKind::Generic,
-                ])),
+                BehaviorClass::new(
+                    "any-seq",
+                    Pred::SeqKindIn(
+                        0,
+                        vec![
+                            SequenceKind::Dna,
+                            SequenceKind::Rna,
+                            SequenceKind::Protein,
+                            SequenceKind::Generic,
+                        ],
+                    ),
+                ),
                 BehaviorClass::new("other", Pred::Always),
             ],
         );

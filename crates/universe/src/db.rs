@@ -198,10 +198,7 @@ pub fn identify_protein(masses: &[f64], tolerance: f64, salt: u64) -> Identifica
     } else {
         "loose"
     };
-    let mass_key: String = masses
-        .iter()
-        .map(|m| format!("{:.1};", m))
-        .collect();
+    let mass_key: String = masses.iter().map(|m| format!("{:.1};", m)).collect();
     let mut rng = rng_for(&["identify", bucket, &mass_key], salt);
     IdentificationReport {
         accession: AccessionKind::Uniprot.generate(&mut rng),

@@ -3,10 +3,10 @@
 //! *observable* behavioral differences, and uniform specs to uniform
 //! behavior.
 
+use dex_core::BehaviorOracle;
 use dex_core::{generate_examples, GenerationConfig};
 use dex_pool::build_synthetic_pool;
 use dex_universe::{build, SpecOracle};
-use dex_core::BehaviorOracle;
 use std::collections::BTreeMap;
 
 /// For every multi-class module: examples that land in *different* classes
@@ -94,6 +94,10 @@ fn module_names_are_unique() {
     for id in u.catalog.available_ids() {
         let d = u.catalog.descriptor(&id).unwrap();
         assert!(!d.name.is_empty());
-        assert!(seen.insert(d.name.clone()), "duplicate module name {}", d.name);
+        assert!(
+            seen.insert(d.name.clone()),
+            "duplicate module name {}",
+            d.name
+        );
     }
 }

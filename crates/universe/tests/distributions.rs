@@ -78,7 +78,11 @@ fn tables_1_2_and_coverage_shapes() {
     assert_eq!(completeness.get("0.500").copied().unwrap_or(0), 2);
 
     // Table 2 shape.
-    assert_eq!(conciseness.get("1.00").copied().unwrap_or(0), 192, "{conciseness:?}");
+    assert_eq!(
+        conciseness.get("1.00").copied().unwrap_or(0),
+        192,
+        "{conciseness:?}"
+    );
     assert_eq!(conciseness.get("0.50").copied().unwrap_or(0), 32);
     assert_eq!(conciseness.get("0.47").copied().unwrap_or(0), 7);
     assert_eq!(conciseness.get("0.40").copied().unwrap_or(0), 4);

@@ -2,9 +2,9 @@
 //! Table 1–3 calibration: supply-kind mix, interface plausibility, and
 //! black-box determinism.
 
+use dex_modules::ModuleKind;
 use dex_pool::build_synthetic_pool;
 use dex_universe::build;
-use dex_modules::ModuleKind;
 use std::collections::BTreeMap;
 
 /// The paper's corpus is SOAP-heavy: 136 SOAP / 60 REST / 56 local of 252.

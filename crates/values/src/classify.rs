@@ -14,10 +14,10 @@
 //! syntax return `None` and callers fall back to contextual annotations.
 
 use crate::formats::accession::AccessionKind;
+use crate::formats::document;
 use crate::formats::records::{EntryRecord, RecordFormat};
 use crate::formats::reports::{AlignmentReport, AnnotationReport, IdentificationReport};
 use crate::formats::sequence::{classify as classify_seq, SequenceKind};
-use crate::formats::document;
 use crate::value::Value;
 
 /// Returns the name of the most specific concept `value` instantiates, or
@@ -162,8 +162,7 @@ fn classify_text(s: &str) -> Option<&'static str> {
         if s.contains("INTRODUCTION") {
             return Some("FullTextArticle");
         }
-        if !document::extract_concepts(s).is_empty() || s.contains("study") || s.contains("notes")
-        {
+        if !document::extract_concepts(s).is_empty() || s.contains("study") || s.contains("notes") {
             return Some("LiteratureAbstract");
         }
         return Some("Document");
@@ -251,7 +250,10 @@ mod tests {
 
     #[test]
     fn floats_are_measurements() {
-        assert_eq!(classify_concept(&Value::Float(1.5)), Some("MeasurementData"));
+        assert_eq!(
+            classify_concept(&Value::Float(1.5)),
+            Some("MeasurementData")
+        );
     }
 
     #[test]

@@ -96,7 +96,9 @@ impl AccessionKind {
             ),
             AccessionKind::GenBank => format!("{}{:05}", upper(rng), rng.gen_range(0..100_000u32)),
             AccessionKind::KeggGene => format!("hsa:{}", rng.gen_range(100..99_999u32)),
-            AccessionKind::KeggPathway => format!("path:map{:05}", rng.gen_range(10..1_200u32) * 10),
+            AccessionKind::KeggPathway => {
+                format!("path:map{:05}", rng.gen_range(10..1_200u32) * 10)
+            }
             AccessionKind::KeggCompound => format!("cpd:C{:05}", rng.gen_range(1..99_999u32)),
             AccessionKind::KeggEnzyme => format!(
                 "ec:{}.{}.{}.{}",
@@ -180,9 +182,7 @@ impl AccessionKind {
                 !s.is_empty() && s.len() <= 9 && s.bytes().all(|c| c.is_ascii_digit())
             }
             AccessionKind::Ensembl => {
-                s.len() == 15
-                    && s.starts_with("ENSG")
-                    && s[4..].bytes().all(|c| c.is_ascii_digit())
+                s.len() == 15 && s.starts_with("ENSG") && s[4..].bytes().all(|c| c.is_ascii_digit())
             }
             AccessionKind::GeneSymbol => {
                 let b = s.as_bytes();
@@ -201,9 +201,7 @@ impl AccessionKind {
     /// Detects the kind of an accession string, trying kinds in a fixed
     /// priority order (more specific syntaxes first).
     pub fn detect(s: &str) -> Option<AccessionKind> {
-        AccessionKind::ALL
-            .into_iter()
-            .find(|kind| kind.is_valid(s))
+        AccessionKind::ALL.into_iter().find(|kind| kind.is_valid(s))
     }
 }
 
@@ -303,7 +301,10 @@ mod tests {
 
     #[test]
     fn uniprot_detection_is_exact() {
-        assert_eq!(AccessionKind::detect("P12345"), Some(AccessionKind::Uniprot));
+        assert_eq!(
+            AccessionKind::detect("P12345"),
+            Some(AccessionKind::Uniprot)
+        );
         assert_eq!(
             AccessionKind::detect("GO:0008150"),
             Some(AccessionKind::GoTerm)

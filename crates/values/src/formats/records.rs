@@ -165,13 +165,17 @@ impl RecordFormat {
             RecordFormat::Uniprot,
             RecordFormat::GenBank,
             RecordFormat::Pdb,
-        ].into_iter().find(|&format| format.parse(text).is_ok())
+        ]
+        .into_iter()
+        .find(|&format| format.parse(text).is_ok())
     }
 }
 
 fn parse_fasta(text: &str) -> Result<SeqEntry, RecordError> {
     let mut lines = text.lines();
-    let header = lines.next().ok_or(RecordError::WrongFormat { expected: "FASTA" })?;
+    let header = lines
+        .next()
+        .ok_or(RecordError::WrongFormat { expected: "FASTA" })?;
     let header = header
         .strip_prefix('>')
         .ok_or(RecordError::WrongFormat { expected: "FASTA" })?;
@@ -251,7 +255,9 @@ fn parse_tagged(
 
 fn parse_genbank(text: &str) -> Result<SeqEntry, RecordError> {
     if !text.starts_with("LOCUS") {
-        return Err(RecordError::WrongFormat { expected: "GenBank" });
+        return Err(RecordError::WrongFormat {
+            expected: "GenBank",
+        });
     }
     let mut accession = None;
     let mut description = None;
@@ -278,7 +284,9 @@ fn parse_genbank(text: &str) -> Result<SeqEntry, RecordError> {
     }
     Ok(SeqEntry {
         accession: accession.ok_or(RecordError::MissingField { field: "ACCESSION" })?,
-        description: description.ok_or(RecordError::MissingField { field: "DEFINITION" })?,
+        description: description.ok_or(RecordError::MissingField {
+            field: "DEFINITION",
+        })?,
         organism: organism.ok_or(RecordError::MissingField { field: "SOURCE" })?,
         sequence: if sequence.is_empty() {
             return Err(RecordError::MissingField { field: "ORIGIN" });
@@ -351,7 +359,9 @@ impl EntryRecord {
     /// Parses the KEGG-style flat text.
     pub fn parse(text: &str) -> Result<EntryRecord, RecordError> {
         if !text.starts_with("ENTRY") {
-            return Err(RecordError::WrongFormat { expected: "KEGG entry" });
+            return Err(RecordError::WrongFormat {
+                expected: "KEGG entry",
+            });
         }
         let mut accession = None;
         let mut kind = String::new();
@@ -375,7 +385,9 @@ impl EntryRecord {
             accession: accession.ok_or(RecordError::MissingField { field: "ENTRY" })?,
             kind,
             name: name.ok_or(RecordError::MissingField { field: "NAME" })?,
-            definition: definition.ok_or(RecordError::MissingField { field: "DEFINITION" })?,
+            definition: definition.ok_or(RecordError::MissingField {
+                field: "DEFINITION",
+            })?,
             links,
         })
     }
@@ -472,7 +484,10 @@ mod tests {
         let e = entry();
         let text = RecordFormat::GenBank.render(&e);
         assert!(text.contains("mkvlat"), "sequence should be lowercased");
-        assert_eq!(RecordFormat::GenBank.parse(&text).unwrap().sequence, e.sequence);
+        assert_eq!(
+            RecordFormat::GenBank.parse(&text).unwrap().sequence,
+            e.sequence
+        );
     }
 
     #[test]

@@ -72,16 +72,8 @@ impl AlignmentReport {
                 let mut parts = line.split_whitespace();
                 let _rank = parts.next()?;
                 let accession = parts.next()?.to_string();
-                let score = parts
-                    .next()?
-                    .strip_prefix("score=")?
-                    .parse::<f64>()
-                    .ok()?;
-                let evalue = parts
-                    .next()?
-                    .strip_prefix("evalue=")?
-                    .parse::<f64>()
-                    .ok()?;
+                let score = parts.next()?.strip_prefix("score=")?.parse::<f64>().ok()?;
+                let evalue = parts.next()?.strip_prefix("evalue=")?.parse::<f64>().ok()?;
                 hits.push(AlignmentHit {
                     accession,
                     score,
@@ -132,11 +124,7 @@ impl IdentificationReport {
             return None;
         }
         let accession = parts.next()?.to_string();
-        let confidence = parts
-            .next()?
-            .strip_prefix("confidence=")?
-            .parse()
-            .ok()?;
+        let confidence = parts.next()?.strip_prefix("confidence=")?.parse().ok()?;
         let matched_peptides = parts.next()?.strip_prefix("peptides=")?.parse().ok()?;
         Some(IdentificationReport {
             accession,

@@ -82,10 +82,9 @@ pub fn classify(seq: &str) -> Option<SequenceKind> {
         Some(SequenceKind::Dna)
     } else if all_in(RNA_ALPHABET) {
         Some(SequenceKind::Rna)
-    } else if bytes
-        .iter()
-        .all(|b| DNA_ALPHABET.contains(b) || RNA_ALPHABET.contains(b) || AMBIGUITY_CODES.contains(b))
-    {
+    } else if bytes.iter().all(|b| {
+        DNA_ALPHABET.contains(b) || RNA_ALPHABET.contains(b) || AMBIGUITY_CODES.contains(b)
+    }) {
         // Nucleotide residues plus IUPAC ambiguity codes. Checked *before*
         // protein because every ambiguity code doubles as an amino-acid
         // letter; the protein generator guarantees at least one residue

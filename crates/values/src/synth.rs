@@ -25,8 +25,13 @@ pub const ALGORITHM_NAMES: &[&str] = &["blastp", "blastn", "fasta", "ssearch", "
 /// Database names a `DatabaseName` setting may take.
 pub const DATABASE_NAMES: &[&str] = &["uniprot", "pdb", "embl", "genbank", "kegg"];
 /// Functional categories for `FunctionalCategory` values.
-pub const FUNCTIONAL_CATEGORIES: &[&str] =
-    &["enzyme", "transporter", "receptor", "structural", "regulatory"];
+pub const FUNCTIONAL_CATEGORIES: &[&str] = &[
+    "enzyme",
+    "transporter",
+    "receptor",
+    "structural",
+    "regulatory",
+];
 
 /// Synthesizes a value realizing `concept`, or `None` when the concept name
 /// is unknown or abstract (abstract concepts cannot be realized).
@@ -78,21 +83,31 @@ pub fn synthesize<R: Rng + ?Sized>(concept: &str, rng: &mut R) -> Option<Value> 
                 entry.accession, entry.description, entry.sequence
             ))
         }
-        "UniprotRecord" => Value::text(
-            RecordFormat::Uniprot.render(&seq_entry(rng, AccessionKind::Uniprot, SequenceKind::Protein)),
-        ),
-        "FastaRecord" => Value::text(
-            RecordFormat::Fasta.render(&seq_entry(rng, AccessionKind::Uniprot, SequenceKind::Protein)),
-        ),
-        "GenBankRecord" => Value::text(
-            RecordFormat::GenBank.render(&seq_entry(rng, AccessionKind::GenBank, SequenceKind::Dna)),
-        ),
-        "EMBLRecord" => Value::text(
-            RecordFormat::Embl.render(&seq_entry(rng, AccessionKind::Embl, SequenceKind::Dna)),
-        ),
-        "PDBRecord" => Value::text(
-            RecordFormat::Pdb.render(&seq_entry(rng, AccessionKind::Pdb, SequenceKind::Protein)),
-        ),
+        "UniprotRecord" => Value::text(RecordFormat::Uniprot.render(&seq_entry(
+            rng,
+            AccessionKind::Uniprot,
+            SequenceKind::Protein,
+        ))),
+        "FastaRecord" => Value::text(RecordFormat::Fasta.render(&seq_entry(
+            rng,
+            AccessionKind::Uniprot,
+            SequenceKind::Protein,
+        ))),
+        "GenBankRecord" => Value::text(RecordFormat::GenBank.render(&seq_entry(
+            rng,
+            AccessionKind::GenBank,
+            SequenceKind::Dna,
+        ))),
+        "EMBLRecord" => Value::text(RecordFormat::Embl.render(&seq_entry(
+            rng,
+            AccessionKind::Embl,
+            SequenceKind::Dna,
+        ))),
+        "PDBRecord" => Value::text(RecordFormat::Pdb.render(&seq_entry(
+            rng,
+            AccessionKind::Pdb,
+            SequenceKind::Protein,
+        ))),
         // --- KEGG-style records ------------------------------------------
         "PathwayRecord" => Value::text(entry_record(rng, AccessionKind::KeggPathway, "Pathway")),
         "EnzymeRecord" => Value::text(entry_record(rng, AccessionKind::KeggEnzyme, "Enzyme")),
@@ -118,8 +133,9 @@ pub fn synthesize<R: Rng + ?Sized>(concept: &str, rng: &mut R) -> Option<Value> 
         ),
         "PhylogeneticTree" => {
             let n = rng.gen_range(3..7usize);
-            let leaves: Vec<String> =
-                (0..n).map(|_| AccessionKind::Uniprot.generate(rng)).collect();
+            let leaves: Vec<String> = (0..n)
+                .map(|_| AccessionKind::Uniprot.generate(rng))
+                .collect();
             Value::text(crate::formats::reports::newick_ladder(&leaves))
         }
         "AnnotationReport" => {
@@ -151,22 +167,17 @@ pub fn synthesize<R: Rng + ?Sized>(concept: &str, rng: &mut R) -> Option<Value> 
             Value::text(document::generate_article(rng, &refs))
         }
         // --- annotation data ----------------------------------------------
-        "AnnotationData" => Value::text(format!(
-            "annotation:{:04x}",
-            rng.gen_range(0..0xFFFFu32)
-        )),
+        "AnnotationData" => Value::text(format!("annotation:{:04x}", rng.gen_range(0..0xFFFFu32))),
         "PathwayConcept" => Value::text(
             document::PATHWAY_CONCEPTS[rng.gen_range(0..document::PATHWAY_CONCEPTS.len())],
         ),
-        "FunctionalCategory" => Value::text(
-            FUNCTIONAL_CATEGORIES[rng.gen_range(0..FUNCTIONAL_CATEGORIES.len())],
-        ),
+        "FunctionalCategory" => {
+            Value::text(FUNCTIONAL_CATEGORIES[rng.gen_range(0..FUNCTIONAL_CATEGORIES.len())])
+        }
         "KeywordSet" => {
             let n = rng.gen_range(2..5usize);
             let words: Vec<&str> = (0..n)
-                .map(|_| {
-                    FUNCTIONAL_CATEGORIES[rng.gen_range(0..FUNCTIONAL_CATEGORIES.len())]
-                })
+                .map(|_| FUNCTIONAL_CATEGORIES[rng.gen_range(0..FUNCTIONAL_CATEGORIES.len())])
                 .collect();
             Value::text(format!("keywords:{}", words.join(",")))
         }
@@ -179,9 +190,7 @@ pub fn synthesize<R: Rng + ?Sized>(concept: &str, rng: &mut R) -> Option<Value> 
         }
         // --- settings ------------------------------------------------------
         "ErrorTolerance" => Value::Float((rng.gen_range(1..=100u32) as f64) / 10.0),
-        "AlgorithmName" => {
-            Value::text(ALGORITHM_NAMES[rng.gen_range(0..ALGORITHM_NAMES.len())])
-        }
+        "AlgorithmName" => Value::text(ALGORITHM_NAMES[rng.gen_range(0..ALGORITHM_NAMES.len())]),
         "DatabaseName" => Value::text(DATABASE_NAMES[rng.gen_range(0..DATABASE_NAMES.len())]),
         "ScoreThreshold" => Value::Float(rng.gen_range(0..2000u32) as f64 / 2.0),
         "EValueCutoff" => Value::Float(10f64.powi(-rng.gen_range(0..50i32))),
@@ -229,30 +238,65 @@ pub fn structural_type_of(concept: &str) -> Option<StructuralType> {
         // Abstract concepts have no realization and hence no grounding here.
         "NucleotideSequence" | "KEGGAccession" | "BiologicalRecord" | "Setting" => return None,
         // Everything else in the myGrid-like ontology grounds to text.
-        "BioinformaticsData" | "BiologicalSequence" | "DNASequence" | "RNASequence"
-        | "ProteinSequence" | "Identifier" | "DatabaseAccession" | "UniprotAccession"
-        | "PDBAccession" | "EMBLAccession" | "GenBankAccession" | "KEGGGeneId"
-        | "KEGGPathwayId" | "KEGGCompoundId" | "KEGGEnzymeId" | "GlycanAccession"
-        | "LigandAccession" | "OntologyTerm" | "GOTerm" | "ECNumber" | "GeneIdentifier"
-        | "EntrezGeneId" | "EnsemblGeneId" | "GeneSymbol" | "SequenceRecord"
-        | "UniprotRecord" | "FastaRecord" | "GenBankRecord" | "EMBLRecord" | "PDBRecord"
-        | "PathwayRecord" | "EnzymeRecord" | "CompoundRecord" | "GlycanRecord"
-        | "LigandRecord" | "GeneRecord" | "Report" | "AlignmentReport" | "BlastReport"
-        | "FastaAlignmentReport" | "IdentificationReport" | "PhylogeneticTree"
-        | "AnnotationReport" | "Document" | "LiteratureAbstract" | "FullTextArticle"
-        | "AnnotationData" | "PathwayConcept" | "FunctionalCategory" | "KeywordSet"
-        | "CrossReferenceSet" | "AlgorithmName"
+        "BioinformaticsData"
+        | "BiologicalSequence"
+        | "DNASequence"
+        | "RNASequence"
+        | "ProteinSequence"
+        | "Identifier"
+        | "DatabaseAccession"
+        | "UniprotAccession"
+        | "PDBAccession"
+        | "EMBLAccession"
+        | "GenBankAccession"
+        | "KEGGGeneId"
+        | "KEGGPathwayId"
+        | "KEGGCompoundId"
+        | "KEGGEnzymeId"
+        | "GlycanAccession"
+        | "LigandAccession"
+        | "OntologyTerm"
+        | "GOTerm"
+        | "ECNumber"
+        | "GeneIdentifier"
+        | "EntrezGeneId"
+        | "EnsemblGeneId"
+        | "GeneSymbol"
+        | "SequenceRecord"
+        | "UniprotRecord"
+        | "FastaRecord"
+        | "GenBankRecord"
+        | "EMBLRecord"
+        | "PDBRecord"
+        | "PathwayRecord"
+        | "EnzymeRecord"
+        | "CompoundRecord"
+        | "GlycanRecord"
+        | "LigandRecord"
+        | "GeneRecord"
+        | "Report"
+        | "AlignmentReport"
+        | "BlastReport"
+        | "FastaAlignmentReport"
+        | "IdentificationReport"
+        | "PhylogeneticTree"
+        | "AnnotationReport"
+        | "Document"
+        | "LiteratureAbstract"
+        | "FullTextArticle"
+        | "AnnotationData"
+        | "PathwayConcept"
+        | "FunctionalCategory"
+        | "KeywordSet"
+        | "CrossReferenceSet"
+        | "AlgorithmName"
         | "DatabaseName" => StructuralType::Text,
         _ => return None,
     };
     Some(t)
 }
 
-fn seq_entry<R: Rng + ?Sized>(
-    rng: &mut R,
-    acc: AccessionKind,
-    kind: SequenceKind,
-) -> SeqEntry {
+fn seq_entry<R: Rng + ?Sized>(rng: &mut R, acc: AccessionKind, kind: SequenceKind) -> SeqEntry {
     const ADJ: &[&str] = &["putative", "conserved", "hypothetical", "characterized"];
     const NOUN: &[&str] = &["kinase", "transporter", "polymerase", "receptor", "ligase"];
     const ORG: &[&str] = &[
@@ -284,7 +328,11 @@ fn entry_record<R: Rng + ?Sized>(rng: &mut R, acc: AccessionKind, kind: &str) ->
     EntryRecord {
         accession: acc.generate(rng),
         kind: kind.to_string(),
-        name: format!("{}-{}", kind.to_lowercase(), NAMES[rng.gen_range(0..NAMES.len())]),
+        name: format!(
+            "{}-{}",
+            kind.to_lowercase(),
+            NAMES[rng.gen_range(0..NAMES.len())]
+        ),
         definition: format!("simulated {kind} entry"),
         links,
     }

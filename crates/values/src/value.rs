@@ -295,8 +295,9 @@ mod tests {
         assert!(Value::List(vec![]).conforms_to(&StructuralType::list_of(StructuralType::Float)));
         assert!(!Value::List(vec![]).conforms_to(&StructuralType::Text));
         // Integer elements widen into float lists.
-        assert!(Value::from(vec![1i64, 2])
-            .conforms_to(&StructuralType::list_of(StructuralType::Float)));
+        assert!(
+            Value::from(vec![1i64, 2]).conforms_to(&StructuralType::list_of(StructuralType::Float))
+        );
         assert!(!Value::from(vec![1.5f64])
             .conforms_to(&StructuralType::list_of(StructuralType::Integer)));
     }

@@ -95,9 +95,7 @@ pub fn enact(
                 .get(*step)
                 .and_then(|outs| outs.get(*output))
                 .cloned()
-                .ok_or_else(|| {
-                    EnactError::Structure(format!("no output {output} of step {step}"))
-                }),
+                .ok_or_else(|| EnactError::Structure(format!("no output {output} of step {step}"))),
         }
     };
 
@@ -178,12 +176,7 @@ mod tests {
                 ModuleKind::LocalProgram,
                 vec![
                     Parameter::required("x", StructuralType::Text, "Document"),
-                    Parameter::optional(
-                        "sep",
-                        StructuralType::Text,
-                        "Document",
-                        Value::text("!"),
-                    ),
+                    Parameter::optional("sep", StructuralType::Text, "Document", Value::text("!")),
                 ],
                 vec![Parameter::required("y", StructuralType::Text, "Document")],
             ),
@@ -204,8 +197,21 @@ mod tests {
         let s0 = b.step("Double", "double");
         let s1 = b.step("Suffix", "suffix");
         b.link(Source::WorkflowInput(i), s0, 0);
-        b.link(Source::StepOutput { step: s0, output: 0 }, s1, 0);
-        b.output("out", Source::StepOutput { step: s1, output: 0 });
+        b.link(
+            Source::StepOutput {
+                step: s0,
+                output: 0,
+            },
+            s1,
+            0,
+        );
+        b.output(
+            "out",
+            Source::StepOutput {
+                step: s1,
+                output: 0,
+            },
+        );
         b.build()
     }
 

@@ -94,8 +94,11 @@ impl Workflow {
 
     /// The links feeding a given step, sorted by target input.
     pub fn links_into(&self, step: usize) -> Vec<&Link> {
-        let mut links: Vec<&Link> =
-            self.links.iter().filter(|l| l.target_step == step).collect();
+        let mut links: Vec<&Link> = self
+            .links
+            .iter()
+            .filter(|l| l.target_step == step)
+            .collect();
         links.sort_by_key(|l| l.target_input);
         links
     }
@@ -176,8 +179,21 @@ mod tests {
         let s0 = b.step("GetRecord", "dr:get_uniprot_record");
         let s1 = b.step("Convert", "ft:conv_uniprot_fasta");
         b.link(Source::WorkflowInput(input), s0, 0);
-        b.link(Source::StepOutput { step: s0, output: 0 }, s1, 0);
-        b.output("fasta", Source::StepOutput { step: s1, output: 0 });
+        b.link(
+            Source::StepOutput {
+                step: s0,
+                output: 0,
+            },
+            s1,
+            0,
+        );
+        b.output(
+            "fasta",
+            Source::StepOutput {
+                step: s1,
+                output: 0,
+            },
+        );
         b.build()
     }
 

@@ -63,8 +63,21 @@ mod tests {
         let s0 = b.step("First", "m1");
         let s1 = b.step("Second", "m2");
         b.link(Source::WorkflowInput(i), s0, 0);
-        b.link(Source::StepOutput { step: s0, output: 0 }, s1, 0);
-        b.output("result", Source::StepOutput { step: s1, output: 0 });
+        b.link(
+            Source::StepOutput {
+                step: s0,
+                output: 0,
+            },
+            s1,
+            0,
+        );
+        b.output(
+            "result",
+            Source::StepOutput {
+                step: s1,
+                output: 0,
+            },
+        );
         let text = render(&b.build());
         assert!(text.contains("workflow w: demo"));
         assert!(text.contains("inputs: acc"));

@@ -251,8 +251,21 @@ mod tests {
         let s0 = b.step("Get", "get");
         let s1 = b.step("Use", "use");
         b.link(Source::WorkflowInput(i), s0, 0);
-        b.link(Source::StepOutput { step: s0, output: 0 }, s1, 0);
-        b.output("report", Source::StepOutput { step: s1, output: 0 });
+        b.link(
+            Source::StepOutput {
+                step: s0,
+                output: 0,
+            },
+            s1,
+            0,
+        );
+        b.output(
+            "report",
+            Source::StepOutput {
+                step: s1,
+                output: 0,
+            },
+        );
         b.build()
     }
 

@@ -6,11 +6,11 @@
 //! cargo run --example module_explorer
 //! ```
 
+use data_examples::core::matching::MappingMode;
 use data_examples::core::{compare_modules, GenerationConfig};
 use data_examples::pool::build_synthetic_pool;
 use data_examples::registry::search::{search, substitution_candidates};
 use data_examples::registry::{annotate_catalog, SearchQuery};
-use data_examples::core::matching::MappingMode;
 
 fn main() {
     let universe = data_examples::universe::build();
@@ -49,11 +49,22 @@ fn main() {
 
     // Compare two providers' homology searches: different algorithms, so
     // their behavior is NOT equivalent (§6, Example 4).
-    let a = universe.catalog.get(&"da:blast_uniprot_ebi".into()).unwrap();
-    let b = universe.catalog.get(&"da:blast_uniprot_ddbj".into()).unwrap();
-    let verdict =
-        compare_modules(a.as_ref(), b.as_ref(), ontology, &pool, &GenerationConfig::default())
-            .expect("comparable");
+    let a = universe
+        .catalog
+        .get(&"da:blast_uniprot_ebi".into())
+        .unwrap();
+    let b = universe
+        .catalog
+        .get(&"da:blast_uniprot_ddbj".into())
+        .unwrap();
+    let verdict = compare_modules(
+        a.as_ref(),
+        b.as_ref(),
+        ontology,
+        &pool,
+        &GenerationConfig::default(),
+    )
+    .expect("comparable");
     println!("\nblast_uniprot_ebi vs blast_uniprot_ddbj: {verdict}");
 
     // Whereas two front-ends of the same backend ARE equivalent.
@@ -62,9 +73,14 @@ fn main() {
         .catalog
         .get(&"dr:get_gene_record_rest".into())
         .unwrap();
-    let verdict =
-        compare_modules(a.as_ref(), b.as_ref(), ontology, &pool, &GenerationConfig::default())
-            .expect("comparable");
+    let verdict = compare_modules(
+        a.as_ref(),
+        b.as_ref(),
+        ontology,
+        &pool,
+        &GenerationConfig::default(),
+    )
+    .expect("comparable");
     println!("get_gene_record vs get_gene_record_rest: {verdict}");
 
     // Who could stand in for get_protein_sequence_ebi if it vanished?

@@ -73,7 +73,11 @@ fn main() {
 
     // Check interoperability of the data links before running (§1).
     validate(&workflow, &universe.catalog, ontology).expect("workflow is well-formed");
-    println!("workflow `{}` validates: {} steps", workflow.name, workflow.steps.len());
+    println!(
+        "workflow `{}` validates: {} steps",
+        workflow.name,
+        workflow.steps.len()
+    );
 
     // Sample inputs from the annotated pool.
     let pool = build_synthetic_pool(ontology, 3, 123);
@@ -84,7 +88,10 @@ fn main() {
             .clone()
     };
     let inputs = vec![
-        pick("PeptideMassList", &StructuralType::list_of(StructuralType::Float)),
+        pick(
+            "PeptideMassList",
+            &StructuralType::list_of(StructuralType::Float),
+        ),
         pick("ErrorTolerance", &StructuralType::Float),
         pick("AlgorithmName", &StructuralType::Text),
         pick("DatabaseName", &StructuralType::Text),

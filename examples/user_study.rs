@@ -35,7 +35,10 @@ fn main() {
     // The two-phase protocol.
     let outcome = run_user_study(&universe, &examples);
     println!("modules shown: {}\n", outcome.modules);
-    println!("{:<8} {:>18} {:>18}", "user", "without examples", "with examples");
+    println!(
+        "{:<8} {:>18} {:>18}",
+        "user", "without examples", "with examples"
+    );
     for user in &outcome.users {
         println!(
             "{:<8} {:>18} {:>18}",

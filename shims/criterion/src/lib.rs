@@ -1,0 +1,235 @@
+//! Offline shim for `criterion` (the subset this workspace uses).
+//!
+//! Implements `Criterion::benchmark_group`, `bench_function` /
+//! `bench_with_input` (accepting both `&str` and [`BenchmarkId`] names),
+//! `Bencher::iter`, `sample_size`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is simpler than the real crate: each sample times a batch of
+//! iterations sized to roughly `CRITERION_SAMPLE_MS` milliseconds (default
+//! 10), and the per-iteration median over `sample_size` samples is printed to
+//! stdout. There is no statistical analysis, HTML report, or baseline
+//! comparison.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies a benchmark within a group, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Anything usable as a benchmark name (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkName {
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkName for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkName for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkName for BenchmarkId {
+    fn into_name(self) -> String {
+        self.0
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkName, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, &id.into_name());
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkName,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.into_name());
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Per-iteration timing summary of one benchmark.
+struct Sampled {
+    median: Duration,
+    min: Duration,
+    iterations: u64,
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<Sampled>,
+}
+
+fn target_sample_time() -> Duration {
+    let ms = std::env::var("CRITERION_SAMPLE_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10u64);
+    Duration::from_millis(ms)
+}
+
+impl Bencher {
+    /// Times `routine`, storing a per-iteration summary.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup + batch sizing: time one call, then size batches to roughly
+        // the target sample duration.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let target = target_sample_time();
+        let batch = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            per_iter.push(start.elapsed() / batch as u32);
+        }
+        per_iter.sort();
+        self.result = Some(Sampled {
+            median: per_iter[per_iter.len() / 2],
+            min: per_iter[0],
+            iterations: batch * self.sample_size as u64,
+        });
+    }
+
+    fn report(&self, group: &str, name: &str) {
+        match &self.result {
+            Some(s) => println!(
+                "bench {group}/{name}: median {} min {} ({} iterations)",
+                format_duration(s.median),
+                format_duration(s.min),
+                s.iterations
+            ),
+            None => println!("bench {group}/{name}: no measurement recorded"),
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a function running the given benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_and_reports() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").0, "p");
+    }
+}

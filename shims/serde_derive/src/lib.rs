@@ -1,0 +1,472 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize, Deserialize)]`.
+//!
+//! Implements the derive surface this workspace uses, without `syn`/`quote`:
+//!
+//! * structs with named fields (honoring `#[serde(skip)]` — skipped fields
+//!   are omitted on serialize and `Default::default()`-filled on deserialize);
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   sequences);
+//! * enums with unit, tuple, and struct variants, in serde's externally
+//!   tagged representation (`"Variant"`, `{"Variant": value}`,
+//!   `{"Variant": {fields…}}`).
+//!
+//! Generic types are not supported (none are derived in this workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes leading attributes, returning whether any was `#[serde(skip)]`.
+    fn skip_attributes(&mut self) -> bool {
+        let mut skip = false;
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.next();
+                    if let Some(TokenTree::Group(g)) = self.next() {
+                        if attr_is_serde_skip(g.stream()) {
+                            skip = true;
+                        }
+                    } else {
+                        panic!("serde_derive shim: `#` not followed by an attribute group");
+                    }
+                }
+                _ => return skip,
+            }
+        }
+    }
+
+    /// Consumes a visibility modifier (`pub`, `pub(crate)`, …) if present.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive shim: expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Consumes type tokens up to a top-level (angle-depth-0) comma, which is
+    /// also consumed.
+    fn skip_type(&mut self) {
+        let mut angle_depth: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let skip = cur.skip_attributes();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_visibility();
+        let name = cur.expect_ident("field name");
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after field `{name}`, got {other:?}"),
+        }
+        cur.skip_type();
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    let mut count = 0;
+    while !cur.at_end() {
+        cur.skip_attributes();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_visibility();
+        cur.skip_type();
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        cur.skip_attributes();
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident("variant name");
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                cur.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                cur.next();
+                Fields::Named(f)
+            }
+            _ => Fields::Unit,
+        };
+        // Consume trailing comma, if any.
+        if let Some(TokenTree::Punct(p)) = cur.peek() {
+            if p.as_char() == ',' {
+                cur.next();
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    cur.skip_attributes();
+    cur.skip_visibility();
+    let kind = cur.expect_ident("`struct` or `enum`");
+    let name = cur.expect_ident("type name");
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match cur.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive shim: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_content(&self) -> ::serde::Content {{\n"
+            ));
+            match fields {
+                Fields::Named(fs) => {
+                    out.push_str(
+                        "        let mut fields: Vec<(String, ::serde::Content)> = Vec::new();\n",
+                    );
+                    for f in fs.iter().filter(|f| !f.skip) {
+                        out.push_str(&format!(
+                            "        fields.push((String::from(\"{0}\"), ::serde::Serialize::to_content(&self.{0})));\n",
+                            f.name
+                        ));
+                    }
+                    out.push_str("        ::serde::Content::Map(fields)\n");
+                }
+                Fields::Tuple(1) => {
+                    out.push_str("        ::serde::Serialize::to_content(&self.0)\n");
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                        .collect();
+                    out.push_str(&format!(
+                        "        ::serde::Content::Seq(vec![{}])\n",
+                        items.join(", ")
+                    ));
+                }
+                Fields::Unit => {
+                    out.push_str("        ::serde::Content::Null\n");
+                }
+            }
+            out.push_str("    }\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_content(&self) -> ::serde::Content {{\n        match self {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => out.push_str(&format!(
+                        "            {name}::{vn} => ::serde::Content::Str(String::from(\"{vn}\")),\n"
+                    )),
+                    Fields::Tuple(1) => out.push_str(&format!(
+                        "            {name}::{vn}(f0) => ::serde::Content::Map(vec![(String::from(\"{vn}\"), ::serde::Serialize::to_content(f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_content(f{i})"))
+                            .collect();
+                        out.push_str(&format!(
+                            "            {name}::{vn}({}) => ::serde::Content::Map(vec![(String::from(\"{vn}\"), ::serde::Content::Seq(vec![{}]))]),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binders: Vec<String> =
+                            fs.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fs
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{0}\"), ::serde::Serialize::to_content({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        out.push_str(&format!(
+                            "            {name}::{vn} {{ {} }} => ::serde::Content::Map(vec![(String::from(\"{vn}\"), ::serde::Content::Map(vec![{}]))]),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str("        }\n    }\n}\n");
+        }
+    }
+    out
+}
+
+fn gen_named_field_reads(type_name: &str, fields: &[Field], source: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!(
+                "            {}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            out.push_str(&format!(
+                "            {0}: match {source}.get(\"{0}\") {{\n                Some(v) => ::serde::Deserialize::from_content(v)?,\n                None => return Err(::serde::DeError::custom(\"missing field `{0}` in {type_name}\")),\n            }},\n",
+                f.name
+            ));
+        }
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n"
+            ));
+            match fields {
+                Fields::Named(fs) => {
+                    out.push_str(&format!(
+                        "        if c.as_map().is_none() {{ return Err(::serde::DeError::custom(format!(\"expected map for {name}, got {{}}\", c.kind()))); }}\n"
+                    ));
+                    out.push_str(&format!("        Ok({name} {{\n"));
+                    out.push_str(&gen_named_field_reads(name, fs, "c"));
+                    out.push_str("        })\n");
+                }
+                Fields::Tuple(1) => {
+                    out.push_str(&format!(
+                        "        Ok({name}(::serde::Deserialize::from_content(c)?))\n"
+                    ));
+                }
+                Fields::Tuple(n) => {
+                    out.push_str(&format!(
+                        "        let seq = c.as_seq().ok_or_else(|| ::serde::DeError::custom(\"expected sequence for {name}\"))?;\n        if seq.len() != {n} {{ return Err(::serde::DeError::custom(\"wrong tuple arity for {name}\")); }}\n"
+                    ));
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_content(&seq[{i}])?"))
+                        .collect();
+                    out.push_str(&format!("        Ok({name}({}))\n", items.join(", ")));
+                }
+                Fields::Unit => {
+                    out.push_str(&format!("        Ok({name})\n"));
+                }
+            }
+            out.push_str("    }\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n"
+            ));
+            // Unit variants arrive as bare strings.
+            out.push_str("        if let ::serde::Content::Str(s) = c {\n            return match s.as_str() {\n");
+            for v in variants {
+                if matches!(v.fields, Fields::Unit) {
+                    out.push_str(&format!(
+                        "                \"{0}\" => Ok({name}::{0}),\n",
+                        v.name
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "                other => Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n            }};\n        }}\n"
+            ));
+            // Data variants arrive as single-entry maps.
+            out.push_str(&format!(
+                "        let m = c.as_map().ok_or_else(|| ::serde::DeError::custom(format!(\"expected variant of {name}, got {{}}\", c.kind())))?;\n        if m.len() != 1 {{ return Err(::serde::DeError::custom(\"expected single-entry variant map for {name}\")); }}\n        let (tag, inner) = &m[0];\n        match tag.as_str() {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => out.push_str(&format!(
+                        "            \"{vn}\" => Ok({name}::{vn}),\n"
+                    )),
+                    Fields::Tuple(1) => out.push_str(&format!(
+                        "            \"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_content(inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_content(&seq[{i}])?"))
+                            .collect();
+                        out.push_str(&format!(
+                            "            \"{vn}\" => {{\n                let seq = inner.as_seq().ok_or_else(|| ::serde::DeError::custom(\"expected sequence for {name}::{vn}\"))?;\n                if seq.len() != {n} {{ return Err(::serde::DeError::custom(\"wrong arity for {name}::{vn}\")); }}\n                Ok({name}::{vn}({}))\n            }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        out.push_str(&format!(
+                            "            \"{vn}\" => {{\n                if inner.as_map().is_none() {{ return Err(::serde::DeError::custom(\"expected map for {name}::{vn}\")); }}\n                Ok({name}::{vn} {{\n"
+                        ));
+                        for line in gen_named_field_reads(name, fs, "inner").lines() {
+                            out.push_str("        ");
+                            out.push_str(line);
+                            out.push('\n');
+                        }
+                        out.push_str("                })\n            }\n");
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "            other => Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n        }}\n    }}\n}}\n"
+            ));
+        }
+    }
+    out
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive shim: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive shim: generated Deserialize impl failed to parse")
+}

@@ -9,7 +9,9 @@ use data_examples::core::{
     compare_modules, generate_examples, match_against_examples, BehaviorOracle, DataExample,
     GenerationConfig, MatchVerdict,
 };
-use data_examples::modules::{BlackBox, FnModule, InvocationError, ModuleDescriptor, ModuleKind, Parameter};
+use data_examples::modules::{
+    BlackBox, FnModule, InvocationError, ModuleDescriptor, ModuleKind, Parameter,
+};
 use data_examples::ontology::{text, Ontology};
 use data_examples::pool::{AnnotatedInstance, InstancePool};
 use data_examples::values::{StructuralType, Value};
@@ -53,7 +55,11 @@ fn resolver(id: &str, vernacular_salt: &str) -> FnModule {
             id,
             id,
             ModuleKind::RestService,
-            vec![Parameter::required("name", StructuralType::Text, "TaxonName")],
+            vec![Parameter::required(
+                "name",
+                StructuralType::Text,
+                "TaxonName",
+            )],
             vec![Parameter::required(
                 "resolved",
                 StructuralType::Text,
@@ -99,8 +105,7 @@ fn pipeline_runs_on_a_custom_domain() {
     let onto = ontology();
     let pool = pool();
     let module = resolver("resolve_name", "gbif");
-    let report =
-        generate_examples(&module, &onto, &pool, &GenerationConfig::default()).unwrap();
+    let report = generate_examples(&module, &onto, &pool, &GenerationConfig::default()).unwrap();
     // TaxonName partitions: itself + ScientificName + VernacularName.
     assert_eq!(report.examples.len(), 3);
     assert_eq!(report.input_partition_coverage(&onto), 1.0);
@@ -165,8 +170,7 @@ fn subsuming_substitution_works_on_a_custom_domain() {
         },
     );
     let broad = resolver("broad", "gbif");
-    let report =
-        generate_examples(&narrow, &onto, &pool, &GenerationConfig::default()).unwrap();
+    let report = generate_examples(&narrow, &onto, &pool, &GenerationConfig::default()).unwrap();
     let verdict = match_against_examples(
         narrow.descriptor(),
         &report.examples,

@@ -20,7 +20,10 @@ fn figure2_get_record_example_reads_like_the_paper() {
     // behavior — accession in, the corresponding record out.
     let universe = data_examples::universe::build();
     let pool = build_synthetic_pool(&universe.ontology, 3, 1);
-    let module = universe.catalog.get(&"dr:get_uniprot_record".into()).unwrap();
+    let module = universe
+        .catalog
+        .get(&"dr:get_uniprot_record".into())
+        .unwrap();
     let report = generate_examples(
         module.as_ref(),
         &universe.ontology,
@@ -86,7 +89,10 @@ fn equivalence_is_symmetric_for_identical_backends() {
     let universe = data_examples::universe::build();
     let pool = build_synthetic_pool(&universe.ontology, 4, 11);
     let config = GenerationConfig::default();
-    let a = universe.catalog.get(&"dr:get_uniprot_record".into()).unwrap();
+    let a = universe
+        .catalog
+        .get(&"dr:get_uniprot_record".into())
+        .unwrap();
     let b = universe
         .catalog
         .get(&"dr:get_uniprot_record_ebi".into())
@@ -108,13 +114,7 @@ fn different_algorithms_are_not_substitutes() {
     // algorithm, different hits.
     let ddbj = universe.catalog.get(&"da:blast_pdb_ddbj".into()).unwrap();
     let ncbi = universe.catalog.get(&"da:blast_pdb_ncbi".into()).unwrap();
-    let report = generate_examples(
-        ddbj.as_ref(),
-        &universe.ontology,
-        &pool,
-        &config,
-    )
-    .unwrap();
+    let report = generate_examples(ddbj.as_ref(), &universe.ontology, &pool, &config).unwrap();
     let verdict = match_against_examples(
         ddbj.descriptor(),
         &report.examples,
@@ -123,7 +123,10 @@ fn different_algorithms_are_not_substitutes() {
         MappingMode::Strict,
     )
     .unwrap();
-    assert!(matches!(verdict, MatchVerdict::Disjoint { .. }), "{verdict}");
+    assert!(
+        matches!(verdict, MatchVerdict::Disjoint { .. }),
+        "{verdict}"
+    );
 }
 
 #[test]
@@ -139,8 +142,13 @@ fn full_decay_pipeline_small_scale() {
     let study = run_matching_study(&universe.catalog, &corpus, &universe.ontology);
     assert_eq!(study.counts(), (16, 23, 33));
 
-    let (outcomes, summary) =
-        repair_repository(&repo, &universe.catalog, &study, &corpus, &universe.ontology);
+    let (outcomes, summary) = repair_repository(
+        &repo,
+        &universe.catalog,
+        &study,
+        &corpus,
+        &universe.ontology,
+    );
     assert_eq!(outcomes.len(), plan.total());
     assert_eq!(summary.healthy, plan.healthy);
     assert_eq!(

@@ -131,7 +131,11 @@ fn partitions_are_disjoint_under_realization_semantics() {
         let parts = o.partitions_of(c);
         let mut seen = std::collections::HashSet::new();
         for p in &parts {
-            assert!(seen.insert(*p), "duplicate partition under {}", o.concept_name(c));
+            assert!(
+                seen.insert(*p),
+                "duplicate partition under {}",
+                o.concept_name(c)
+            );
             assert!(o.subsumes(c, *p));
             assert!(o.can_be_realized(*p));
         }
