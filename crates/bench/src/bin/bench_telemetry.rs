@@ -1,0 +1,115 @@
+//! Measures the overhead of the `dex-telemetry` subscriber on the two
+//! parallel hot paths, and emits a machine-readable `BENCH_telemetry.json`.
+//!
+//! Usage: `cargo run --release -p dex-bench --bin bench_telemetry [OUT.json]`
+//! (default output path: `BENCH_telemetry.json` in the working directory).
+//!
+//! Each workload runs several interleaved repetitions with the subscriber
+//! off and on; the reported overhead compares the medians. The ISSUE budget
+//! is ~5% when enabled — when *disabled* the instrumentation is a single
+//! relaxed atomic load per site and should be unmeasurable.
+
+use dex_core::GenerationConfig;
+use dex_experiments::parallel::{generate_all_parallel, match_pairs_parallel};
+use dex_modules::ModuleId;
+use dex_pool::build_synthetic_pool;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Per-call milliseconds for one timed batch of `batch` calls.
+fn batch_ms(batch: usize, f: &mut impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..batch {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1_000.0 / batch as f64
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_telemetry.json".to_string());
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    let (reps, batch): (usize, usize) = if cfg!(debug_assertions) {
+        (3, 1)
+    } else {
+        (15, 4)
+    };
+
+    let universe = dex_universe::build();
+    let pool = build_synthetic_pool(&universe.ontology, 4, 42);
+    let config = GenerationConfig::default();
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+    let match_ids: Vec<ModuleId> = universe.available_ids().into_iter().step_by(11).collect();
+
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"profile\": \"{profile}\",").unwrap();
+    writeln!(json, "  \"threads\": {threads},").unwrap();
+
+    // Off and on batches alternate so slow machine drift (frequency
+    // scaling, background load) hits both sides equally instead of biasing
+    // whichever side ran later.
+    let section = |name: &str, mut run: Box<dyn FnMut() + '_>| -> (f64, f64) {
+        let mut off = Vec::with_capacity(reps);
+        let mut on = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            dex_telemetry::disable();
+            off.push(batch_ms(batch, &mut run));
+            dex_telemetry::enable();
+            on.push(batch_ms(batch, &mut run));
+        }
+        dex_telemetry::disable();
+        dex_telemetry::reset();
+        let (off_ms, on_ms) = (median(off), median(on));
+        eprintln!("{name}: off {off_ms:.2} ms, on {on_ms:.2} ms");
+        (off_ms, on_ms)
+    };
+
+    let (gen_off, gen_on) = section(
+        "generate_all_parallel",
+        Box::new(|| {
+            std::hint::black_box(generate_all_parallel(&universe, &pool, &config, threads));
+        }),
+    );
+    let (match_off, match_on) = section(
+        "match_pairs_parallel",
+        Box::new(|| {
+            std::hint::black_box(match_pairs_parallel(
+                &universe, &match_ids, &pool, &config, threads,
+            ));
+        }),
+    );
+
+    let pct = |off: f64, on: f64| (on - off) / off * 100.0;
+    writeln!(
+        json,
+        "  \"generate_all\": {{\"off_ms\": {gen_off:.2}, \"on_ms\": {gen_on:.2}, \
+         \"overhead_pct\": {:.2}}},",
+        pct(gen_off, gen_on)
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"match_pairs\": {{\"modules\": {}, \"off_ms\": {match_off:.2}, \
+         \"on_ms\": {match_on:.2}, \"overhead_pct\": {:.2}}}",
+        match_ids.len(),
+        pct(match_off, match_on)
+    )
+    .unwrap();
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write summary");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -93,6 +93,12 @@ pub fn generate_examples(
     pool: &InstancePool,
     config: &GenerationConfig,
 ) -> Result<GenerationReport, GenerationError> {
+    let _timer = {
+        static MODULE_NS: std::sync::OnceLock<dex_telemetry::Histo> = std::sync::OnceLock::new();
+        MODULE_NS
+            .get_or_init(|| dex_telemetry::histogram("dex.generate.module_ns"))
+            .start()
+    };
     let descriptor = module.descriptor();
     let plan = input_partition_plan(descriptor, ontology)?;
 
@@ -123,6 +129,21 @@ pub fn generate_examples(
     let mut examples = ExampleSet::new(descriptor.id.clone());
     let mut failed: Vec<Vec<String>> = Vec::new();
     let mut invocations = 0usize;
+
+    // Telemetry-only coverage tracking, kept on the combination indices so
+    // reporting needs no ontology lookups after the loop. `covered_flags`
+    // is indexed by `input_offsets[input] + partition index`.
+    let telemetry_on = dex_telemetry::is_enabled();
+    let mut input_offsets: Vec<usize> = Vec::new();
+    let mut covered_flags: Vec<bool> = Vec::new();
+    if telemetry_on {
+        let mut offset = 0;
+        for parts in &plan.per_input {
+            input_offsets.push(offset);
+            offset += parts.len();
+        }
+        covered_flags = vec![false; offset];
+    }
 
     // Phases 3 + 4: invoke each combination, retrying with later pool picks
     // on rejection.
@@ -175,6 +196,11 @@ pub fn generate_examples(
             invocations += 1;
             match module.invoke(&values) {
                 Ok(outputs) => {
+                    if telemetry_on {
+                        for (i, &pi) in combo.iter().enumerate() {
+                            covered_flags[input_offsets[i] + pi] = true;
+                        }
+                    }
                     let inputs = descriptor
                         .inputs
                         .iter()
@@ -201,12 +227,59 @@ pub fn generate_examples(
         }
     }
 
-    Ok(GenerationReport {
+    let report = GenerationReport {
         examples,
         plan,
         unvalued_partitions: unvalued,
         failed_combinations: failed,
         invocations,
+    };
+    // Gate on the loop-time flag so covered/total stay consistent even if
+    // telemetry was toggled mid-generation.
+    if telemetry_on {
+        let counters = generate_counters();
+        counters.modules.add(1);
+        counters.candidates_tried.add(report.invocations as u64);
+        counters.examples_accepted.add(report.examples.len() as u64);
+        counters
+            .failed_combinations
+            .add(report.failed_combinations.len() as u64);
+        counters
+            .unvalued_partitions
+            .add(report.unvalued_partitions.len() as u64);
+        // Partition-coverage progress: fraction covered is derivable from
+        // these two monotonic counters at any point of a run.
+        counters
+            .partitions_total
+            .add(report.plan.partition_count() as u64);
+        counters
+            .partitions_covered
+            .add(covered_flags.iter().filter(|&&c| c).count() as u64);
+    }
+    Ok(report)
+}
+
+/// Generation telemetry counters, interned once per process.
+struct GenerateCounters {
+    modules: dex_telemetry::Counter,
+    candidates_tried: dex_telemetry::Counter,
+    examples_accepted: dex_telemetry::Counter,
+    failed_combinations: dex_telemetry::Counter,
+    unvalued_partitions: dex_telemetry::Counter,
+    partitions_total: dex_telemetry::Counter,
+    partitions_covered: dex_telemetry::Counter,
+}
+
+fn generate_counters() -> &'static GenerateCounters {
+    static COUNTERS: std::sync::OnceLock<GenerateCounters> = std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| GenerateCounters {
+        modules: dex_telemetry::counter("dex.generate.modules"),
+        candidates_tried: dex_telemetry::counter("dex.generate.candidates_tried"),
+        examples_accepted: dex_telemetry::counter("dex.generate.examples_accepted"),
+        failed_combinations: dex_telemetry::counter("dex.generate.failed_combinations"),
+        unvalued_partitions: dex_telemetry::counter("dex.generate.unvalued_partitions"),
+        partitions_total: dex_telemetry::counter("dex.generate.partitions_total"),
+        partitions_covered: dex_telemetry::counter("dex.generate.partitions_covered"),
     })
 }
 

@@ -90,8 +90,8 @@ pub use example::{Binding, DataExample, ExampleSet};
 pub use generate::{generate_examples, GenerationConfig, GenerationReport};
 pub use inverse::{cover_output_partitions, InverseCoverageReport};
 pub use matching::{
-    compare_modules, match_against_examples, MappingMode, MatchOutcome, MatchReport, MatchSession,
-    MatchVerdict,
+    compare_modules, match_against_examples, CacheStats, MappingMode, MatchOutcome, MatchReport,
+    MatchSession, MatchVerdict,
 };
 pub use metrics::{completeness, conciseness, BehaviorOracle, ModuleScore};
 pub use partition::{input_partition_plan, partitions_for, PartitionPlan};

@@ -10,6 +10,7 @@ use dex_values::Value;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// How strictly parameters must correspond for two modules to be compared.
@@ -276,6 +277,78 @@ pub struct MatchReport {
 /// A memoized generation result, shared between all readers of a session.
 type CachedGeneration = Arc<Result<GenerationReport, GenerationError>>;
 
+/// A snapshot of a [`MatchSession`]'s memoization behavior — the cache used
+/// to be a mutex-guarded black box; this is its flight recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// `report_at` calls answered from the cache.
+    pub hits: u64,
+    /// `report_at` calls that had to generate.
+    pub misses: u64,
+    /// Memoized `(module, value_offset)` entries currently held.
+    pub entries: usize,
+    /// Rough heap footprint of the memoized reports, bytes (value payloads
+    /// and concept names; allocator overhead not modeled).
+    pub memoized_bytes_estimate: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; `0.0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Rough heap bytes of one memoized generation result.
+/// Matching telemetry counters, interned once per process.
+struct MatchCounters {
+    hits: dex_telemetry::Counter,
+    misses: dex_telemetry::Counter,
+    pairs: dex_telemetry::Counter,
+    equivalent: dex_telemetry::Counter,
+    overlapping: dex_telemetry::Counter,
+    disjoint: dex_telemetry::Counter,
+    incomparable: dex_telemetry::Counter,
+}
+
+fn match_counters() -> &'static MatchCounters {
+    static COUNTERS: std::sync::OnceLock<MatchCounters> = std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| MatchCounters {
+        hits: dex_telemetry::counter("dex.match.cache_hits"),
+        misses: dex_telemetry::counter("dex.match.cache_misses"),
+        pairs: dex_telemetry::counter("dex.match.pairs"),
+        equivalent: dex_telemetry::counter("dex.match.verdict.equivalent"),
+        overlapping: dex_telemetry::counter("dex.match.verdict.overlapping"),
+        disjoint: dex_telemetry::counter("dex.match.verdict.disjoint"),
+        incomparable: dex_telemetry::counter("dex.match.verdict.incomparable"),
+    })
+}
+
+fn approx_cached_bytes(cached: &Result<GenerationReport, GenerationError>) -> u64 {
+    match cached {
+        Ok(report) => {
+            let mut bytes = 0usize;
+            for example in report.examples.iter() {
+                for binding in example.inputs.iter().chain(example.outputs.iter()) {
+                    bytes += binding.parameter.len() + binding.value.approx_heap_bytes();
+                }
+                bytes += example
+                    .input_partitions
+                    .iter()
+                    .map(String::len)
+                    .sum::<usize>();
+            }
+            bytes as u64
+        }
+        Err(e) => e.to_string().len() as u64,
+    }
+}
+
 /// A matching context that memoizes target-side example generation.
 ///
 /// `compare_modules` regenerates the target's data examples on every call, so
@@ -290,6 +363,9 @@ pub struct MatchSession<'a> {
     pool: &'a InstancePool,
     config: GenerationConfig,
     cache: Mutex<HashMap<(ModuleId, usize), CachedGeneration>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    memoized_bytes: AtomicU64,
 }
 
 impl<'a> MatchSession<'a> {
@@ -300,6 +376,9 @@ impl<'a> MatchSession<'a> {
             pool,
             config,
             cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            memoized_bytes: AtomicU64::new(0),
         }
     }
 
@@ -313,8 +392,24 @@ impl<'a> MatchSession<'a> {
         self.cache.lock().expect("no poisoning").len()
     }
 
+    /// Snapshot of the session's cache behavior. Counting is per-session,
+    /// always on (plain atomics, no global telemetry required), so the cache
+    /// is inspectable even in otherwise un-instrumented runs.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.cached_reports(),
+            memoized_bytes_estimate: self.memoized_bytes.load(Ordering::Relaxed),
+        }
+    }
+
     /// The memoized generation result for `module` at the session's base
     /// value offset, generating it on first use.
+    ///
+    /// (Session-level cache counters live on `self`; the process-global
+    /// telemetry counters below are cached handles so the per-pair cost is
+    /// one atomic add each.)
     pub fn report_for(&self, module: &dyn BlackBox) -> CachedGeneration {
         self.report_at(module, self.config.value_offset)
     }
@@ -324,8 +419,12 @@ impl<'a> MatchSession<'a> {
     pub fn report_at(&self, module: &dyn BlackBox, value_offset: usize) -> CachedGeneration {
         let key = (module.descriptor().id.clone(), value_offset);
         if let Some(hit) = self.cache.lock().expect("no poisoning").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            match_counters().hits.add(1);
             return Arc::clone(hit);
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        match_counters().misses.add(1);
         // Generate outside the lock: generation invokes the module, which can
         // be arbitrarily slow, and concurrent misses on *different* modules
         // must not serialize. A racing duplicate of the same key is harmless
@@ -335,10 +434,18 @@ impl<'a> MatchSession<'a> {
             ..self.config.clone()
         };
         let report = Arc::new(generate_examples(module, self.ontology, self.pool, &config));
-        self.cache
+        let bytes = approx_cached_bytes(&report);
+        let displaced = self
+            .cache
             .lock()
             .expect("no poisoning")
             .insert(key, Arc::clone(&report));
+        self.memoized_bytes.fetch_add(bytes, Ordering::Relaxed);
+        if let Some(prev) = displaced {
+            // A racing duplicate generation: keep the byte estimate honest.
+            self.memoized_bytes
+                .fetch_sub(approx_cached_bytes(&prev), Ordering::Relaxed);
+        }
         report
     }
 
@@ -365,17 +472,35 @@ impl<'a> MatchSession<'a> {
     /// [`MatchReport`] — incomparability becomes data instead of an error,
     /// which is what an all-pairs sweep wants.
     pub fn compare_report(&self, target: &dyn BlackBox, candidate: &dyn BlackBox) -> MatchReport {
+        let _timer = {
+            static PAIR_NS: std::sync::OnceLock<dex_telemetry::Histo> = std::sync::OnceLock::new();
+            PAIR_NS
+                .get_or_init(|| dex_telemetry::histogram("dex.match.pair_ns"))
+                .start()
+        };
         let examples = match self.report_for(target).as_ref() {
             Ok(report) => report.examples.len(),
             Err(_) => 0,
         };
+        let outcome = match self.compare(target, candidate) {
+            Ok(verdict) => MatchOutcome::Verdict(verdict),
+            Err(e) => MatchOutcome::Incomparable(e.to_string()),
+        };
+        if dex_telemetry::is_enabled() {
+            let counters = match_counters();
+            counters.pairs.add(1);
+            let verdict = match &outcome {
+                MatchOutcome::Verdict(MatchVerdict::Equivalent { .. }) => &counters.equivalent,
+                MatchOutcome::Verdict(MatchVerdict::Overlapping { .. }) => &counters.overlapping,
+                MatchOutcome::Verdict(MatchVerdict::Disjoint { .. }) => &counters.disjoint,
+                MatchOutcome::Incomparable(_) => &counters.incomparable,
+            };
+            verdict.add(1);
+        }
         MatchReport {
             target: target.descriptor().id.clone(),
             candidate: candidate.descriptor().id.clone(),
-            outcome: match self.compare(target, candidate) {
-                Ok(verdict) => MatchOutcome::Verdict(verdict),
-                Err(e) => MatchOutcome::Incomparable(e.to_string()),
-            },
+            outcome,
             examples,
         }
     }
@@ -622,6 +747,46 @@ mod tests {
         // A different offset is a different cache entry.
         assert!(session.report_at(&target, 1).is_ok());
         assert_eq!(session.cached_reports(), 2);
+    }
+
+    #[test]
+    fn cache_stats_track_hits_misses_and_bytes() {
+        let (onto, pool) = fixture();
+        let session = MatchSession::new(&onto, &pool, GenerationConfig::default());
+        let fresh = session.cache_stats();
+        assert_eq!((fresh.hits, fresh.misses, fresh.entries), (0, 0, 0));
+        assert_eq!(fresh.memoized_bytes_estimate, 0);
+        assert_eq!(fresh.hit_rate(), 0.0);
+
+        let target = seq_echo("t", "BiologicalSequence", "BiologicalSequence", false);
+        let candidates: Vec<FnModule> = (0..3)
+            .map(|i| {
+                seq_echo(
+                    &format!("c{i}"),
+                    "BiologicalSequence",
+                    "BiologicalSequence",
+                    false,
+                )
+            })
+            .collect();
+        for c in &candidates {
+            session.compare(&target, c).unwrap();
+        }
+        let stats = session.cache_stats();
+        assert_eq!(stats.misses, 1, "one generation for three comparisons");
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.entries, 1);
+        assert!(
+            stats.memoized_bytes_estimate > 0,
+            "memoized examples occupy heap"
+        );
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+
+        // A different module is a fresh entry and a fresh miss.
+        let ghost = seq_echo("g", "BiologicalSequence", "BiologicalSequence", false);
+        let _ = session.report_at(&ghost, 0);
+        assert_eq!(session.cache_stats().entries, 2);
+        assert_eq!(session.cache_stats().misses, 2);
     }
 
     #[test]

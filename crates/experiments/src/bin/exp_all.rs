@@ -2,13 +2,16 @@
 use dex_experiments::experiments;
 use dex_repair::RepositoryPlan;
 fn main() {
+    let telemetry = dex_experiments::TelemetryRun::from_env();
     let ctx = dex_experiments::Context::build();
     print!("{}", experiments::table1(&ctx));
     print!("{}", experiments::table2(&ctx));
     print!("{}", experiments::table3(&ctx));
     print!("{}", experiments::coverage(&ctx));
     print!("{}", experiments::figure5(&ctx));
+    print!("{}", experiments::matching_summary(&ctx));
     let decay = experiments::decay_experiments(&RepositoryPlan::default());
     print!("{}", decay.figure8);
     print!("{}", decay.repair);
+    telemetry.finish("exp_all");
 }

@@ -1,5 +1,7 @@
 //! Regenerates the §4.3 coverage result.
 fn main() {
+    let telemetry = dex_experiments::TelemetryRun::from_env();
     let ctx = dex_experiments::Context::build();
     print!("{}", dex_experiments::experiments::coverage(&ctx));
+    telemetry.finish("exp_coverage");
 }

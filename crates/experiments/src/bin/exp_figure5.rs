@@ -1,5 +1,7 @@
 //! Regenerates Figure 5 (the user study).
 fn main() {
+    let telemetry = dex_experiments::TelemetryRun::from_env();
     let ctx = dex_experiments::Context::build();
     print!("{}", dex_experiments::experiments::figure5(&ctx));
+    telemetry.finish("exp_figure5");
 }

@@ -1,6 +1,8 @@
 //! Regenerates Figure 8 (matching unavailable modules).
 use dex_repair::RepositoryPlan;
 fn main() {
+    let telemetry = dex_experiments::TelemetryRun::from_env();
     let results = dex_experiments::experiments::decay_experiments(&RepositoryPlan::default());
     print!("{}", results.figure8);
+    telemetry.finish("exp_figure8");
 }

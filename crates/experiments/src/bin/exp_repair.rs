@@ -1,6 +1,8 @@
 //! Regenerates the §6 repair numbers.
 use dex_repair::RepositoryPlan;
 fn main() {
+    let telemetry = dex_experiments::TelemetryRun::from_env();
     let results = dex_experiments::experiments::decay_experiments(&RepositoryPlan::default());
     print!("{}", results.repair);
+    telemetry.finish("exp_repair");
 }

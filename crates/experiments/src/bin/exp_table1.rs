@@ -1,5 +1,7 @@
 //! Regenerates Table 1 (completeness distribution).
 fn main() {
+    let telemetry = dex_experiments::TelemetryRun::from_env();
     let ctx = dex_experiments::Context::build();
     print!("{}", dex_experiments::experiments::table1(&ctx));
+    telemetry.finish("exp_table1");
 }

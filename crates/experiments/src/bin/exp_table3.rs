@@ -1,5 +1,7 @@
 //! Regenerates Table 3 (module category counts).
 fn main() {
+    let telemetry = dex_experiments::TelemetryRun::from_env();
     let ctx = dex_experiments::Context::build();
     print!("{}", dex_experiments::experiments::table3(&ctx));
+    telemetry.finish("exp_table3");
 }

@@ -25,6 +25,7 @@ fn bucketize(values: impl Iterator<Item = f64>, decimals: usize) -> BTreeMap<Str
 
 /// Table 1: completeness of the generated data examples.
 pub fn table1(ctx: &Context) -> String {
+    let _span = dex_telemetry::span("exp.table1");
     let buckets = bucketize(
         ctx.reports.iter().map(|(id, report)| {
             let oracle = SpecOracle::new(&ctx.universe.specs[id]);
@@ -69,6 +70,7 @@ pub fn table1(ctx: &Context) -> String {
 
 /// Table 2: conciseness of the generated data examples.
 pub fn table2(ctx: &Context) -> String {
+    let _span = dex_telemetry::span("exp.table2");
     let buckets = bucketize(
         ctx.reports.iter().map(|(id, report)| {
             let oracle = SpecOracle::new(&ctx.universe.specs[id]);
@@ -113,6 +115,7 @@ pub fn table2(ctx: &Context) -> String {
 
 /// Table 3: kinds of data manipulation.
 pub fn table3(ctx: &Context) -> String {
+    let _span = dex_telemetry::span("exp.table3");
     let mut counts: BTreeMap<Category, usize> = BTreeMap::new();
     for category in ctx.universe.categories.values() {
         *counts.entry(*category).or_default() += 1;
@@ -139,6 +142,7 @@ pub fn table3(ctx: &Context) -> String {
 /// §4.3 coverage: input partitions fully covered; output partitions covered
 /// for all but 19 modules.
 pub fn coverage(ctx: &Context) -> String {
+    let _span = dex_telemetry::span("exp.coverage");
     let mut inputs_fully = 0usize;
     let mut outputs_fully = 0usize;
     let mut exceptions: Vec<String> = Vec::new();
@@ -188,6 +192,7 @@ pub fn coverage(ctx: &Context) -> String {
 /// Figure 5: modules identified by the three users, with and without data
 /// examples, plus the per-category breakdown of §5.
 pub fn figure5(ctx: &Context) -> String {
+    let _span = dex_telemetry::span("exp.figure5");
     let outcome = run_user_study(&ctx.universe, &ctx.example_sets());
     let mut rows: Vec<Vec<String>> = Vec::new();
     let paper = [
@@ -230,6 +235,49 @@ pub fn figure5(ctx: &Context) -> String {
     out
 }
 
+/// All-pairs matching over a thinned module sample, exercising the shared
+/// [`dex_core::MatchSession`] memoization that the full §6 study relies on.
+///
+/// Not a paper table — this is the observability showcase: it renders the
+/// verdict distribution next to the session's cache statistics, and (when
+/// telemetry is on) leaves nonzero `dex.match.cache_hits`/`cache_misses`
+/// counters in `TELEMETRY.json`.
+pub fn matching_summary(ctx: &Context) -> String {
+    let _span = dex_telemetry::span("exp.matching_summary");
+    let ids: Vec<_> = ctx
+        .universe
+        .available_ids()
+        .into_iter()
+        .step_by(16)
+        .collect();
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+    let mut verdicts: BTreeMap<String, usize> = BTreeMap::new();
+    let matrix =
+        crate::parallel::match_pairs_parallel(&ctx.universe, &ids, &ctx.pool, &ctx.config, threads);
+    for report in matrix.values() {
+        let label = match &report.outcome {
+            dex_core::MatchOutcome::Verdict(v) => format!("{v:?}").to_lowercase(),
+            dex_core::MatchOutcome::Incomparable(_) => "incomparable".to_string(),
+        };
+        *verdicts.entry(label).or_default() += 1;
+    }
+
+    let rows: Vec<Vec<String>> = verdicts
+        .iter()
+        .map(|(v, n)| vec![v.clone(), n.to_string()])
+        .collect();
+    let mut out = heading(&format!(
+        "Matching summary: {} modules, {} ordered pairs",
+        ids.len(),
+        matrix.len()
+    ));
+    out.push_str(&table(&["verdict", "#pairs"], &rows));
+    out.push('\n');
+    out
+}
+
 /// Results of the decay-dependent experiments (Figure 8 and the §6 repair
 /// study), which share the repository, corpus and matching study.
 pub struct DecayResults {
@@ -242,6 +290,7 @@ pub struct DecayResults {
 /// Runs the §6 pipeline: generate repository, record corpus, decay, match,
 /// repair. `plan` defaults to the paper-scale population.
 pub fn decay_experiments(plan: &RepositoryPlan) -> DecayResults {
+    let _span = dex_telemetry::span("exp.decay");
     let mut universe = dex_universe::build();
     let pool = build_synthetic_pool(&universe.ontology, 40, 77);
     let repository = generate_repository(&universe, &pool, plan);

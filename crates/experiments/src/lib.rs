@@ -28,6 +28,9 @@ pub mod ablations;
 pub mod experiments;
 pub mod format;
 pub mod parallel;
+pub mod telemetry;
+
+pub use telemetry::TelemetryRun;
 
 /// Seed of the synthetic curator pool used by the evaluation.
 pub const POOL_SEED: u64 = 42;
@@ -50,8 +53,12 @@ impl Context {
     /// Builds the shared experimental context: universe + pool + data
     /// examples for all 252 available modules.
     pub fn build() -> Context {
+        let _span = dex_telemetry::span("context.build");
         let universe = dex_universe::build();
-        let pool = build_synthetic_pool(&universe.ontology, POOL_PER_CONCEPT, POOL_SEED);
+        let pool = {
+            let _span = dex_telemetry::span("pool.build");
+            build_synthetic_pool(&universe.ontology, POOL_PER_CONCEPT, POOL_SEED)
+        };
         let config = GenerationConfig::default();
         let threads = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)

@@ -31,6 +31,8 @@ pub fn generate_all_parallel(
 ) -> BTreeMap<ModuleId, GenerationReport> {
     let ids = universe.available_ids();
     let threads = threads.max(1).min(ids.len().max(1));
+    let _span = dex_telemetry::span("parallel.generate_all");
+    dex_telemetry::gauge_set("dex.parallel.threads", threads as i64);
     let chunk = ids.len().div_ceil(threads);
 
     let mut results: Vec<Option<(ModuleId, GenerationReport)>> = Vec::new();
@@ -77,11 +79,13 @@ pub fn match_pairs_parallel(
         .filter(|(t, c)| t != c)
         .collect();
     let threads = threads.max(1).min(pairs.len().max(1));
+    let _span = dex_telemetry::span("parallel.match_pairs");
+    dex_telemetry::gauge_set("dex.parallel.threads", threads as i64);
     let session = MatchSession::new(&universe.ontology, pool, config.clone());
     let cursor = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<((ModuleId, ModuleId), MatchReport)>();
 
-    std::thread::scope(|scope| {
+    let matrix = std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
             let session = &session;
@@ -102,7 +106,16 @@ pub fn match_pairs_parallel(
         }
         drop(tx);
         rx.into_iter().collect()
-    })
+    });
+    if dex_telemetry::is_enabled() {
+        let stats = session.cache_stats();
+        dex_telemetry::gauge_set("dex.match.cache_entries", stats.entries as i64);
+        dex_telemetry::gauge_set(
+            "dex.match.cache_bytes",
+            stats.memoized_bytes_estimate as i64,
+        );
+    }
+    matrix
 }
 
 /// [`match_pairs_parallel`] over every available module of the universe: the

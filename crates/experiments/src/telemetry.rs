@@ -1,0 +1,117 @@
+//! Opt-in telemetry for the experiment binaries.
+//!
+//! Every binary calls [`TelemetryRun::from_env`] first thing in `main`.
+//! When the run was started with `--telemetry[=PATH]` (or the
+//! `DEX_TELEMETRY` environment variable), the global `dex-telemetry`
+//! subscriber is enabled and [`TelemetryRun::finish`] writes the collected
+//! [`dex_telemetry::RunReport`] as pretty-printed JSON — `TELEMETRY.json`
+//! by default, analogous to `BENCH_matching.json` for the perf trajectory.
+//! Without the flag everything stays disabled and the binaries behave
+//! exactly as before.
+//!
+//! `DEX_LOG=<error|warn|info|debug|trace>` sets the event verbosity and
+//! echoes events to stderr as they happen.
+
+use std::path::PathBuf;
+
+/// Default artifact path, relative to the working directory.
+pub const DEFAULT_PATH: &str = "TELEMETRY.json";
+
+/// Handle for one instrumented experiment run.
+///
+/// Holds the output path when telemetry was requested; dropping it without
+/// calling [`finish`](TelemetryRun::finish) writes nothing.
+pub struct TelemetryRun {
+    path: Option<PathBuf>,
+}
+
+impl TelemetryRun {
+    /// Parses the process arguments and environment, enabling telemetry if
+    /// requested.
+    ///
+    /// Recognized switches: `--telemetry` (default path), `--telemetry=PATH`,
+    /// and the `DEX_TELEMETRY` variable (`1` or a path). `DEX_LOG` sets the
+    /// event verbosity and turns on stderr echo even when the report artifact
+    /// was not requested.
+    pub fn from_env() -> TelemetryRun {
+        let mut path: Option<PathBuf> = None;
+        for arg in std::env::args().skip(1) {
+            if arg == "--telemetry" {
+                path = Some(PathBuf::from(DEFAULT_PATH));
+            } else if let Some(p) = arg.strip_prefix("--telemetry=") {
+                path = Some(PathBuf::from(p));
+            }
+        }
+        if path.is_none() {
+            if let Ok(v) = std::env::var("DEX_TELEMETRY") {
+                if !v.is_empty() && v != "0" {
+                    path = Some(if v == "1" {
+                        PathBuf::from(DEFAULT_PATH)
+                    } else {
+                        PathBuf::from(v)
+                    });
+                }
+            }
+        }
+        if let Ok(level) = std::env::var("DEX_LOG") {
+            if let Some(level) = dex_telemetry::Level::parse(&level) {
+                dex_telemetry::set_verbosity(level);
+                dex_telemetry::set_stderr_echo(true);
+                // Events need the subscriber on to be recorded at all.
+                dex_telemetry::enable();
+            }
+        }
+        if path.is_some() {
+            dex_telemetry::enable();
+        }
+        TelemetryRun { path }
+    }
+
+    /// Whether this run records telemetry.
+    pub fn is_active(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Collects the run report under `label` and writes the JSON artifact.
+    ///
+    /// No-op when telemetry was not requested. IO or serialization problems
+    /// are reported on stderr instead of failing the experiment — the tables
+    /// were already printed by then.
+    pub fn finish(self, label: &str) {
+        let Some(path) = self.path else { return };
+        let report = dex_telemetry::collect(label);
+        match report.to_json() {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json + "\n") {
+                    eprintln!("telemetry: cannot write {}: {e}", path.display());
+                } else {
+                    eprintln!(
+                        "telemetry: wrote {} ({} spans, {} counters, {} events)",
+                        path.display(),
+                        report.span_count(),
+                        report.counters.len(),
+                        report.events.len()
+                    );
+                }
+            }
+            Err(e) => eprintln!("telemetry: cannot serialize report: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_without_flag_or_env() {
+        // The test harness never passes --telemetry; DEX_TELEMETRY is only
+        // read when unset args leave path empty, so guard against ambient env.
+        if std::env::var("DEX_TELEMETRY").is_ok() || std::env::var("DEX_LOG").is_ok() {
+            return;
+        }
+        let run = TelemetryRun::from_env();
+        assert!(!run.is_active());
+        run.finish("noop"); // must be a no-op without the flag
+    }
+}

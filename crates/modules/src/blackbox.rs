@@ -3,7 +3,27 @@
 use crate::invoke::InvocationError;
 use crate::module::ModuleDescriptor;
 use dex_values::Value;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Process-wide invocation counters, resolved once.
+fn invoke_counters() -> &'static (
+    dex_telemetry::Counter,
+    dex_telemetry::Counter,
+    dex_telemetry::Counter,
+) {
+    static COUNTERS: OnceLock<(
+        dex_telemetry::Counter,
+        dex_telemetry::Counter,
+        dex_telemetry::Counter,
+    )> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        (
+            dex_telemetry::counter("dex.invoke.total"),
+            dex_telemetry::counter("dex.invoke.ok"),
+            dex_telemetry::counter("dex.invoke.abnormal"),
+        )
+    })
+}
 
 /// A scientific module as the outside world sees it: an interface plus an
 /// invoke button.
@@ -32,6 +52,8 @@ pub struct FnModule {
     descriptor: ModuleDescriptor,
     #[allow(clippy::type_complexity)]
     body: Box<dyn Fn(&[Value]) -> Result<Vec<Value>, InvocationError> + Send + Sync>,
+    /// Per-module (ok, abnormal) counters, interned on first enabled invoke.
+    counters: OnceLock<(dex_telemetry::Counter, dex_telemetry::Counter)>,
 }
 
 impl FnModule {
@@ -51,6 +73,7 @@ impl FnModule {
         FnModule {
             descriptor,
             body: Box::new(body),
+            counters: OnceLock::new(),
         }
     }
 
@@ -63,12 +86,8 @@ impl FnModule {
     }
 }
 
-impl BlackBox for FnModule {
-    fn descriptor(&self) -> &ModuleDescriptor {
-        &self.descriptor
-    }
-
-    fn invoke(&self, inputs: &[Value]) -> Result<Vec<Value>, InvocationError> {
+impl FnModule {
+    fn invoke_inner(&self, inputs: &[Value]) -> Result<Vec<Value>, InvocationError> {
         let params = &self.descriptor.inputs;
         if inputs.len() != params.len() {
             return Err(InvocationError::Arity {
@@ -103,6 +122,39 @@ impl BlackBox for FnModule {
             self.descriptor.id
         );
         Ok(outputs)
+    }
+}
+
+impl BlackBox for FnModule {
+    fn descriptor(&self) -> &ModuleDescriptor {
+        &self.descriptor
+    }
+
+    fn invoke(&self, inputs: &[Value]) -> Result<Vec<Value>, InvocationError> {
+        let result = self.invoke_inner(inputs);
+        // Per-module invocation accounting covers every termination path,
+        // including input-validation rejections (§3.2's "abnormal
+        // termination" is anything but a normal result vector). Counter
+        // handles are cached so the cost per invoke is one atomic add.
+        if dex_telemetry::is_enabled() {
+            let (total, ok, abnormal) = invoke_counters();
+            total.add(1);
+            let (module_ok, module_abnormal) = self.counters.get_or_init(|| {
+                let id = &self.descriptor.id;
+                (
+                    dex_telemetry::counter(&format!("dex.invoke.module.{id}.ok")),
+                    dex_telemetry::counter(&format!("dex.invoke.module.{id}.abnormal")),
+                )
+            });
+            if result.is_ok() {
+                ok.add(1);
+                module_ok.add(1);
+            } else {
+                abnormal.add(1);
+                module_abnormal.add(1);
+            }
+        }
+        result
     }
 }
 

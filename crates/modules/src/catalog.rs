@@ -32,6 +32,11 @@ impl ModuleCatalog {
     /// clears its withdrawn flag (a provider re-publishing a service).
     pub fn register(&mut self, module: SharedModule) {
         let id = module.descriptor().id.clone();
+        dex_telemetry::event!(
+            dex_telemetry::Level::Debug,
+            "catalog",
+            "registered module `{id}`"
+        );
         self.withdrawn.remove(&id);
         self.modules.insert(id, module);
     }
@@ -50,6 +55,11 @@ impl ModuleCatalog {
     /// id is unknown.
     pub fn withdraw(&mut self, id: &ModuleId) -> bool {
         if self.modules.contains_key(id) {
+            dex_telemetry::event!(
+                dex_telemetry::Level::Info,
+                "catalog",
+                "module `{id}` withdrawn by its provider"
+            );
             self.withdrawn.insert(id.clone());
             true
         } else {
@@ -59,7 +69,15 @@ impl ModuleCatalog {
 
     /// Restores a withdrawn module (provider resumed supply).
     pub fn restore(&mut self, id: &ModuleId) -> bool {
-        self.withdrawn.remove(id)
+        let restored = self.withdrawn.remove(id);
+        if restored {
+            dex_telemetry::event!(
+                dex_telemetry::Level::Info,
+                "catalog",
+                "module `{id}` supply restored"
+            );
+        }
+        restored
     }
 
     /// Whether the module exists and is currently supplied.
@@ -85,6 +103,7 @@ impl ModuleCatalog {
     /// Invokes a module through the availability gate.
     pub fn invoke(&self, id: &ModuleId, inputs: &[Value]) -> Result<Vec<Value>, InvocationError> {
         if self.withdrawn.contains(id) || !self.modules.contains_key(id) {
+            dex_telemetry::counter_add("dex.catalog.unavailable_invocations", 1);
             return Err(InvocationError::Unavailable);
         }
         self.modules[id].invoke(inputs)

@@ -24,6 +24,28 @@ enum CachedShape {
     Opaque,
 }
 
+/// Pool-lookup counters, interned once — `get_instance` is the hottest
+/// instrumented path in the generator.
+fn pool_counters() -> &'static (
+    dex_telemetry::Counter,
+    dex_telemetry::Counter,
+    dex_telemetry::Counter,
+) {
+    use std::sync::OnceLock;
+    static COUNTERS: OnceLock<(
+        dex_telemetry::Counter,
+        dex_telemetry::Counter,
+        dex_telemetry::Counter,
+    )> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        (
+            dex_telemetry::counter("dex.pool.lookups"),
+            dex_telemetry::counter("dex.pool.lookup_misses"),
+            dex_telemetry::counter("dex.pool.subtree_merges"),
+        )
+    })
+}
+
 impl CachedShape {
     fn of(value: &Value) -> CachedShape {
         match value {
@@ -168,6 +190,7 @@ impl InstancePool {
         structural: &StructuralType,
         skip: usize,
     ) -> Option<&AnnotatedInstance> {
+        pool_counters().0.add(1);
         let mut remaining = skip;
         for (i, shape) in self.index.bucket(concept) {
             let conforms = match shape {
@@ -182,6 +205,7 @@ impl InstancePool {
                 remaining -= 1;
             }
         }
+        pool_counters().1.add(1);
         None
     }
 
@@ -209,6 +233,7 @@ impl InstancePool {
 
     /// Pool indices of all instances-of `concept`, in insertion order.
     fn subtree_indices(&self, concept: ConceptId, ontology: &Ontology) -> Vec<usize> {
+        pool_counters().2.add(1);
         let mut indices: Vec<usize> = Vec::new();
         for c in ontology.descendants(concept) {
             indices.extend(
@@ -322,6 +347,7 @@ impl<'p> ConceptIndex<'p> {
         structural: &StructuralType,
         skip: usize,
     ) -> Option<&'p AnnotatedInstance> {
+        pool_counters().0.add(1);
         let mut remaining = skip;
         for (i, shape) in self.bucket(concept) {
             let conforms = match shape {
@@ -336,6 +362,7 @@ impl<'p> ConceptIndex<'p> {
                 remaining -= 1;
             }
         }
+        pool_counters().1.add(1);
         None
     }
 
@@ -346,6 +373,7 @@ impl<'p> ConceptIndex<'p> {
         concept: ConceptId,
         ontology: &Ontology,
     ) -> Vec<&'p AnnotatedInstance> {
+        pool_counters().2.add(1);
         let mut indices: Vec<usize> = Vec::new();
         for c in ontology.descendants(concept) {
             indices.extend(self.bucket(c).iter().map(|&(i, _)| i));

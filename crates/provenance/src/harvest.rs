@@ -23,8 +23,12 @@ pub fn harvest_pool(
     catalog: &ModuleCatalog,
     classifier: ValueClassifier,
 ) -> InstancePool {
+    let _span = dex_telemetry::span("provenance.harvest");
     let mut pool = InstancePool::new(format!("harvest-{}", corpus.name));
     let mut seen: HashSet<(Value, String)> = HashSet::new();
+    let mut values_seen: u64 = 0;
+    let mut skipped: u64 = 0;
+    let mut duplicates: u64 = 0;
 
     for trace in corpus.traces() {
         for record in &trace.steps {
@@ -35,6 +39,7 @@ pub fn harvest_pool(
                     if value.is_null() {
                         continue;
                     }
+                    values_seen += 1;
                     let declared = descriptor.and_then(|d| {
                         let params = if is_output { &d.outputs } else { &d.inputs };
                         params.get(idx).map(|p| p.semantic.as_str())
@@ -43,7 +48,10 @@ pub fn harvest_pool(
                         Some(c) => c.to_string(),
                         None => match declared {
                             Some(c) => c.to_string(),
-                            None => continue,
+                            None => {
+                                skipped += 1;
+                                continue;
+                            }
                         },
                     };
                     if seen.insert((value.clone(), concept.clone())) {
@@ -61,10 +69,27 @@ pub fn harvest_pool(
                             record.module.to_string(),
                             parameter,
                         ));
+                    } else {
+                        duplicates += 1;
                     }
                 }
             }
         }
+    }
+    if dex_telemetry::is_enabled() {
+        dex_telemetry::counter_add("dex.provenance.values_seen", values_seen);
+        dex_telemetry::counter_add("dex.provenance.instances_harvested", pool.len() as u64);
+        dex_telemetry::counter_add("dex.provenance.values_skipped", skipped);
+        dex_telemetry::counter_add("dex.provenance.duplicates_collapsed", duplicates);
+        dex_telemetry::event!(
+            dex_telemetry::Level::Info,
+            "provenance",
+            "harvested {} instances from {} values ({} duplicates, {} skipped)",
+            pool.len(),
+            values_seen,
+            duplicates,
+            skipped
+        );
     }
     pool
 }

@@ -1,0 +1,220 @@
+//! Structured events behind a verbosity level — the replacement for ad-hoc
+//! `eprintln!` debugging across the workspace.
+//!
+//! Library code calls the [`crate::event!`] macro, which skips even the
+//! message formatting unless telemetry is enabled *and* the event's level is
+//! within the configured verbosity. Recorded events ride along in the
+//! [`crate::RunReport`]; optionally they are echoed to stderr for live runs
+//! ([`set_stderr_echo`]).
+
+use crate::{is_enabled, lock};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Event severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Level {
+    /// Unrecoverable or data-corrupting conditions.
+    Error,
+    /// Suspicious but survivable conditions.
+    Warn,
+    /// Run milestones (default verbosity records up to here).
+    Info,
+    /// Per-entity detail (module registrations, step failures…).
+    Debug,
+    /// Firehose.
+    Trace,
+}
+
+impl Level {
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            3 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+
+    /// Parses "error" | "warn" | "info" | "debug" | "trace" (any case).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Global sequence number (process-wide order across threads).
+    pub seq: u64,
+    /// Severity the event was emitted at.
+    pub level: Level,
+    /// Subsystem tag, e.g. `"catalog"` or `"universe"`.
+    pub target: String,
+    /// The formatted message.
+    pub message: String,
+}
+
+/// Hard cap on buffered events; beyond it events are counted but dropped so
+/// a chatty Trace run cannot exhaust memory.
+const MAX_EVENTS: usize = 4096;
+
+static VERBOSITY: AtomicU8 = AtomicU8::new(Level::Info as u8);
+static STDERR_ECHO: AtomicBool = AtomicBool::new(false);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static EVENTS: Mutex<Vec<EventRecord>> = Mutex::new(Vec::new());
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Sets the maximum level that gets recorded (default [`Level::Info`]).
+pub fn set_verbosity(level: Level) {
+    VERBOSITY.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current verbosity ceiling.
+pub fn verbosity() -> Level {
+    Level::from_u8(VERBOSITY.load(Ordering::Relaxed))
+}
+
+/// When `true`, recorded events are also printed to stderr as
+/// `[LEVEL target] message`.
+pub fn set_stderr_echo(echo: bool) {
+    STDERR_ECHO.store(echo, Ordering::Relaxed);
+}
+
+/// Whether an event at `level` would currently be recorded. The
+/// [`crate::event!`] macro checks this before formatting the message.
+#[inline]
+pub fn event_enabled(level: Level) -> bool {
+    is_enabled() && (level as u8) <= VERBOSITY.load(Ordering::Relaxed)
+}
+
+/// Records a pre-formatted event. Prefer the [`crate::event!`] macro, which
+/// avoids the formatting cost when the event would be discarded.
+pub fn emit(level: Level, target: &str, message: String) {
+    if !event_enabled(level) {
+        return;
+    }
+    if STDERR_ECHO.load(Ordering::Relaxed) {
+        eprintln!("[{} {}] {}", level.label(), target, message);
+    }
+    let mut events = lock(&EVENTS);
+    if events.len() >= MAX_EVENTS {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    events.push(EventRecord {
+        seq: SEQ.fetch_add(1, Ordering::Relaxed),
+        level,
+        target: target.to_string(),
+        message,
+    });
+}
+
+/// Records a structured event, formatting the message only when it would be
+/// kept: `event!(Level::Info, "universe", "built {n} modules")`.
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $target:expr, $($arg:tt)+) => {
+        if $crate::event_enabled($level) {
+            $crate::emit($level, $target, format!($($arg)+));
+        }
+    };
+}
+
+pub(crate) fn snapshot_events() -> Vec<EventRecord> {
+    lock(&EVENTS).clone()
+}
+
+pub(crate) fn dropped_events() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+pub(crate) fn reset() {
+    lock(&EVENTS).clear();
+    SEQ.store(0, Ordering::Relaxed);
+    DROPPED.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing;
+
+    #[test]
+    fn verbosity_gates_recording() {
+        let _g = testing::guard();
+        crate::enable();
+        crate::reset();
+        set_verbosity(Level::Info);
+        event!(Level::Info, "test", "kept {}", 1);
+        event!(Level::Debug, "test", "dropped {}", 2);
+        let events = snapshot_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].message, "kept 1");
+        assert_eq!(events[0].target, "test");
+        set_verbosity(Level::Debug);
+        event!(Level::Debug, "test", "now kept");
+        assert_eq!(snapshot_events().len(), 2);
+        set_verbosity(Level::Info);
+        crate::disable();
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing() {
+        let _g = testing::guard();
+        crate::disable();
+        crate::reset();
+        event!(Level::Error, "test", "even errors are skipped");
+        assert!(snapshot_events().is_empty());
+    }
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Trace);
+        assert_eq!(Level::parse("DeBuG"), Some(Level::Debug));
+        assert_eq!(Level::parse("nope"), None);
+        for l in [
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+            Level::Trace,
+        ] {
+            assert_eq!(Level::from_u8(l as u8), l);
+        }
+    }
+
+    #[test]
+    fn event_buffer_is_capped() {
+        let _g = testing::guard();
+        crate::enable();
+        crate::reset();
+        for i in 0..(MAX_EVENTS + 10) {
+            emit(Level::Info, "flood", format!("e{i}"));
+        }
+        assert_eq!(snapshot_events().len(), MAX_EVENTS);
+        assert_eq!(dropped_events(), 10);
+        crate::reset();
+        assert_eq!(dropped_events(), 0);
+        crate::disable();
+    }
+}

@@ -1,0 +1,418 @@
+//! Process-global metrics registry: atomic counters, gauges, and
+//! fixed-bucket histograms.
+//!
+//! The registry is read-mostly: the first touch of a name takes a write
+//! lock to intern the metric, every subsequent update takes a read lock and
+//! a relaxed atomic op. Updates therefore never lose increments under the
+//! scoped-thread parallelism used by the experiment harness, and never
+//! block each other once a metric exists.
+
+use crate::is_enabled;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Histogram bucket upper bounds in nanoseconds (geometric, ~×4). A final
+/// implicit overflow bucket catches everything above the last bound, so a
+/// snapshot always has `BUCKET_BOUNDS_NS.len() + 1` bucket counts.
+pub const BUCKET_BOUNDS_NS: [u64; 12] = [
+    250,
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    250_000,
+    1_000_000,
+    4_000_000,
+    16_000_000,
+    64_000_000,
+    250_000_000,
+    1_000_000_000,
+];
+
+/// A fixed-bucket duration histogram.
+#[derive(Debug, Default)]
+struct Histogram {
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    buckets: [AtomicU64; BUCKET_BOUNDS_NS.len() + 1],
+}
+
+impl Histogram {
+    fn record(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        let idx = BUCKET_BOUNDS_NS
+            .iter()
+            .position(|&bound| ns <= bound)
+            .unwrap_or(BUCKET_BOUNDS_NS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    fn zero(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_ns.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time view of one histogram, as exported in [`crate::RunReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all observations, nanoseconds.
+    pub sum_ns: u64,
+    /// Per-bucket counts; index `i` counts observations `<=
+    /// BUCKET_BOUNDS_NS[i]`, the final entry is the overflow bucket.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation in nanoseconds, `0.0` when empty.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// One interned shard of the registry.
+struct Shard<T> {
+    map: RwLock<HashMap<String, Arc<T>>>,
+}
+
+impl<T: Default> Shard<T> {
+    fn new() -> Self {
+        Shard {
+            map: RwLock::new(HashMap::new()),
+        }
+    }
+
+    fn get(&self, name: &str) -> Arc<T> {
+        if let Some(found) = self
+            .map
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(name)
+        {
+            return Arc::clone(found);
+        }
+        let mut map = self
+            .map
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(T::default())),
+        )
+    }
+
+    fn clear(&self) {
+        self.map
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+    }
+
+    fn for_each(&self, f: impl Fn(&T)) {
+        for v in self
+            .map
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+        {
+            f(v);
+        }
+    }
+
+    fn snapshot_with<U>(&self, f: impl Fn(&T) -> U) -> std::collections::BTreeMap<String, U> {
+        self.map
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), f(v)))
+            .collect()
+    }
+}
+
+struct Registry {
+    counters: Shard<AtomicU64>,
+    gauges: Shard<AtomicI64>,
+    histograms: Shard<Histogram>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Shard::new(),
+        gauges: Shard::new(),
+        histograms: Shard::new(),
+    })
+}
+
+/// A cached handle to one counter: the name is resolved against the
+/// registry once, at [`counter`] time; every [`add`](Counter::add) after
+/// that is a gate check plus one relaxed atomic increment — cheap enough
+/// for per-invocation hot paths where [`counter_add`]'s name lookup (string
+/// hash under a read lock) would dominate.
+///
+/// Handles survive [`crate::reset`]: reset zeroes counters in place rather
+/// than dropping them, so a cached handle never silently detaches from the
+/// registry.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `delta`. No-op while telemetry is disabled.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        if is_enabled() && delta != 0 {
+            self.cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Interns `name` and returns a cached [`Counter`] handle for it.
+pub fn counter(name: &str) -> Counter {
+    Counter {
+        cell: registry().counters.get(name),
+    }
+}
+
+/// A cached handle to one histogram, analogous to [`Counter`]: resolved
+/// once, then every observation is bucket math on pre-resolved atomics.
+#[derive(Clone)]
+pub struct Histo {
+    cell: Arc<Histogram>,
+}
+
+impl Histo {
+    /// Records one duration observation. No-op while disabled.
+    #[inline]
+    pub fn observe_ns(&self, ns: u64) {
+        if is_enabled() {
+            self.cell.record(ns);
+        }
+    }
+
+    /// Starts a [`TimedGuard`] recording into this histogram on drop,
+    /// without the per-call name allocation of [`timed`].
+    pub fn start(&self) -> TimedGuard {
+        if !is_enabled() {
+            return TimedGuard {
+                target: None,
+                start: None,
+            };
+        }
+        TimedGuard {
+            target: Some(TimerTarget::Handle(Arc::clone(&self.cell))),
+            start: Some(Instant::now()),
+        }
+    }
+}
+
+/// Interns `name` and returns a cached [`Histo`] handle for it.
+pub fn histogram(name: &str) -> Histo {
+    Histo {
+        cell: registry().histograms.get(name),
+    }
+}
+
+/// Adds `delta` to the named monotonic counter. No-op while telemetry is
+/// disabled.
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    if !is_enabled() || delta == 0 {
+        return;
+    }
+    registry()
+        .counters
+        .get(name)
+        .fetch_add(delta, Ordering::Relaxed);
+}
+
+/// Current value of a counter (0 if never touched). Works regardless of the
+/// enabled flag, for tests and report assembly.
+pub fn counter_value(name: &str) -> u64 {
+    registry().counters.get(name).load(Ordering::Relaxed)
+}
+
+/// Sets the named gauge to an absolute value. No-op while disabled.
+#[inline]
+pub fn gauge_set(name: &str, value: i64) {
+    if !is_enabled() {
+        return;
+    }
+    registry().gauges.get(name).store(value, Ordering::Relaxed);
+}
+
+/// Current value of a gauge (0 if never set).
+pub fn gauge_value(name: &str) -> i64 {
+    registry().gauges.get(name).load(Ordering::Relaxed)
+}
+
+/// Records one duration observation into the named histogram. No-op while
+/// disabled.
+#[inline]
+pub fn observe_ns(name: &str, ns: u64) {
+    if !is_enabled() {
+        return;
+    }
+    registry().histograms.get(name).record(ns);
+}
+
+enum TimerTarget {
+    Named(String),
+    Handle(Arc<Histogram>),
+}
+
+/// RAII timer: records the guarded scope's duration into the named
+/// histogram on drop. Inert (never calls `Instant::now`) while disabled.
+#[must_use = "the timer records on drop"]
+pub struct TimedGuard {
+    target: Option<TimerTarget>,
+    start: Option<Instant>,
+}
+
+impl Drop for TimedGuard {
+    fn drop(&mut self) {
+        if let (Some(target), Some(start)) = (self.target.take(), self.start) {
+            // Record even if telemetry was disabled mid-scope: the
+            // observation was armed while enabled.
+            let ns = start.elapsed().as_nanos() as u64;
+            match target {
+                TimerTarget::Named(name) => registry().histograms.get(&name).record(ns),
+                TimerTarget::Handle(hist) => hist.record(ns),
+            }
+        }
+    }
+}
+
+/// Starts a [`TimedGuard`] over the named histogram.
+pub fn timed(name: &str) -> TimedGuard {
+    if !is_enabled() {
+        return TimedGuard {
+            target: None,
+            start: None,
+        };
+    }
+    TimedGuard {
+        target: Some(TimerTarget::Named(name.to_string())),
+        start: Some(Instant::now()),
+    }
+}
+
+pub(crate) fn snapshot_counters() -> std::collections::BTreeMap<String, u64> {
+    let mut counters = registry()
+        .counters
+        .snapshot_with(|c| c.load(Ordering::Relaxed));
+    // Zero-valued counters are indistinguishable from never-touched ones
+    // (reset zeroes in place); keep reports free of them.
+    counters.retain(|_, v| *v != 0);
+    counters
+}
+
+pub(crate) fn snapshot_gauges() -> std::collections::BTreeMap<String, i64> {
+    registry()
+        .gauges
+        .snapshot_with(|g| g.load(Ordering::Relaxed))
+}
+
+pub(crate) fn snapshot_histograms() -> std::collections::BTreeMap<String, HistogramSnapshot> {
+    let mut histograms = registry().histograms.snapshot_with(Histogram::snapshot);
+    histograms.retain(|_, v| v.count != 0);
+    histograms
+}
+
+pub(crate) fn reset() {
+    let r = registry();
+    // Counters and histograms are zeroed in place so cached [`Counter`]
+    // handles stay attached; gauges have no handle API and are dropped.
+    r.counters.for_each(|c| c.store(0, Ordering::Relaxed));
+    r.histograms.for_each(Histogram::zero);
+    r.gauges.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing;
+
+    #[test]
+    fn counters_and_gauges_record_when_enabled_only() {
+        let _g = testing::guard();
+        crate::enable();
+        crate::reset();
+        counter_add("m.test.counter", 2);
+        counter_add("m.test.counter", 3);
+        gauge_set("m.test.gauge", -7);
+        assert_eq!(counter_value("m.test.counter"), 5);
+        assert_eq!(gauge_value("m.test.gauge"), -7);
+        crate::disable();
+        counter_add("m.test.counter", 100);
+        gauge_set("m.test.gauge", 100);
+        assert_eq!(counter_value("m.test.counter"), 5, "disabled adds ignored");
+        assert_eq!(gauge_value("m.test.gauge"), -7);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_boundaries() {
+        let _g = testing::guard();
+        crate::enable();
+        crate::reset();
+        // One observation exactly on each bound, plus one overflow.
+        for bound in BUCKET_BOUNDS_NS {
+            observe_ns("m.test.hist", bound);
+        }
+        observe_ns(
+            "m.test.hist",
+            BUCKET_BOUNDS_NS[BUCKET_BOUNDS_NS.len() - 1] + 1,
+        );
+        let snap = snapshot_histograms().remove("m.test.hist").unwrap();
+        assert_eq!(snap.count, BUCKET_BOUNDS_NS.len() as u64 + 1);
+        assert_eq!(snap.buckets.len(), BUCKET_BOUNDS_NS.len() + 1);
+        assert!(snap.buckets.iter().all(|&b| b == 1), "{:?}", snap.buckets);
+        assert!(snap.mean_ns() > 0.0);
+        crate::disable();
+    }
+
+    #[test]
+    fn timed_guard_records_scope_duration() {
+        let _g = testing::guard();
+        crate::enable();
+        crate::reset();
+        {
+            let _t = timed("m.test.timer");
+            std::hint::black_box(1 + 1);
+        }
+        let snap = snapshot_histograms().remove("m.test.timer").unwrap();
+        assert_eq!(snap.count, 1);
+        crate::disable();
+        {
+            let _t = timed("m.test.timer");
+        }
+        let snap = snapshot_histograms().remove("m.test.timer").unwrap();
+        assert_eq!(snap.count, 1, "disabled timer is inert");
+    }
+}

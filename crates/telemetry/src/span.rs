@@ -1,0 +1,243 @@
+//! Lightweight spans over a thread-local stack.
+//!
+//! [`span`] opens a span and returns an RAII [`SpanGuard`]; dropping the
+//! guard closes the span, attaching its timed [`SpanRecord`] to the
+//! enclosing span (or to the process-global root list when the stack
+//! empties). The guard remembers the stack depth it opened at, so spans
+//! close correctly even when a panic unwinds through several guards or an
+//! inner guard is leaked with `mem::forget` — descendants still on the
+//! stack above the closing guard are folded in as its children.
+//!
+//! Each thread owns its own stack: spans opened on a worker thread become
+//! independent roots rather than children of whatever the spawning thread
+//! had open. Cross-thread parenting would need ids plumbed through spawn
+//! sites, which the embarrassingly parallel workloads here don't justify.
+
+use crate::{is_enabled, lock};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One completed span: a name, a monotonic duration, and nested children.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// The name given to [`span`].
+    pub name: String,
+    /// Wall-clock duration, nanoseconds (monotonic clock).
+    pub duration_ns: u64,
+    /// Spans opened and closed while this one was open, in completion order.
+    pub children: Vec<SpanRecord>,
+}
+
+impl SpanRecord {
+    /// Total number of spans in this subtree, including `self`.
+    pub fn tree_size(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(SpanRecord::tree_size)
+            .sum::<usize>()
+    }
+}
+
+struct OpenSpan {
+    name: String,
+    start: Instant,
+    children: Vec<SpanRecord>,
+}
+
+impl OpenSpan {
+    fn finish(self) -> SpanRecord {
+        SpanRecord {
+            name: self.name,
+            duration_ns: self.start.elapsed().as_nanos() as u64,
+            children: self.children,
+        }
+    }
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<OpenSpan>> = const { RefCell::new(Vec::new()) };
+}
+
+static ROOTS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+/// Closes the span opened by the matching [`span`] call when dropped.
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct SpanGuard {
+    /// Stack index this guard's span occupies; `None` for the inert guard
+    /// handed out while telemetry is disabled.
+    depth: Option<usize>,
+}
+
+/// Opens a span. Returns an inert guard while telemetry is disabled.
+pub fn span(name: impl Into<String>) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard { depth: None };
+    }
+    let depth = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        stack.push(OpenSpan {
+            name: name.into(),
+            start: Instant::now(),
+            children: Vec::new(),
+        });
+        stack.len() - 1
+    });
+    SpanGuard { depth: Some(depth) }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(depth) = self.depth else { return };
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Fold any still-open descendants (leaked guards) into their
+            // parents, innermost first, until this guard's span is on top.
+            while stack.len() > depth + 1 {
+                let leaked = stack.pop().expect("len checked").finish();
+                stack
+                    .last_mut()
+                    .expect("depth+1 remains")
+                    .children
+                    .push(leaked);
+            }
+            if stack.len() == depth + 1 {
+                let record = stack.pop().expect("len checked").finish();
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(record),
+                    None => lock(&ROOTS).push(record),
+                }
+            }
+            // stack.len() <= depth means an outer guard already folded this
+            // span away — nothing left to do.
+        });
+    }
+}
+
+/// Clones the completed root spans recorded so far (completed = their
+/// guards were dropped and their thread's stack emptied back to them).
+pub(crate) fn snapshot_roots() -> Vec<SpanRecord> {
+    lock(&ROOTS).clone()
+}
+
+pub(crate) fn reset() {
+    lock(&ROOTS).clear();
+    STACK.with(|stack| stack.borrow_mut().clear());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing;
+
+    #[test]
+    fn nesting_builds_a_tree() {
+        let _g = testing::guard();
+        crate::enable();
+        crate::reset();
+        {
+            let _outer = span("outer");
+            {
+                let _a = span("a");
+                let _deep = span("deep");
+            }
+            let _b = span("b");
+        }
+        let roots = snapshot_roots();
+        assert_eq!(roots.len(), 1);
+        let outer = &roots[0];
+        assert_eq!(outer.name, "outer");
+        let names: Vec<&str> = outer.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert_eq!(outer.children[0].children.len(), 1);
+        assert_eq!(outer.children[0].children[0].name, "deep");
+        assert_eq!(outer.tree_size(), 4);
+        crate::disable();
+    }
+
+    #[test]
+    fn sibling_roots_accumulate() {
+        let _g = testing::guard();
+        crate::enable();
+        crate::reset();
+        {
+            let _x = span("x");
+        }
+        {
+            let _y = span("y");
+        }
+        let names: Vec<String> = snapshot_roots().into_iter().map(|r| r.name).collect();
+        assert_eq!(names, ["x", "y"]);
+        crate::disable();
+    }
+
+    #[test]
+    fn panic_unwinding_closes_spans() {
+        let _g = testing::guard();
+        crate::enable();
+        crate::reset();
+        let result = std::panic::catch_unwind(|| {
+            let _outer = span("panicky-outer");
+            let _inner = span("panicky-inner");
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        let roots = snapshot_roots();
+        assert_eq!(roots.len(), 1, "unwind closed both spans: {roots:?}");
+        assert_eq!(roots[0].name, "panicky-outer");
+        assert_eq!(roots[0].children[0].name, "panicky-inner");
+        // The stack is clean: a fresh span still works.
+        {
+            let _after = span("after-panic");
+        }
+        assert_eq!(snapshot_roots().len(), 2);
+        crate::disable();
+    }
+
+    #[test]
+    fn leaked_guard_is_folded_by_outer_drop() {
+        let _g = testing::guard();
+        crate::enable();
+        crate::reset();
+        {
+            let _outer = span("leak-outer");
+            std::mem::forget(span("leak-inner"));
+        }
+        let roots = snapshot_roots();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].children[0].name, "leak-inner");
+        crate::disable();
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _g = testing::guard();
+        crate::disable();
+        crate::reset();
+        {
+            let _s = span("never-recorded");
+        }
+        assert!(snapshot_roots().is_empty());
+    }
+
+    #[test]
+    fn worker_thread_spans_become_roots() {
+        let _g = testing::guard();
+        crate::enable();
+        crate::reset();
+        {
+            let _main = span("main-span");
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    let _w = span("worker-span");
+                });
+            });
+        }
+        let mut names: Vec<String> = snapshot_roots().into_iter().map(|r| r.name).collect();
+        names.sort();
+        assert_eq!(names, ["main-span", "worker-span"]);
+        crate::disable();
+    }
+}

@@ -2308,6 +2308,7 @@ fn id_set(catalog: &ModuleCatalog, ids: &[&str]) -> BTreeSet<ModuleId> {
 /// Builds the full simulated universe: 252 modern modules (Table 3 census)
 /// plus 72 legacy modules with ground-truth matching verdicts.
 pub fn build() -> Universe {
+    let _span = dex_telemetry::span("universe.build");
     let ontology = mygrid::ontology();
     let mut b = Builder::new();
     add_format_transformations(&mut b);
@@ -2317,6 +2318,14 @@ pub fn build() -> Universe {
     add_data_analyses(&mut b);
     add_legacy(&mut b);
     b.legacy.sort();
+    dex_telemetry::event!(
+        dex_telemetry::Level::Info,
+        "universe",
+        "built {} modern + {} legacy modules over {} ontology concepts",
+        b.modern_count,
+        b.legacy.len(),
+        ontology.len()
+    );
 
     assert_eq!(b.modern_count, 252, "modern census drifted");
     assert_eq!(b.legacy.len(), 72, "legacy census drifted");

@@ -75,6 +75,33 @@ pub fn enact(
     catalog: &ModuleCatalog,
     inputs: &[Value],
 ) -> Result<EnactmentTrace, EnactError> {
+    let _span = dex_telemetry::span("workflow.enact");
+    let result = enact_inner(workflow, catalog, inputs);
+    if dex_telemetry::is_enabled() {
+        dex_telemetry::counter_add("dex.workflow.enactments", 1);
+        match &result {
+            Ok(trace) => {
+                dex_telemetry::counter_add("dex.workflow.steps_executed", trace.steps.len() as u64);
+            }
+            Err(error) => {
+                dex_telemetry::counter_add("dex.workflow.enact_failures", 1);
+                dex_telemetry::event!(
+                    dex_telemetry::Level::Debug,
+                    "workflow",
+                    "enactment of `{}` failed: {error}",
+                    workflow.id
+                );
+            }
+        }
+    }
+    result
+}
+
+fn enact_inner(
+    workflow: &Workflow,
+    catalog: &ModuleCatalog,
+    inputs: &[Value],
+) -> Result<EnactmentTrace, EnactError> {
     if inputs.len() != workflow.inputs.len() {
         return Err(EnactError::Structure(format!(
             "expected {} workflow inputs, got {}",

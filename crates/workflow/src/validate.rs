@@ -66,6 +66,29 @@ pub fn validate(
     catalog: &ModuleCatalog,
     ontology: &Ontology,
 ) -> Result<(), Vec<ValidationError>> {
+    let _span = dex_telemetry::span("workflow.validate");
+    let result = validate_inner(workflow, catalog, ontology);
+    if dex_telemetry::is_enabled() {
+        dex_telemetry::counter_add("dex.workflow.validations", 1);
+        if let Err(errors) = &result {
+            dex_telemetry::counter_add("dex.workflow.validation_errors", errors.len() as u64);
+            dex_telemetry::event!(
+                dex_telemetry::Level::Debug,
+                "workflow",
+                "workflow `{}` failed validation with {} error(s)",
+                workflow.id,
+                errors.len()
+            );
+        }
+    }
+    result
+}
+
+fn validate_inner(
+    workflow: &Workflow,
+    catalog: &ModuleCatalog,
+    ontology: &Ontology,
+) -> Result<(), Vec<ValidationError>> {
     let mut errors = Vec::new();
 
     // Resolve descriptors.
