@@ -1,13 +1,35 @@
 //! The data-example generation heuristic (paper §3.2): partition → select →
-//! invoke → construct.
+//! invoke → construct — reorganized as **plan, execute, assemble**.
+//!
+//! Module invocation is the dominant cost of the paper's setting (remote,
+//! metered SOAP/REST services), so the generator no longer interleaves pool
+//! lookups and invocations combination by combination. Instead it:
+//!
+//! 1. resolves every `(input, partition)`'s candidate values **once**
+//!    ([`resolve_candidates`] — the pool is probed per partition, not per
+//!    combination per attempt);
+//! 2. plans each combination's attempt vectors up front, dropping retry
+//!    attempts whose value vector is identical to an earlier attempt of the
+//!    same combination (shallow pools used to make retries re-invoke the
+//!    exact same inputs — pure waste);
+//! 3. executes the planned invocations in retry waves — attempt 0 for every
+//!    combination, then attempt 1 for the still-unresolved ones, … — so each
+//!    wave's *distinct* vectors can fan out over scoped threads
+//!    ([`GenerationConfig::invoke_threads`]) and route through a shared
+//!    [`InvocationCache`] ([`generate_examples_cached`]);
+//! 4. assembles the report from the memoized outcomes in combination order,
+//!    so the result is byte-identical to the sequential reference path
+//!    ([`generate_examples_sequential`]) regardless of thread count or cache
+//!    state.
 
 use crate::error::GenerationError;
 use crate::example::{Binding, DataExample, ExampleSet};
 use crate::partition::{input_partition_plan, PartitionPlan};
-use dex_modules::BlackBox;
+use dex_modules::{invoke_all_cached, BlackBox, InvocationCache, InvocationOutcome};
 use dex_ontology::Ontology;
 use dex_pool::InstancePool;
 use dex_values::Value;
+use std::sync::Arc;
 
 /// Tuning knobs for the generator.
 #[derive(Debug, Clone)]
@@ -26,6 +48,11 @@ pub struct GenerationConfig {
     /// modules to obtain *aligned* examples (§6: "we choose the same values
     /// for both i and i′").
     pub value_offset: usize,
+    /// Opt-in invocation parallelism: each retry wave's distinct invocations
+    /// fan out over up to this many scoped threads (`BlackBox` is
+    /// `Send + Sync`). `0` and `1` mean sequential execution. The report is
+    /// identical for every thread count — only wall-clock changes.
+    pub invoke_threads: usize,
 }
 
 impl Default for GenerationConfig {
@@ -34,6 +61,7 @@ impl Default for GenerationConfig {
             max_combinations: 4096,
             retries_per_combination: 3,
             value_offset: 0,
+            invoke_threads: 1,
         }
     }
 }
@@ -51,7 +79,11 @@ pub struct GenerationReport {
     /// Partition combinations whose every attempted invocation failed
     /// (concept names per input).
     pub failed_combinations: Vec<Vec<String>>,
-    /// Total module invocations attempted.
+    /// Planned invocation attempts consumed (duplicate retry vectors are
+    /// skipped, not counted — they cannot change a deterministic module's
+    /// answer). When a shared [`InvocationCache`] is in play the number of
+    /// *actual* module invocations can be lower still; see the cache's
+    /// [`stats`](InvocationCache::stats).
     pub invocations: usize,
 }
 
@@ -77,6 +109,178 @@ impl GenerationReport {
     }
 }
 
+/// Candidate values for one `(input, partition)` pair, resolved from the
+/// pool exactly once per generation.
+///
+/// `picks[a]` is the value attempt `a` feeds this input, after the fallback
+/// chain (requested depth → base offset → first pick) — `None` for every
+/// attempt exactly when the pool holds no structurally compatible
+/// realization at all.
+struct ResolvedPartition<'p> {
+    concept: String,
+    picks: Vec<Option<&'p Value>>,
+}
+
+/// Phase 2, hoisted: resolve every `(input, partition)`'s candidates once.
+///
+/// The legacy generator probed `get_instance` for every partition in phase 2
+/// and then repeated the identical lookups (plus two `or_else` fallbacks per
+/// input per attempt) inside the phase-3 combination loop. Here each
+/// `(input, partition)` costs `retries + 2` pool lookups total, shared by
+/// every combination that references it, and the "unvalued" probe is the
+/// same lookup as the attempt-0 fallback.
+fn resolve_candidates<'p>(
+    plan: &PartitionPlan,
+    descriptor: &dex_modules::ModuleDescriptor,
+    ontology: &Ontology,
+    pool: &'p InstancePool,
+    config: &GenerationConfig,
+) -> (Vec<Vec<ResolvedPartition<'p>>>, Vec<(usize, String)>) {
+    let attempts = config.retries_per_combination + 1;
+    let mut resolved: Vec<Vec<ResolvedPartition<'p>>> = Vec::with_capacity(plan.per_input.len());
+    let mut unvalued: Vec<(usize, String)> = Vec::new();
+    for (i, parts) in plan.per_input.iter().enumerate() {
+        let structural = &descriptor.inputs[i].structural;
+        let mut per_partition = Vec::with_capacity(parts.len());
+        for &p in parts {
+            let concept = ontology.concept_name(p);
+            let first = pool.get_instance(concept, structural, 0).map(|x| &x.value);
+            if first.is_none() {
+                unvalued.push((i, concept.to_string()));
+            }
+            let base = if config.value_offset == 0 {
+                first
+            } else {
+                pool.get_instance(concept, structural, config.value_offset)
+                    .map(|x| &x.value)
+                    .or(first)
+            };
+            let picks = (0..attempts)
+                .map(|attempt| {
+                    first?;
+                    if attempt == 0 {
+                        // skip == value_offset: exactly the `base` lookup.
+                        return base;
+                    }
+                    pool.get_instance(concept, structural, config.value_offset + attempt)
+                        .map(|x| &x.value)
+                        .or(base)
+                })
+                .collect();
+            per_partition.push(ResolvedPartition {
+                concept: concept.to_string(),
+                picks,
+            });
+        }
+        resolved.push(per_partition);
+    }
+    (resolved, unvalued)
+}
+
+/// One combination's planned invocations: which attempts actually need an
+/// invocation (duplicate vectors dropped), with borrowed picks per input.
+struct PlannedCombo<'p> {
+    /// Partition index per input (combination coordinates).
+    combo: Vec<usize>,
+    /// Concept names per input, in input order.
+    concept_names: Vec<String>,
+    /// Deduplicated attempt vectors, in attempt order. Empty when some input
+    /// partition has no realization (the combination can never be fed).
+    attempts: Vec<Vec<&'p Value>>,
+    /// Next unconsumed entry of `attempts`.
+    next: usize,
+    /// Planned attempts consumed so far (the report's `invocations` share).
+    consumed: usize,
+    /// The winning attempt's outcome, once one terminates normally.
+    success: Option<(Vec<&'p Value>, Arc<InvocationOutcome>)>,
+}
+
+impl<'p> PlannedCombo<'p> {
+    fn is_unresolved(&self) -> bool {
+        self.success.is_none() && self.next < self.attempts.len()
+    }
+}
+
+/// The whole generation's invocation plan: every `(combination, attempt)`
+/// candidate vector, enumerated up front.
+fn plan_invocations<'p>(
+    plan: &PartitionPlan,
+    resolved: &'p [Vec<ResolvedPartition<'p>>],
+    ontology: &Ontology,
+) -> Vec<PlannedCombo<'p>> {
+    let _ = ontology;
+    let mut combos = Vec::new();
+    for combo in plan.combinations() {
+        let concept_names: Vec<String> = combo
+            .iter()
+            .enumerate()
+            .map(|(i, &pi)| resolved[i][pi].concept.clone())
+            .collect();
+        let complete = combo
+            .iter()
+            .enumerate()
+            .all(|(i, &pi)| resolved[i][pi].picks[0].is_some());
+        let mut attempts: Vec<Vec<&'p Value>> = Vec::new();
+        if complete {
+            let total = resolved
+                .first()
+                .and_then(|r| r.first())
+                .map_or(1, |r| r.picks.len());
+            for a in 0..total {
+                let vector: Vec<&'p Value> = combo
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &pi)| resolved[i][pi].picks[a].expect("complete combination"))
+                    .collect();
+                // Retry dedup: a vector identical (same pool instances) to an
+                // earlier attempt of this combination is skipped — the module
+                // is deterministic, so re-invoking cannot change the outcome.
+                let duplicate = attempts
+                    .iter()
+                    .any(|prev| prev.iter().zip(&vector).all(|(a, b)| std::ptr::eq(*a, *b)));
+                if !duplicate {
+                    attempts.push(vector);
+                }
+            }
+        }
+        combos.push(PlannedCombo {
+            combo,
+            concept_names,
+            attempts,
+            next: 0,
+            consumed: 0,
+            success: None,
+        });
+    }
+    combos
+}
+
+/// Executes a wave of distinct invocation vectors directly (no shared
+/// cache), optionally fanning out over scoped threads. Outcomes are returned
+/// in input order regardless of scheduling.
+fn invoke_wave_direct(
+    module: &dyn BlackBox,
+    vectors: &[Vec<Value>],
+    threads: usize,
+) -> Vec<Arc<InvocationOutcome>> {
+    let threads = threads.max(1).min(vectors.len());
+    if threads <= 1 {
+        return vectors.iter().map(|v| Arc::new(module.invoke(v))).collect();
+    }
+    let mut results: Vec<Option<Arc<InvocationOutcome>>> = vec![None; vectors.len()];
+    let chunk = vectors.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (vec_chunk, out_chunk) in vectors.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (vector, slot) in vec_chunk.iter().zip(out_chunk) {
+                    *slot = Some(Arc::new(module.invoke(vector)));
+                }
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("filled")).collect()
+}
+
 /// Runs the full §3.2 procedure for one module:
 ///
 /// 1. partition the domain of every input using its semantic annotation;
@@ -86,12 +290,38 @@ impl GenerationReport {
 /// 4. keep combinations that terminate normally as data examples.
 ///
 /// Deterministic: same module, ontology, pool and config always produce the
-/// same report.
+/// same report — including under [`GenerationConfig::invoke_threads`]
+/// parallelism, and byte-identical to [`generate_examples_sequential`].
 pub fn generate_examples(
     module: &dyn BlackBox,
     ontology: &Ontology,
     pool: &InstancePool,
     config: &GenerationConfig,
+) -> Result<GenerationReport, GenerationError> {
+    generate_with(module, ontology, pool, config, None)
+}
+
+/// [`generate_examples`] through a shared [`InvocationCache`]: every distinct
+/// `(module, input vector)` across all callers of the cache — other
+/// generations, other value offsets, matcher replays, repair verification —
+/// is invoked at most once process-wide. The report is byte-identical to the
+/// uncached path; only the number of *actual* module invocations drops.
+pub fn generate_examples_cached(
+    module: &dyn BlackBox,
+    ontology: &Ontology,
+    pool: &InstancePool,
+    config: &GenerationConfig,
+    cache: &InvocationCache,
+) -> Result<GenerationReport, GenerationError> {
+    generate_with(module, ontology, pool, config, Some(cache))
+}
+
+fn generate_with(
+    module: &dyn BlackBox,
+    ontology: &Ontology,
+    pool: &InstancePool,
+    config: &GenerationConfig,
+    cache: Option<&InvocationCache>,
 ) -> Result<GenerationReport, GenerationError> {
     let _timer = {
         static MODULE_NS: std::sync::OnceLock<dex_telemetry::Histo> = std::sync::OnceLock::new();
@@ -110,25 +340,48 @@ pub fn generate_examples(
         });
     }
 
-    // Phase 2: candidate values per (input, partition). For each we remember
-    // whether *any* structurally compatible realization exists; individual
-    // picks happen per attempt so retries can advance through the pool.
-    let mut unvalued: Vec<(usize, String)> = Vec::new();
-    for (i, parts) in plan.per_input.iter().enumerate() {
-        for &p in parts {
-            let concept = ontology.concept_name(p);
-            if pool
-                .get_instance(concept, &descriptor.inputs[i].structural, 0)
-                .is_none()
-            {
-                unvalued.push((i, concept.to_string()));
+    let (resolved, unvalued) = resolve_candidates(&plan, descriptor, ontology, pool, config);
+    let mut planned = plan_invocations(&plan, &resolved, ontology);
+
+    // Execute in retry waves: wave `a` invokes each still-unresolved
+    // combination's next planned vector. This invokes exactly the vectors
+    // the sequential path would (attempts past the first success are never
+    // materialized), while giving each wave a batch that can fan out over
+    // threads and a shared cache.
+    for _wave in 0..=config.retries_per_combination {
+        let pending: Vec<usize> = planned
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_unresolved())
+            .map(|(idx, _)| idx)
+            .collect();
+        if pending.is_empty() {
+            break;
+        }
+        let vectors: Vec<Vec<Value>> = pending
+            .iter()
+            .map(|&idx| {
+                planned[idx].attempts[planned[idx].next]
+                    .iter()
+                    .map(|&v| v.clone())
+                    .collect()
+            })
+            .collect();
+        let outcomes = match cache {
+            Some(cache) => invoke_all_cached(module, &vectors, cache, config.invoke_threads),
+            None => invoke_wave_direct(module, &vectors, config.invoke_threads),
+        };
+        for (&idx, outcome) in pending.iter().zip(outcomes) {
+            let combo = &mut planned[idx];
+            combo.consumed += 1;
+            if outcome.is_ok() {
+                let winning = combo.attempts[combo.next].clone();
+                combo.success = Some((winning, outcome));
+            } else {
+                combo.next += 1;
             }
         }
     }
-
-    let mut examples = ExampleSet::new(descriptor.id.clone());
-    let mut failed: Vec<Vec<String>> = Vec::new();
-    let mut invocations = 0usize;
 
     // Telemetry-only coverage tracking, kept on the combination indices so
     // reporting needs no ontology lookups after the loop. `covered_flags`
@@ -145,59 +398,106 @@ pub fn generate_examples(
         covered_flags = vec![false; offset];
     }
 
-    // Phases 3 + 4: invoke each combination, retrying with later pool picks
-    // on rejection.
-    'combos: for combo in plan.combinations() {
-        let concept_names: Vec<String> = combo
-            .iter()
-            .enumerate()
-            .map(|(i, &pi)| ontology.concept_name(plan.per_input[i][pi]).to_string())
-            .collect();
-
-        for attempt in 0..=config.retries_per_combination {
-            let skip = config.value_offset + attempt;
-            // Select borrowed candidates first; the owned input vector is
-            // materialized once per attempt (invocation needs `&[Value]`),
-            // and on success it is *moved* into the example's bindings
-            // instead of being cloned a second time.
-            let mut picks: Vec<&Value> = Vec::with_capacity(combo.len());
-            let mut complete = true;
-            for (i, concept) in concept_names.iter().enumerate() {
-                // Fall back to the base offset and then to the first pick
-                // when the pool is shallower than the requested depth, so a
-                // non-zero `value_offset` never starves a partition that has
-                // at least one realization.
-                let inst = pool
-                    .get_instance(concept, &descriptor.inputs[i].structural, skip)
-                    .or_else(|| {
-                        pool.get_instance(
-                            concept,
-                            &descriptor.inputs[i].structural,
-                            config.value_offset,
-                        )
-                    })
-                    .or_else(|| pool.get_instance(concept, &descriptor.inputs[i].structural, 0));
-                match inst {
-                    Some(inst) => picks.push(&inst.value),
-                    None => {
-                        complete = false;
-                        break;
+    // Assemble in combination order — identical to the sequential loop.
+    let mut examples = ExampleSet::new(descriptor.id.clone());
+    let mut failed: Vec<Vec<String>> = Vec::new();
+    let mut invocations = 0usize;
+    for combo in planned {
+        invocations += combo.consumed;
+        match combo.success {
+            Some((picks, outcome)) => {
+                if telemetry_on {
+                    for (i, &pi) in combo.combo.iter().enumerate() {
+                        covered_flags[input_offsets[i] + pi] = true;
                     }
                 }
+                let outputs = outcome.as_ref().as_ref().expect("successful outcome");
+                let inputs = descriptor
+                    .inputs
+                    .iter()
+                    .zip(picks)
+                    .map(|(p, v)| Binding::new(p.name.clone(), v.clone()))
+                    .collect();
+                let outputs = descriptor
+                    .outputs
+                    .iter()
+                    .zip(outputs)
+                    .map(|(p, v)| Binding::new(p.name.clone(), v.clone()))
+                    .collect();
+                examples
+                    .examples
+                    .push(DataExample::new(inputs, outputs, combo.concept_names));
             }
-            if !complete {
-                // Some partition has no realization at all; the combination
-                // can never be fed.
-                failed.push(concept_names);
-                continue 'combos;
-            }
+            None => failed.push(combo.concept_names),
+        }
+    }
 
-            let values: Vec<Value> = picks.into_iter().cloned().collect();
+    let report = GenerationReport {
+        examples,
+        plan,
+        unvalued_partitions: unvalued,
+        failed_combinations: failed,
+        invocations,
+    };
+    record_generation_telemetry(&report, telemetry_on, &covered_flags);
+    Ok(report)
+}
+
+/// The legacy combination-by-combination execution order, kept as the
+/// reference implementation: no waves, no cache, no cross-combination
+/// batching — each combination's planned attempts are invoked inline until
+/// one terminates normally.
+///
+/// The planned/cached paths are property-tested to produce byte-identical
+/// reports to this function (see `tests/generation_equivalence.rs`); it is
+/// also the uncached baseline `bench_invocation` measures against.
+pub fn generate_examples_sequential(
+    module: &dyn BlackBox,
+    ontology: &Ontology,
+    pool: &InstancePool,
+    config: &GenerationConfig,
+) -> Result<GenerationReport, GenerationError> {
+    let descriptor = module.descriptor();
+    let plan = input_partition_plan(descriptor, ontology)?;
+    let combos = plan.combination_count();
+    if combos > config.max_combinations {
+        return Err(GenerationError::TooManyCombinations {
+            combinations: combos,
+            cap: config.max_combinations,
+        });
+    }
+
+    let (resolved, unvalued) = resolve_candidates(&plan, descriptor, ontology, pool, config);
+    let planned = plan_invocations(&plan, &resolved, ontology);
+
+    let telemetry_on = dex_telemetry::is_enabled();
+    let mut input_offsets: Vec<usize> = Vec::new();
+    let mut covered_flags: Vec<bool> = Vec::new();
+    if telemetry_on {
+        let mut offset = 0;
+        for parts in &plan.per_input {
+            input_offsets.push(offset);
+            offset += parts.len();
+        }
+        covered_flags = vec![false; offset];
+    }
+
+    let mut examples = ExampleSet::new(descriptor.id.clone());
+    let mut failed: Vec<Vec<String>> = Vec::new();
+    let mut invocations = 0usize;
+    'combos: for combo in planned {
+        if combo.attempts.is_empty() {
+            failed.push(combo.concept_names);
+            continue 'combos;
+        }
+        let last = combo.attempts.len() - 1;
+        for (attempt, picks) in combo.attempts.iter().enumerate() {
+            let values: Vec<Value> = picks.iter().map(|&v| v.clone()).collect();
             invocations += 1;
             match module.invoke(&values) {
                 Ok(outputs) => {
                     if telemetry_on {
-                        for (i, &pi) in combo.iter().enumerate() {
+                        for (i, &pi) in combo.combo.iter().enumerate() {
                             covered_flags[input_offsets[i] + pi] = true;
                         }
                     }
@@ -215,12 +515,12 @@ pub fn generate_examples(
                         .collect();
                     examples
                         .examples
-                        .push(DataExample::new(inputs, outputs, concept_names));
+                        .push(DataExample::new(inputs, outputs, combo.concept_names));
                     continue 'combos;
                 }
-                Err(_) if attempt < config.retries_per_combination => continue,
+                Err(_) if attempt < last => continue,
                 Err(_) => {
-                    failed.push(concept_names);
+                    failed.push(combo.concept_names);
                     continue 'combos;
                 }
             }
@@ -234,29 +534,39 @@ pub fn generate_examples(
         failed_combinations: failed,
         invocations,
     };
-    // Gate on the loop-time flag so covered/total stay consistent even if
-    // telemetry was toggled mid-generation.
-    if telemetry_on {
-        let counters = generate_counters();
-        counters.modules.add(1);
-        counters.candidates_tried.add(report.invocations as u64);
-        counters.examples_accepted.add(report.examples.len() as u64);
-        counters
-            .failed_combinations
-            .add(report.failed_combinations.len() as u64);
-        counters
-            .unvalued_partitions
-            .add(report.unvalued_partitions.len() as u64);
-        // Partition-coverage progress: fraction covered is derivable from
-        // these two monotonic counters at any point of a run.
-        counters
-            .partitions_total
-            .add(report.plan.partition_count() as u64);
-        counters
-            .partitions_covered
-            .add(covered_flags.iter().filter(|&&c| c).count() as u64);
-    }
+    record_generation_telemetry(&report, telemetry_on, &covered_flags);
     Ok(report)
+}
+
+/// Folds one finished generation into the process-global counters. Gated on
+/// the loop-time flag so covered/total stay consistent even if telemetry was
+/// toggled mid-generation.
+fn record_generation_telemetry(
+    report: &GenerationReport,
+    telemetry_on: bool,
+    covered_flags: &[bool],
+) {
+    if !telemetry_on {
+        return;
+    }
+    let counters = generate_counters();
+    counters.modules.add(1);
+    counters.candidates_tried.add(report.invocations as u64);
+    counters.examples_accepted.add(report.examples.len() as u64);
+    counters
+        .failed_combinations
+        .add(report.failed_combinations.len() as u64);
+    counters
+        .unvalued_partitions
+        .add(report.unvalued_partitions.len() as u64);
+    // Partition-coverage progress: fraction covered is derivable from
+    // these two monotonic counters at any point of a run.
+    counters
+        .partitions_total
+        .add(report.plan.partition_count() as u64);
+    counters
+        .partitions_covered
+        .add(covered_flags.iter().filter(|&&c| c).count() as u64);
 }
 
 /// Generation telemetry counters, interned once per process.
@@ -288,7 +598,7 @@ mod tests {
     use super::*;
     use dex_modules::{FnModule, InvocationError, ModuleDescriptor, ModuleKind, Parameter};
     use dex_ontology::mygrid;
-    use dex_pool::build_synthetic_pool;
+    use dex_pool::{build_synthetic_pool, AnnotatedInstance};
     use dex_values::formats::sequence::{classify, SequenceKind};
     use dex_values::StructuralType;
 
@@ -406,6 +716,59 @@ mod tests {
         assert!(report.invocations > 4);
     }
 
+    /// Satellite regression: with a depth-1 pool every retry re-selects the
+    /// same instance, so only the first attempt may be invoked (and counted).
+    #[test]
+    fn duplicate_retry_vectors_are_skipped_not_reinvoked() {
+        let onto = mygrid::ontology();
+        let mut pool = InstancePool::new("depth1");
+        // Exactly one realization for the one partition in play.
+        pool.add(AnnotatedInstance::synthetic(
+            Value::text("not-a-sequence!"),
+            "BiologicalSequence",
+        ));
+        let invoked = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let seen = std::sync::Arc::clone(&invoked);
+        let m = FnModule::new(
+            ModuleDescriptor::new(
+                "op:reject",
+                "RejectAll",
+                ModuleKind::RestService,
+                vec![Parameter::required(
+                    "seq",
+                    StructuralType::Text,
+                    "BiologicalSequence",
+                )],
+                vec![Parameter::required("out", StructuralType::Text, "Document")],
+            ),
+            move |_| {
+                seen.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Err(InvocationError::rejected("always"))
+            },
+        );
+        let config = GenerationConfig {
+            retries_per_combination: 3,
+            ..GenerationConfig::default()
+        };
+        // Restrict to the root partition: the synthetic ontology gives
+        // BiologicalSequence four partitions, three of which are unvalued
+        // with this pool.
+        let report = generate_examples(&m, &onto, &pool, &config).unwrap();
+        let valued_combos = 1;
+        assert_eq!(
+            report.invocations, valued_combos,
+            "duplicate retries must not be re-invoked or counted"
+        );
+        assert_eq!(
+            invoked.load(std::sync::atomic::Ordering::Relaxed),
+            valued_combos,
+            "the module saw exactly one invocation"
+        );
+        // The sequential reference path agrees.
+        let sequential = generate_examples_sequential(&m, &onto, &pool, &config).unwrap();
+        assert_eq!(sequential.invocations, report.invocations);
+    }
+
     #[test]
     fn combination_cap_enforced() {
         let (onto, pool) = fixture();
@@ -452,6 +815,47 @@ mod tests {
             a.examples.examples[0].inputs[0].value,
             b.examples.examples[0].inputs[0].value
         );
+    }
+
+    #[test]
+    fn parallel_invocation_produces_identical_reports() {
+        let (onto, pool) = fixture();
+        let m = seq_kind_module();
+        let serial = generate_examples(&m, &onto, &pool, &GenerationConfig::default()).unwrap();
+        let parallel = generate_examples(
+            &m,
+            &onto,
+            &pool,
+            &GenerationConfig {
+                invoke_threads: 8,
+                ..GenerationConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.examples, parallel.examples);
+        assert_eq!(serial.failed_combinations, parallel.failed_combinations);
+        assert_eq!(serial.invocations, parallel.invocations);
+    }
+
+    #[test]
+    fn cached_generation_matches_uncached_and_hits_on_regeneration() {
+        let (onto, pool) = fixture();
+        let m = seq_kind_module();
+        let cache = InvocationCache::new();
+        let config = GenerationConfig::default();
+        let plain = generate_examples(&m, &onto, &pool, &config).unwrap();
+        let cached = generate_examples_cached(&m, &onto, &pool, &config, &cache).unwrap();
+        assert_eq!(plain.examples, cached.examples);
+        assert_eq!(plain.invocations, cached.invocations);
+        let first = cache.stats();
+        assert_eq!(first.hits, 0);
+        assert_eq!(first.misses as usize, plain.invocations);
+        // Regenerating is answered entirely from the cache.
+        let again = generate_examples_cached(&m, &onto, &pool, &config, &cache).unwrap();
+        assert_eq!(plain.examples, again.examples);
+        let second = cache.stats();
+        assert_eq!(second.misses, first.misses, "no new module invocations");
+        assert_eq!(second.hits as usize, plain.invocations);
     }
 
     /// Multi-input module with an invalid combination (blastn × protein).

@@ -2,8 +2,10 @@
 
 use crate::error::GenerationError;
 use crate::example::ExampleSet;
-use crate::generate::{generate_examples, GenerationConfig, GenerationReport};
-use dex_modules::{BlackBox, ModuleDescriptor, ModuleId};
+use crate::generate::{
+    generate_examples, generate_examples_cached, GenerationConfig, GenerationReport,
+};
+use dex_modules::{BlackBox, InvocationCache, InvocationCacheStats, ModuleDescriptor, ModuleId};
 use dex_ontology::Ontology;
 use dex_pool::InstancePool;
 use dex_values::Value;
@@ -187,6 +189,33 @@ pub fn match_against_examples(
     ontology: &Ontology,
     mode: MappingMode,
 ) -> Result<MatchVerdict, GenerationError> {
+    match_with(target, examples, candidate, ontology, mode, None)
+}
+
+/// [`match_against_examples`] through a shared [`InvocationCache`]: each
+/// distinct candidate input vector is invoked at most once across every
+/// replay (and generation) sharing the cache. Same verdicts, fewer
+/// invocations — the replay vectors of an aligned comparison are exactly the
+/// vectors generation already fed the candidate.
+pub fn match_against_examples_cached(
+    target: &ModuleDescriptor,
+    examples: &ExampleSet,
+    candidate: &dyn BlackBox,
+    ontology: &Ontology,
+    mode: MappingMode,
+    cache: &InvocationCache,
+) -> Result<MatchVerdict, GenerationError> {
+    match_with(target, examples, candidate, ontology, mode, Some(cache))
+}
+
+fn match_with(
+    target: &ModuleDescriptor,
+    examples: &ExampleSet,
+    candidate: &dyn BlackBox,
+    ontology: &Ontology,
+    mode: MappingMode,
+    cache: Option<&InvocationCache>,
+) -> Result<MatchVerdict, GenerationError> {
     let mapping = map_parameters(target, candidate.descriptor(), ontology, mode)?;
     if examples.is_empty() {
         return Err(GenerationError::Incomparable(
@@ -202,17 +231,27 @@ pub fn match_against_examples(
         for (t_idx, &c_idx) in mapping.inputs.iter().enumerate() {
             inputs[c_idx] = example.inputs[t_idx].value.clone();
         }
-        // A failed invocation on inputs the target handled is a behavioral
-        // disagreement on that example.
-        if let Ok(outputs) = candidate.invoke(&inputs) {
-            let all_equal = mapping
+        let all_equal = |outputs: &[Value]| {
+            mapping
                 .outputs
                 .iter()
                 .enumerate()
-                .all(|(t_idx, &c_idx)| outputs[c_idx] == example.outputs[t_idx].value);
-            if all_equal {
-                agreeing += 1;
-            }
+                .all(|(t_idx, &c_idx)| outputs[c_idx] == example.outputs[t_idx].value)
+        };
+        // A failed invocation on inputs the target handled is a behavioral
+        // disagreement on that example.
+        let agreed = match cache {
+            Some(cache) => match cache.invoke(candidate, &inputs).as_ref() {
+                Ok(outputs) => all_equal(outputs),
+                Err(_) => false,
+            },
+            None => match candidate.invoke(&inputs) {
+                Ok(outputs) => all_equal(&outputs),
+                Err(_) => false,
+            },
+        };
+        if agreed {
+            agreeing += 1;
         }
     }
     Ok(if agreeing == compared {
@@ -358,11 +397,19 @@ fn approx_cached_bytes(cached: &Result<GenerationReport, GenerationError>) -> u6
 /// generation per module per offset. The cache is internally synchronized —
 /// a session can be shared by reference across the threads of a parallel
 /// all-pairs run.
+///
+/// Below the report memo sits a shared [`InvocationCache`]: every generation
+/// and every candidate replay the session performs routes through it, so a
+/// distinct `(module, input vector)` is invoked at most once per session —
+/// aligned generation at offsets `0..k` shares the vectors the offsets have
+/// in common, and replaying a candidate against an aligned target hits the
+/// vectors its own generation already produced.
 pub struct MatchSession<'a> {
     ontology: &'a Ontology,
     pool: &'a InstancePool,
     config: GenerationConfig,
     cache: Mutex<HashMap<(ModuleId, usize), CachedGeneration>>,
+    invocations: InvocationCache,
     hits: AtomicU64,
     misses: AtomicU64,
     memoized_bytes: AtomicU64,
@@ -376,6 +423,7 @@ impl<'a> MatchSession<'a> {
             pool,
             config,
             cache: Mutex::new(HashMap::new()),
+            invocations: InvocationCache::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             memoized_bytes: AtomicU64::new(0),
@@ -385,6 +433,21 @@ impl<'a> MatchSession<'a> {
     /// The generation config this session aligns examples with.
     pub fn config(&self) -> &GenerationConfig {
         &self.config
+    }
+
+    /// The session-wide invocation memo. Exposed so callers that mix session
+    /// comparisons with their own invocations (repair verification, ad-hoc
+    /// replays) can share the same memo.
+    pub fn invocation_cache(&self) -> &InvocationCache {
+        &self.invocations
+    }
+
+    /// Snapshot of the underlying invocation cache: how many *module
+    /// invocations* the session actually performed vs. answered from memory
+    /// (the [`cache_stats`](MatchSession::cache_stats) report memo sits one
+    /// level up and counts whole generations, not invocations).
+    pub fn invocation_stats(&self) -> InvocationCacheStats {
+        self.invocations.stats()
     }
 
     /// Number of memoized `(module, value_offset)` generation results.
@@ -433,7 +496,13 @@ impl<'a> MatchSession<'a> {
             value_offset,
             ..self.config.clone()
         };
-        let report = Arc::new(generate_examples(module, self.ontology, self.pool, &config));
+        let report = Arc::new(generate_examples_cached(
+            module,
+            self.ontology,
+            self.pool,
+            &config,
+            &self.invocations,
+        ));
         let bytes = approx_cached_bytes(&report);
         let displaced = self
             .cache
@@ -457,12 +526,13 @@ impl<'a> MatchSession<'a> {
         candidate: &dyn BlackBox,
     ) -> Result<MatchVerdict, GenerationError> {
         match self.report_for(target).as_ref() {
-            Ok(report) => match_against_examples(
+            Ok(report) => match_against_examples_cached(
                 target.descriptor(),
                 &report.examples,
                 candidate,
                 self.ontology,
                 MappingMode::Strict,
+                &self.invocations,
             ),
             Err(e) => Err(e.clone()),
         }
@@ -747,6 +817,45 @@ mod tests {
         // A different offset is a different cache entry.
         assert!(session.report_at(&target, 1).is_ok());
         assert_eq!(session.cached_reports(), 2);
+    }
+
+    /// Replaying a candidate against an aligned target hits the invocation
+    /// cache: generation already fed the candidate the exact same vectors.
+    #[test]
+    fn session_shares_invocations_between_generation_and_replay() {
+        let (onto, pool) = fixture();
+        let (target, target_count) = counted_echo("t", "BiologicalSequence");
+        let (candidate, candidate_count) = counted_echo("c", "BiologicalSequence");
+        let session = MatchSession::new(&onto, &pool, GenerationConfig::default());
+
+        // Generate both sides (as an all-pairs sweep would), then replay.
+        session.report_for(&target);
+        session.report_for(&candidate);
+        let gen_t = target_count.load(std::sync::atomic::Ordering::Relaxed);
+        let gen_c = candidate_count.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!((gen_t, gen_c), (4, 4));
+
+        let v = session.compare(&target, &candidate).unwrap();
+        assert_eq!(v, MatchVerdict::Equivalent { compared: 4 });
+        // The replay performed zero fresh invocations: all four vectors were
+        // already in the session's invocation cache.
+        assert_eq!(
+            candidate_count.load(std::sync::atomic::Ordering::Relaxed),
+            gen_c
+        );
+        let stats = session.invocation_stats();
+        assert_eq!(stats.misses, 8, "two generations of four vectors");
+        assert!(stats.hits >= 4, "replay answered from the memo");
+        // Repeating the comparison costs nothing at all.
+        session.compare(&target, &candidate).unwrap();
+        assert_eq!(
+            candidate_count.load(std::sync::atomic::Ordering::Relaxed),
+            gen_c
+        );
+        assert_eq!(
+            target_count.load(std::sync::atomic::Ordering::Relaxed),
+            gen_t
+        );
     }
 
     #[test]

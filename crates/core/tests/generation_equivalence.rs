@@ -1,0 +1,172 @@
+//! Property tests: the planned/cached/parallel generation paths produce
+//! reports identical to the legacy sequential reference path
+//! (`generate_examples_sequential`) across random module behaviors, pool
+//! depths/seeds, value offsets, and retry budgets.
+//!
+//! This is the determinism contract of the invocation planner: caching and
+//! parallelism may only change *how many times* a module is actually
+//! invoked, never what the generation report says.
+
+use dex_core::{
+    generate_examples, generate_examples_cached, generate_examples_sequential, GenerationConfig,
+    GenerationReport,
+};
+use dex_modules::{
+    FnModule, InvocationCache, InvocationError, ModuleDescriptor, ModuleKind, Parameter,
+};
+use dex_ontology::mygrid;
+use dex_pool::build_synthetic_pool;
+use dex_values::{StructuralType, Value};
+use proptest::prelude::*;
+
+/// Text-valued concepts of the mygrid ontology the synthetic pool can
+/// realize — input annotations are drawn from these.
+const CONCEPTS: &[&str] = &[
+    "BiologicalSequence",
+    "DNASequence",
+    "RNASequence",
+    "ProteinSequence",
+    "AlgorithmName",
+];
+
+/// A deterministic black box whose accept/reject behavior is scrambled by
+/// `salt`: an input vector is rejected iff its salted digest lands under
+/// `reject_pct`. Every value of `salt` is a different module "behavior".
+fn arb_module(inputs: &[usize], salt: u64, reject_pct: u64) -> FnModule {
+    let params: Vec<Parameter> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| Parameter::required(format!("in{i}"), StructuralType::Text, CONCEPTS[c]))
+        .collect();
+    FnModule::new(
+        ModuleDescriptor::new(
+            format!("prop:m{salt:x}"),
+            "PropModule",
+            ModuleKind::RestService,
+            params,
+            vec![Parameter::required(
+                "digest",
+                StructuralType::Text,
+                "Document",
+            )],
+        ),
+        move |values| {
+            let mut acc = salt;
+            for v in values {
+                if let Some(t) = v.as_text() {
+                    for b in t.bytes() {
+                        acc = acc.wrapping_mul(1099511628211).wrapping_add(u64::from(b));
+                    }
+                }
+            }
+            if acc % 100 < reject_pct {
+                return Err(InvocationError::rejected("salted rejection"));
+            }
+            Ok(vec![Value::text(format!("{acc:016x}"))])
+        },
+    )
+}
+
+fn assert_reports_identical(label: &str, a: &GenerationReport, b: &GenerationReport) {
+    assert_eq!(a.examples, b.examples, "{label}: examples differ");
+    assert_eq!(
+        a.failed_combinations, b.failed_combinations,
+        "{label}: failed combinations differ"
+    );
+    assert_eq!(
+        a.unvalued_partitions, b.unvalued_partitions,
+        "{label}: unvalued partitions differ"
+    );
+    assert_eq!(
+        a.invocations, b.invocations,
+        "{label}: logical invocation counts differ"
+    );
+}
+
+proptest! {
+    #[test]
+    fn planned_cached_and_parallel_paths_match_the_sequential_oracle(
+        inputs in proptest::collection::vec(0usize..CONCEPTS.len(), 1..3),
+        salt in any::<u64>(),
+        reject_pct in 0u64..101,
+        depth in 1usize..7,
+        pool_seed in 0u64..1025,
+        value_offset in 0usize..5,
+        retries in 0usize..5,
+    ) {
+        let ontology = mygrid::ontology();
+        let pool = build_synthetic_pool(&ontology, depth, pool_seed);
+        let module = arb_module(&inputs, salt, reject_pct);
+        let config = GenerationConfig {
+            value_offset,
+            retries_per_combination: retries,
+            ..GenerationConfig::default()
+        };
+
+        let oracle = generate_examples_sequential(&module, &ontology, &pool, &config).unwrap();
+
+        // Planned (wave) execution, single-threaded.
+        let planned = generate_examples(&module, &ontology, &pool, &config).unwrap();
+        assert_reports_identical("planned", &planned, &oracle);
+
+        // Planned execution with the opt-in parallel executor.
+        let threaded = generate_examples(
+            &module,
+            &ontology,
+            &pool,
+            &GenerationConfig { invoke_threads: 4, ..config.clone() },
+        )
+        .unwrap();
+        assert_reports_identical("threaded", &threaded, &oracle);
+
+        // Cached execution on a cold cache…
+        let cache = InvocationCache::new();
+        let cold = generate_examples_cached(&module, &ontology, &pool, &config, &cache).unwrap();
+        assert_reports_identical("cached/cold", &cold, &oracle);
+
+        // …and again on the now-warm cache: zero fresh module invocations,
+        // still the identical report.
+        let misses_before = cache.stats().misses;
+        let warm = generate_examples_cached(&module, &ontology, &pool, &config, &cache).unwrap();
+        assert_reports_identical("cached/warm", &warm, &oracle);
+        prop_assert_eq!(
+            cache.stats().misses, misses_before,
+            "warm regeneration must not invoke the module"
+        );
+
+        // Cached + parallel at a different offset shares whatever vectors the
+        // offsets have in common and still matches its own oracle.
+        let shifted = GenerationConfig {
+            value_offset: value_offset + 1,
+            invoke_threads: 4,
+            ..config.clone()
+        };
+        let shifted_oracle =
+            generate_examples_sequential(&module, &ontology, &pool, &shifted).unwrap();
+        let shifted_cached =
+            generate_examples_cached(&module, &ontology, &pool, &shifted, &cache).unwrap();
+        assert_reports_identical("cached/shifted", &shifted_cached, &shifted_oracle);
+    }
+
+    /// The planner never performs *more* real invocations than the report
+    /// claims, and a bounded cache (evictions!) still yields the exact
+    /// report — capacity pressure may cost re-invocations, never wrong data.
+    #[test]
+    fn bounded_cache_stays_correct_under_eviction(
+        salt in any::<u64>(),
+        reject_pct in 0u64..101,
+        capacity in 1usize..9,
+    ) {
+        let ontology = mygrid::ontology();
+        let pool = build_synthetic_pool(&ontology, 3, 99);
+        let module = arb_module(&[0, 4], salt, reject_pct);
+        let config = GenerationConfig::default();
+        let oracle = generate_examples_sequential(&module, &ontology, &pool, &config).unwrap();
+        let cache = InvocationCache::with_capacity(capacity);
+        for round in 0..3 {
+            let report =
+                generate_examples_cached(&module, &ontology, &pool, &config, &cache).unwrap();
+            assert_reports_identical(&format!("bounded round {round}"), &report, &oracle);
+        }
+    }
+}

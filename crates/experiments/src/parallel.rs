@@ -6,8 +6,10 @@
 //! Results are returned in deterministic (sorted key) order regardless of
 //! scheduling.
 
-use dex_core::{generate_examples, GenerationConfig, GenerationReport, MatchReport, MatchSession};
-use dex_modules::ModuleId;
+use dex_core::{
+    generate_examples_cached, GenerationConfig, GenerationReport, MatchReport, MatchSession,
+};
+use dex_modules::{InvocationCache, ModuleId};
 use dex_pool::InstancePool;
 use dex_universe::Universe;
 use std::collections::BTreeMap;
@@ -38,19 +40,32 @@ pub fn generate_all_parallel(
     let mut results: Vec<Option<(ModuleId, GenerationReport)>> = Vec::new();
     results.resize_with(ids.len(), || None);
 
+    // One invocation memo across all workers: distinct modules never share a
+    // key, but repeated experiment phases over the same universe do, and the
+    // cache's stats land in TELEMETRY.json for every instrumented run.
+    let invocations = InvocationCache::new();
     std::thread::scope(|scope| {
         for (id_chunk, out_chunk) in ids.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            let invocations = &invocations;
             scope.spawn(move || {
                 for (id, slot) in id_chunk.iter().zip(out_chunk) {
                     let module = universe.catalog.get(id).expect("available");
-                    let report =
-                        generate_examples(module.as_ref(), &universe.ontology, pool, config)
-                            .unwrap_or_else(|e| panic!("{id}: {e}"));
+                    let report = generate_examples_cached(
+                        module.as_ref(),
+                        &universe.ontology,
+                        pool,
+                        config,
+                        invocations,
+                    )
+                    .unwrap_or_else(|e| panic!("{id}: {e}"));
                     *slot = Some((id.clone(), report));
                 }
             });
         }
     });
+    if dex_telemetry::is_enabled() {
+        invocations.publish_telemetry();
+    }
 
     results
         .into_iter()
@@ -114,6 +129,9 @@ pub fn match_pairs_parallel(
             "dex.match.cache_bytes",
             stats.memoized_bytes_estimate as i64,
         );
+        // Invocation-level cache effectiveness (hits/misses/entries) for the
+        // whole all-pairs run — the matrix shares one memo across threads.
+        session.invocation_cache().publish_telemetry();
     }
     matrix
 }
@@ -132,7 +150,7 @@ pub fn match_all_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dex_core::{compare_modules, MatchOutcome};
+    use dex_core::{compare_modules, generate_examples, MatchOutcome};
     use dex_pool::build_synthetic_pool;
 
     #[test]

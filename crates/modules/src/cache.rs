@@ -1,0 +1,451 @@
+//! Cross-pipeline invocation cache: one module invocation per distinct
+//! `(module, input value vector)` across the whole process.
+//!
+//! In the paper's setting (§3.2) modules are remote, metered SOAP/REST
+//! services, so the invocation is the dominant cost of every downstream
+//! workload. The pipeline re-invokes the same module on the same value
+//! vector many times over — generation retries, the matcher's aligned
+//! generation at multiple value offsets, repair verification, workflow
+//! re-enactment. An [`InvocationCache`] memoizes the full outcome (outputs
+//! *or* error — modules are deterministic, so a `Rejected` is as cacheable
+//! as a result vector) behind sharded locks, and guarantees that concurrent
+//! readers racing on the same key trigger exactly one invocation.
+
+use crate::blackbox::BlackBox;
+use crate::invoke::InvocationError;
+use crate::module::ModuleId;
+use dex_values::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The memoized result of one invocation: the module's outputs, or the error
+/// that prevented normal termination.
+pub type InvocationOutcome = Result<Vec<Value>, InvocationError>;
+
+/// Cache key: module identity plus the exact input value vector. The hash is
+/// precomputed once (vectors can hold large flat-file texts) and reused by
+/// both shard selection and the shard's `HashMap`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CacheKey {
+    module: ModuleId,
+    inputs: Vec<Value>,
+    precomputed_hash: u64,
+}
+
+impl CacheKey {
+    fn new(module: &ModuleId, inputs: &[Value]) -> CacheKey {
+        let mut hasher = DefaultHasher::new();
+        module.hash(&mut hasher);
+        inputs.hash(&mut hasher);
+        CacheKey {
+            module: module.clone(),
+            inputs: inputs.to_vec(),
+            precomputed_hash: hasher.finish(),
+        }
+    }
+}
+
+impl Hash for CacheKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.precomputed_hash);
+    }
+}
+
+/// One entry: a `OnceLock` cell so the first arrival invokes and every
+/// concurrent arrival blocks on the same initialization instead of invoking
+/// a duplicate.
+type CacheCell = Arc<OnceLock<Arc<InvocationOutcome>>>;
+
+/// One lock-sharded slice of the key space. FIFO insertion order is kept per
+/// shard so a capacity bound can evict the oldest entries.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<CacheKey, CacheCell>,
+    fifo: VecDeque<CacheKey>,
+}
+
+/// Snapshot of an [`InvocationCache`]'s behavior, serializable into run
+/// reports (`TELEMETRY.json`, `BENCH_invocation.json`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InvocationCacheStats {
+    /// Lookups answered by an existing entry (including entries still being
+    /// initialized by another thread — the caller waits, it never re-invokes).
+    pub hits: u64,
+    /// Lookups that created a fresh entry and invoked the module.
+    pub misses: u64,
+    /// Entries dropped by the capacity bound.
+    pub evictions: u64,
+    /// Entries currently held across all shards.
+    pub entries: usize,
+}
+
+impl InvocationCacheStats {
+    /// Hit fraction in `[0, 1]`; `0.0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Invocations avoided by the cache — one per hit.
+    pub fn invocations_saved(&self) -> u64 {
+        self.hits
+    }
+}
+
+/// Process-global telemetry counters for cache traffic, interned once.
+fn cache_counters() -> &'static (
+    dex_telemetry::Counter,
+    dex_telemetry::Counter,
+    dex_telemetry::Counter,
+) {
+    static COUNTERS: OnceLock<(
+        dex_telemetry::Counter,
+        dex_telemetry::Counter,
+        dex_telemetry::Counter,
+    )> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        (
+            dex_telemetry::counter("dex.invoke.cache.hits"),
+            dex_telemetry::counter("dex.invoke.cache.misses"),
+            dex_telemetry::counter("dex.invoke.cache.evictions"),
+        )
+    })
+}
+
+/// A concurrency-safe memo of invocation outcomes keyed by
+/// `(module id, input value vector)`.
+///
+/// * **Sharded**: keys hash to one of [`InvocationCache::SHARDS`] mutexed
+///   maps, so the hot path never serializes on a global lock.
+/// * **Exactly-once**: each entry is a `OnceLock`; when N threads race on a
+///   missing key, one invokes and N−1 block on the cell, so a vector is
+///   never invoked twice (see the `tests/invocation_cache.rs` concurrency
+///   suite).
+/// * **Bounded (optionally)**: `with_capacity` caps the total entry count;
+///   the oldest entries of the fullest shard are evicted FIFO.
+/// * **Observable**: per-cache atomic counters plus `dex.invoke.cache.*`
+///   telemetry counters when the global subscriber is on.
+pub struct InvocationCache {
+    shards: Box<[Mutex<Shard>]>,
+    /// Max entries per shard (`None` = unbounded).
+    per_shard_capacity: Option<usize>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for InvocationCache {
+    fn default() -> Self {
+        InvocationCache::new()
+    }
+}
+
+impl InvocationCache {
+    /// Number of lock shards (power of two; shard = hash low bits).
+    pub const SHARDS: usize = 16;
+
+    /// An unbounded cache.
+    pub fn new() -> InvocationCache {
+        InvocationCache::build(None)
+    }
+
+    /// A cache holding at most `capacity` entries (rounded up to a multiple
+    /// of the shard count); the oldest entries are evicted first.
+    pub fn with_capacity(capacity: usize) -> InvocationCache {
+        InvocationCache::build(Some(capacity.div_ceil(Self::SHARDS).max(1)))
+    }
+
+    fn build(per_shard_capacity: Option<usize>) -> InvocationCache {
+        let mut shards = Vec::with_capacity(Self::SHARDS);
+        shards.resize_with(Self::SHARDS, || Mutex::new(Shard::default()));
+        InvocationCache {
+            shards: shards.into_boxed_slice(),
+            per_shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        &self.shards[(key.precomputed_hash as usize) & (Self::SHARDS - 1)]
+    }
+
+    /// Invokes `module` on `inputs` through the cache: the first call for a
+    /// distinct `(module, inputs)` pair invokes the black box; every later
+    /// (or concurrent) call returns the memoized outcome.
+    ///
+    /// The invocation itself runs *outside* the shard lock — only the cell
+    /// lookup/insert is locked — so a slow remote module never blocks cache
+    /// traffic for other keys, and concurrent misses on different keys
+    /// proceed in parallel.
+    pub fn invoke(&self, module: &dyn BlackBox, inputs: &[Value]) -> Arc<InvocationOutcome> {
+        let key = CacheKey::new(&module.descriptor().id, inputs);
+        let telemetry_on = dex_telemetry::is_enabled();
+        let (cell, fresh) = {
+            let mut shard = self.shard(&key).lock().expect("no poisoning");
+            match shard.map.entry(key.clone()) {
+                Entry::Occupied(occupied) => (Arc::clone(occupied.get()), false),
+                Entry::Vacant(vacant) => {
+                    let cell: CacheCell = Arc::new(OnceLock::new());
+                    vacant.insert(Arc::clone(&cell));
+                    shard.fifo.push_back(key);
+                    if let Some(cap) = self.per_shard_capacity {
+                        while shard.fifo.len() > cap {
+                            if let Some(old) = shard.fifo.pop_front() {
+                                shard.map.remove(&old);
+                                self.evictions.fetch_add(1, Ordering::Relaxed);
+                                if telemetry_on {
+                                    cache_counters().2.add(1);
+                                }
+                            }
+                        }
+                    }
+                    (cell, true)
+                }
+            }
+        };
+        if fresh {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            if telemetry_on {
+                cache_counters().1.add(1);
+            }
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            if telemetry_on {
+                cache_counters().0.add(1);
+            }
+        }
+        // `get_or_init` runs the invocation at most once per cell; racing
+        // readers block here until the winner's outcome is published.
+        Arc::clone(cell.get_or_init(|| Arc::new(module.invoke(inputs))))
+    }
+
+    /// The memoized outcome for `(module, inputs)`, if present and
+    /// initialized — never invokes.
+    pub fn peek(&self, module: &ModuleId, inputs: &[Value]) -> Option<Arc<InvocationOutcome>> {
+        let key = CacheKey::new(module, inputs);
+        let shard = self.shard(&key).lock().expect("no poisoning");
+        shard.map.get(&key).and_then(|cell| cell.get().cloned())
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("no poisoning").map.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry; counters are kept (they describe lifetime traffic).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock().expect("no poisoning");
+            shard.map.clear();
+            shard.fifo.clear();
+        }
+    }
+
+    /// Snapshot of the cache's lifetime behavior.
+    pub fn stats(&self) -> InvocationCacheStats {
+        InvocationCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+
+    /// Publishes this cache's stats as `dex.invoke.cache.*` gauges so they
+    /// appear in `TELEMETRY.json` (no-op while telemetry is disabled —
+    /// gauges are point-in-time, unlike the live hit/miss counters).
+    pub fn publish_telemetry(&self) {
+        if !dex_telemetry::is_enabled() {
+            return;
+        }
+        let stats = self.stats();
+        dex_telemetry::gauge_set("dex.invoke.cache.entries", stats.entries as i64);
+        dex_telemetry::gauge_set(
+            "dex.invoke.cache.hit_rate_pct",
+            (stats.hit_rate() * 100.0) as i64,
+        );
+    }
+}
+
+/// Fans distinct invocations of one module out over `threads` scoped
+/// threads, all sharing `cache`. `vectors` may contain duplicates — the
+/// cache's exactly-once cell guarantees each distinct vector is invoked a
+/// single time no matter how the scheduler interleaves the workers.
+///
+/// Returns one outcome per input vector, in input order (deterministic
+/// regardless of scheduling). `threads <= 1` degrades to the plain
+/// sequential loop with no thread spawned.
+pub fn invoke_all_cached(
+    module: &dyn BlackBox,
+    vectors: &[Vec<Value>],
+    cache: &InvocationCache,
+    threads: usize,
+) -> Vec<Arc<InvocationOutcome>> {
+    let threads = threads.max(1).min(vectors.len());
+    if threads <= 1 {
+        return vectors.iter().map(|v| cache.invoke(module, v)).collect();
+    }
+    let mut results: Vec<Option<Arc<InvocationOutcome>>> = vec![None; vectors.len()];
+    let chunk = vectors.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        // Input and output chunks are paired *before* spawning — each worker
+        // owns a disjoint &mut result chunk and exactly its input range.
+        for (vec_chunk, out_chunk) in vectors.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (vector, slot) in vec_chunk.iter().zip(out_chunk) {
+                    *slot = Some(cache.invoke(module, vector));
+                }
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blackbox::FnModule;
+    use crate::module::{ModuleDescriptor, ModuleKind};
+    use crate::param::Parameter;
+    use dex_values::StructuralType;
+    use std::sync::atomic::AtomicUsize;
+
+    fn counted_upper() -> (FnModule, Arc<AtomicUsize>) {
+        let count = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&count);
+        let module = FnModule::new(
+            ModuleDescriptor::new(
+                "op:upper",
+                "ToUpper",
+                ModuleKind::RestService,
+                vec![Parameter::required(
+                    "text",
+                    StructuralType::Text,
+                    "Document",
+                )],
+                vec![Parameter::required("out", StructuralType::Text, "Document")],
+            ),
+            move |inputs| {
+                seen.fetch_add(1, Ordering::Relaxed);
+                let text = inputs[0].as_text().expect("validated");
+                if text.is_empty() {
+                    return Err(InvocationError::rejected("empty"));
+                }
+                Ok(vec![Value::text(text.to_uppercase())])
+            },
+        );
+        (module, count)
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_and_skips_the_module() {
+        let cache = InvocationCache::new();
+        let (module, invoked) = counted_upper();
+        let a = cache.invoke(&module, &[Value::text("abc")]);
+        let b = cache.invoke(&module, &[Value::text("abc")]);
+        assert_eq!(a.as_ref().as_ref().unwrap(), &vec![Value::text("ABC")]);
+        assert!(Arc::ptr_eq(&a, &b), "same memoized outcome");
+        assert_eq!(invoked.load(Ordering::Relaxed), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.hit_rate(), 0.5);
+        assert_eq!(stats.invocations_saved(), 1);
+    }
+
+    #[test]
+    fn errors_are_memoized_too() {
+        let cache = InvocationCache::new();
+        let (module, invoked) = counted_upper();
+        for _ in 0..3 {
+            let out = cache.invoke(&module, &[Value::text("")]);
+            assert!(matches!(
+                out.as_ref(),
+                Err(InvocationError::Rejected { .. })
+            ));
+        }
+        assert_eq!(invoked.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn distinct_vectors_are_distinct_entries() {
+        let cache = InvocationCache::new();
+        let (module, invoked) = counted_upper();
+        for text in ["a", "b", "c"] {
+            cache.invoke(&module, &[Value::text(text)]);
+        }
+        assert_eq!(invoked.load(Ordering::Relaxed), 3);
+        assert_eq!(cache.len(), 3);
+        assert!(cache
+            .peek(&module.descriptor().id, &[Value::text("b")])
+            .is_some());
+        assert!(cache
+            .peek(&module.descriptor().id, &[Value::text("z")])
+            .is_none());
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest() {
+        // Capacity rounds up to one entry per shard; 40 distinct keys over 16
+        // shards must evict at least one entry somewhere.
+        let cache = InvocationCache::with_capacity(16);
+        let (module, _) = counted_upper();
+        for i in 0..40 {
+            cache.invoke(&module, &[Value::text(format!("v{i}"))]);
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions > 0, "evictions occurred");
+        assert!(stats.entries <= 16, "bounded: {} entries", stats.entries);
+        assert_eq!(stats.misses, 40);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache = InvocationCache::new();
+        let (module, _) = counted_upper();
+        cache.invoke(&module, &[Value::text("x")]);
+        cache.invoke(&module, &[Value::text("x")]);
+        cache.clear();
+        assert!(cache.is_empty());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 0));
+    }
+
+    #[test]
+    fn invoke_all_parallel_matches_sequential_order() {
+        let (module, invoked) = counted_upper();
+        let cache = InvocationCache::new();
+        let vectors: Vec<Vec<Value>> = (0..50)
+            .map(|i| vec![Value::text(format!("t{}", i % 7))])
+            .collect();
+        let results = invoke_all_cached(&module, &vectors, &cache, 8);
+        assert_eq!(results.len(), vectors.len());
+        for (vector, outcome) in vectors.iter().zip(&results) {
+            let expected = vector[0].as_text().unwrap().to_uppercase();
+            assert_eq!(
+                outcome.as_ref().as_ref().unwrap(),
+                &vec![Value::text(expected)]
+            );
+        }
+        // 7 distinct vectors → exactly 7 invocations despite 50 requests
+        // across 8 threads.
+        assert_eq!(invoked.load(Ordering::Relaxed), 7);
+    }
+}

@@ -36,12 +36,14 @@
 //! ```
 
 pub mod blackbox;
+pub mod cache;
 pub mod catalog;
 pub mod invoke;
 pub mod module;
 pub mod param;
 
 pub use blackbox::{BlackBox, FnModule, SharedModule};
+pub use cache::{invoke_all_cached, InvocationCache, InvocationCacheStats, InvocationOutcome};
 pub use catalog::ModuleCatalog;
 pub use invoke::InvocationError;
 pub use module::{ModuleDescriptor, ModuleId, ModuleKind};

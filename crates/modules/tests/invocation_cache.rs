@@ -1,0 +1,180 @@
+//! Concurrency contract of the shared [`InvocationCache`]: under scoped
+//! threads hammering the same key set, every distinct input vector is
+//! invoked **exactly once** — racing readers block on the winner's cell
+//! instead of invoking a duplicate — and every reader observes the same
+//! memoized outcome.
+
+use dex_modules::{
+    invoke_all_cached, BlackBox, FnModule, InvocationCache, InvocationError, ModuleDescriptor,
+    ModuleKind, Parameter,
+};
+use dex_values::{StructuralType, Value};
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier, Mutex};
+
+/// A module that records how often each distinct input was invoked, with an
+/// artificial stall to widen the race window.
+fn counting_module(stall: std::time::Duration) -> (FnModule, Arc<Mutex<HashMap<String, usize>>>) {
+    let counts: Arc<Mutex<HashMap<String, usize>>> = Arc::default();
+    let seen = Arc::clone(&counts);
+    let module = FnModule::new(
+        ModuleDescriptor::new(
+            "op:counted",
+            "Counted",
+            ModuleKind::SoapService,
+            vec![Parameter::required("in", StructuralType::Text, "Document")],
+            vec![Parameter::required("out", StructuralType::Text, "Document")],
+        ),
+        move |inputs| {
+            let text = inputs[0].as_text().expect("text input").to_string();
+            *seen.lock().unwrap().entry(text.clone()).or_insert(0) += 1;
+            std::thread::sleep(stall);
+            if text.ends_with('!') {
+                return Err(InvocationError::rejected("bang"));
+            }
+            Ok(vec![Value::text(text.to_uppercase())])
+        },
+    );
+    (module, counts)
+}
+
+#[test]
+fn racing_threads_never_double_invoke_a_vector() {
+    let (module, counts) = counting_module(std::time::Duration::from_millis(2));
+    let cache = InvocationCache::new();
+    let vectors: Vec<Vec<Value>> = (0..24)
+        .map(|i| {
+            // Every third vector is a rejection — errors must be
+            // exactly-once memoized like successes.
+            if i % 3 == 0 {
+                vec![Value::text(format!("v{i}!"))]
+            } else {
+                vec![Value::text(format!("v{i}"))]
+            }
+        })
+        .collect();
+
+    let threads = 8;
+    let barrier = Barrier::new(threads);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let barrier = &barrier;
+            let cache = &cache;
+            let module = &module;
+            let vectors = &vectors;
+            scope.spawn(move || {
+                // All workers start together and walk the key set from
+                // different offsets, maximizing same-key collisions.
+                barrier.wait();
+                for k in 0..vectors.len() {
+                    let vector = &vectors[(k + t * 3) % vectors.len()];
+                    let outcome = cache.invoke(module, vector);
+                    let text = vector[0].as_text().unwrap();
+                    match outcome.as_ref() {
+                        Ok(out) => assert_eq!(out[0].as_text().unwrap(), text.to_uppercase()),
+                        Err(_) => assert!(text.ends_with('!')),
+                    }
+                }
+            });
+        }
+    });
+
+    let counts = counts.lock().unwrap();
+    assert_eq!(counts.len(), vectors.len(), "every vector was invoked");
+    for (text, count) in counts.iter() {
+        assert_eq!(*count, 1, "vector {text} was invoked {count} times");
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.misses as usize, vectors.len());
+    assert_eq!(
+        (stats.hits + stats.misses) as usize,
+        threads * vectors.len(),
+        "every lookup was counted"
+    );
+    assert_eq!(stats.entries, vectors.len());
+    assert_eq!(stats.evictions, 0);
+}
+
+#[test]
+fn racing_readers_share_the_winners_outcome() {
+    let (module, counts) = counting_module(std::time::Duration::from_millis(5));
+    let cache = InvocationCache::new();
+    let vector = vec![Value::text("contested")];
+    let outcomes: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let cache = &cache;
+                let module = &module;
+                let vector = &vector;
+                scope.spawn(move || cache.invoke(module, vector))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // One invocation, and all sixteen readers hold the same Arc.
+    assert_eq!(counts.lock().unwrap()["contested"], 1);
+    for outcome in &outcomes[1..] {
+        assert!(Arc::ptr_eq(outcome, &outcomes[0]));
+    }
+}
+
+#[test]
+fn parallel_executor_is_exactly_once_across_duplicate_heavy_input() {
+    let (module, counts) = counting_module(std::time::Duration::ZERO);
+    let cache = InvocationCache::new();
+    // 96 requests over 8 distinct vectors, fanned over 6 threads.
+    let vectors: Vec<Vec<Value>> = (0..96)
+        .map(|i| vec![Value::text(format!("d{}", i % 8))])
+        .collect();
+    let outcomes = invoke_all_cached(&module, &vectors, &cache, 6);
+    assert_eq!(outcomes.len(), vectors.len());
+    for (vector, outcome) in vectors.iter().zip(&outcomes) {
+        let expected = vector[0].as_text().unwrap().to_uppercase();
+        assert_eq!(
+            outcome.as_ref().as_ref().unwrap(),
+            &vec![Value::text(expected)]
+        );
+    }
+    let counts = counts.lock().unwrap();
+    assert_eq!(counts.len(), 8);
+    assert!(counts.values().all(|&c| c == 1), "{counts:?}");
+}
+
+/// Two *different* modules with identical input vectors must not collide:
+/// the key is (module id, vector), not the vector alone.
+#[test]
+fn cache_keys_are_scoped_by_module_identity() {
+    let upper = FnModule::new(
+        ModuleDescriptor::new(
+            "op:upper",
+            "Upper",
+            ModuleKind::RestService,
+            vec![Parameter::required("in", StructuralType::Text, "Document")],
+            vec![Parameter::required("out", StructuralType::Text, "Document")],
+        ),
+        |i| Ok(vec![Value::text(i[0].as_text().unwrap().to_uppercase())]),
+    );
+    let lower = FnModule::new(
+        ModuleDescriptor::new(
+            "op:lower",
+            "Lower",
+            ModuleKind::RestService,
+            vec![Parameter::required("in", StructuralType::Text, "Document")],
+            vec![Parameter::required("out", StructuralType::Text, "Document")],
+        ),
+        |i| Ok(vec![Value::text(i[0].as_text().unwrap().to_lowercase())]),
+    );
+    let cache = InvocationCache::new();
+    let input = [Value::text("MiXeD")];
+    let a = cache.invoke(&upper, &input);
+    let b = cache.invoke(&lower, &input);
+    assert_eq!(a.as_ref().as_ref().unwrap()[0], Value::text("MIXED"));
+    assert_eq!(b.as_ref().as_ref().unwrap()[0], Value::text("mixed"));
+    assert_eq!(cache.stats().misses, 2);
+    assert_eq!(cache.stats().hits, 0);
+    // And both replay as hits.
+    cache.invoke(&upper, &input);
+    cache.invoke(&lower, &input);
+    assert_eq!(cache.stats().hits, 2);
+    let _ = upper.descriptor();
+}

@@ -1,12 +1,12 @@
 //! Provenance corpus construction: repository enactments + archive traces.
 
 use crate::repository::WorkflowRepository;
-use dex_modules::ModuleId;
+use dex_modules::{InvocationCache, ModuleId};
 use dex_pool::InstancePool;
 use dex_provenance::ProvenanceCorpus;
 use dex_universe::Universe;
 use dex_values::Value;
-use dex_workflow::{enact, EnactmentTrace, StepRecord};
+use dex_workflow::{enact_cached, EnactmentTrace, StepRecord};
 
 /// Builds the provenance corpus the §6 study trawls.
 ///
@@ -28,14 +28,23 @@ pub fn build_corpus(
 ) -> ProvenanceCorpus {
     let mut corpus = ProvenanceCorpus::new("simulated-taverna");
 
+    // Repository workflows are stamped out from shared templates over shared
+    // pool values, so their step invocations repeat heavily; one memo across
+    // all enactments skips the duplicates without changing any trace.
+    let invocations = InvocationCache::new();
     for stored in &repository.workflows {
-        let trace = enact(&stored.workflow, &universe.catalog, &stored.sample_inputs)
-            .unwrap_or_else(|e| {
-                panic!(
-                    "pre-decay enactment of {} must succeed: {e}",
-                    stored.workflow.id
-                )
-            });
+        let trace = enact_cached(
+            &stored.workflow,
+            &universe.catalog,
+            &stored.sample_inputs,
+            &invocations,
+        )
+        .unwrap_or_else(|e| {
+            panic!(
+                "pre-decay enactment of {} must succeed: {e}",
+                stored.workflow.id
+            )
+        });
         corpus.add(trace);
     }
 

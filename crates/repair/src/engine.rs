@@ -6,7 +6,7 @@
 use crate::matching::MatchingStudy;
 use crate::repository::WorkflowRepository;
 use dex_core::matching::{map_parameters, MappingMode, MatchVerdict};
-use dex_modules::{ModuleCatalog, ModuleId};
+use dex_modules::{InvocationCache, ModuleCatalog, ModuleId};
 use dex_ontology::Ontology;
 use dex_provenance::ProvenanceCorpus;
 use dex_values::Value;
@@ -90,6 +90,11 @@ pub fn repair_repository(
 ) -> (Vec<RepairOutcome>, RepairSummary) {
     let mut outcomes = Vec::with_capacity(repository.len());
     let mut summary = RepairSummary::default();
+    // One invocation memo for the whole repair pass: the same few candidates
+    // are proposed for many workflows, and trace records frequently repeat
+    // input vectors (same pool values feed many workflows), so verification
+    // replays overlap heavily across outcomes.
+    let invocations = InvocationCache::new();
 
     for stored in &repository.workflows {
         let workflow = &stored.workflow;
@@ -118,7 +123,14 @@ pub fn repair_repository(
             match study.substitute_for(&module) {
                 Some((candidate, verdict))
                     if verify_substitution(
-                        workflow, step, &module, candidate, catalog, corpus, ontology,
+                        workflow,
+                        step,
+                        &module,
+                        candidate,
+                        catalog,
+                        corpus,
+                        ontology,
+                        &invocations,
                     ) =>
                 {
                     substitutions.push(Substitution {
@@ -161,11 +173,15 @@ pub fn repair_repository(
         });
     }
 
+    invocations.publish_telemetry();
     (outcomes, summary)
 }
 
 /// Replays the workflow's own recorded invocations of `step` against the
-/// candidate; accepts only exact output agreement.
+/// candidate; accepts only exact output agreement. Invocations route through
+/// the repair pass's shared memo, so a candidate is fed each distinct trace
+/// vector at most once across all workflows.
+#[allow(clippy::too_many_arguments)]
 fn verify_substitution(
     workflow: &dex_workflow::Workflow,
     step: usize,
@@ -174,6 +190,7 @@ fn verify_substitution(
     catalog: &ModuleCatalog,
     corpus: &ProvenanceCorpus,
     ontology: &Ontology,
+    invocations: &InvocationCache,
 ) -> bool {
     let Some(candidate) = catalog.get(candidate_id) else {
         return false;
@@ -205,7 +222,7 @@ fn verify_substitution(
             for (t_idx, &c_idx) in mapping.inputs.iter().enumerate() {
                 inputs[c_idx] = record.inputs[t_idx].clone();
             }
-            match candidate.invoke(&inputs) {
+            match invocations.invoke(candidate.as_ref(), &inputs).as_ref() {
                 Ok(outputs) => {
                     let all_equal = mapping
                         .outputs

@@ -2,8 +2,10 @@
 //! against the available population using provenance-reconstructed data
 //! examples.
 
-use dex_core::matching::{map_parameters, match_against_examples, MappingMode, MatchVerdict};
-use dex_modules::{ModuleCatalog, ModuleId};
+use dex_core::matching::{
+    map_parameters, match_against_examples_cached, MappingMode, MatchVerdict,
+};
+use dex_modules::{InvocationCache, ModuleCatalog, ModuleId};
 use dex_ontology::Ontology;
 use dex_provenance::{reconstruct_examples, ProvenanceCorpus};
 use std::collections::BTreeMap;
@@ -81,6 +83,9 @@ pub fn run_matching_study(
 ) -> MatchingStudy {
     let mut study = MatchingStudy::default();
     let withdrawn = catalog.withdrawn_ids();
+    // One memo across the whole study: legacy modules decayed from the same
+    // template replay the same candidates on the same reconstructed values.
+    let invocations = InvocationCache::new();
 
     for legacy in &withdrawn {
         let descriptor = catalog
@@ -115,12 +120,13 @@ pub fn run_matching_study(
                 } else {
                     continue;
                 };
-                let Ok(verdict) = match_against_examples(
+                let Ok(verdict) = match_against_examples_cached(
                     &descriptor,
                     &examples,
                     candidate.as_ref(),
                     ontology,
                     mode,
+                    &invocations,
                 ) else {
                     continue;
                 };
@@ -143,6 +149,7 @@ pub fn run_matching_study(
             },
         );
     }
+    invocations.publish_telemetry();
     study
 }
 

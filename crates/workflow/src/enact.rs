@@ -1,7 +1,7 @@
 //! Workflow enactment with full trace capture.
 
 use crate::model::{Source, Workflow};
-use dex_modules::{InvocationError, ModuleCatalog, ModuleId};
+use dex_modules::{InvocationCache, InvocationError, ModuleCatalog, ModuleId};
 use dex_values::Value;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -75,8 +75,32 @@ pub fn enact(
     catalog: &ModuleCatalog,
     inputs: &[Value],
 ) -> Result<EnactmentTrace, EnactError> {
+    enact_with(workflow, catalog, inputs, None)
+}
+
+/// [`enact`] through a shared [`InvocationCache`]: step invocations whose
+/// `(module, input vector)` was already executed — by an earlier enactment
+/// sharing the cache, or by example generation — are answered from the memo.
+/// The trace is identical to an uncached enactment; bulk re-enactment (e.g.
+/// building a provenance corpus over a repository whose workflows share
+/// modules and pool values) skips the repeated work.
+pub fn enact_cached(
+    workflow: &Workflow,
+    catalog: &ModuleCatalog,
+    inputs: &[Value],
+    cache: &InvocationCache,
+) -> Result<EnactmentTrace, EnactError> {
+    enact_with(workflow, catalog, inputs, Some(cache))
+}
+
+fn enact_with(
+    workflow: &Workflow,
+    catalog: &ModuleCatalog,
+    inputs: &[Value],
+    cache: Option<&InvocationCache>,
+) -> Result<EnactmentTrace, EnactError> {
     let _span = dex_telemetry::span("workflow.enact");
-    let result = enact_inner(workflow, catalog, inputs);
+    let result = enact_inner(workflow, catalog, inputs, cache);
     if dex_telemetry::is_enabled() {
         dex_telemetry::counter_add("dex.workflow.enactments", 1);
         match &result {
@@ -101,6 +125,7 @@ fn enact_inner(
     workflow: &Workflow,
     catalog: &ModuleCatalog,
     inputs: &[Value],
+    cache: Option<&InvocationCache>,
 ) -> Result<EnactmentTrace, EnactError> {
     if inputs.len() != workflow.inputs.len() {
         return Err(EnactError::Structure(format!(
@@ -144,13 +169,15 @@ fn enact_inner(
             }
             values[link.target_input] = resolve(&link.source, &step_outputs)?;
         }
-        let outputs = module
-            .invoke(&values)
-            .map_err(|error| EnactError::Invocation {
-                step: i,
-                module: step.module.clone(),
-                error,
-            })?;
+        let invoked = match cache {
+            Some(cache) => cache.invoke(module.as_ref(), &values).as_ref().clone(),
+            None => module.invoke(&values),
+        };
+        let outputs = invoked.map_err(|error| EnactError::Invocation {
+            step: i,
+            module: step.module.clone(),
+            error,
+        })?;
         records.push(StepRecord {
             step: i,
             step_name: step.name.clone(),
