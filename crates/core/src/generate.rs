@@ -25,7 +25,9 @@
 use crate::error::GenerationError;
 use crate::example::{Binding, DataExample, ExampleSet};
 use crate::partition::{input_partition_plan, PartitionPlan};
-use dex_modules::{invoke_all_cached, BlackBox, InvocationCache, InvocationOutcome};
+use dex_modules::{
+    invoke_all_retrying, BlackBox, InvocationCache, InvocationOutcome, Retrier, RetryPolicy,
+};
 use dex_ontology::Ontology;
 use dex_pool::InstancePool;
 use dex_values::Value;
@@ -53,6 +55,13 @@ pub struct GenerationConfig {
     /// `Send + Sync`). `0` and `1` mean sequential execution. The report is
     /// identical for every thread count — only wall-clock changes.
     pub invoke_threads: usize,
+    /// How to retry *transient* invocation failures (`Unavailable`/`Fault`)
+    /// within one planned attempt. Distinct from
+    /// [`retries_per_combination`](GenerationConfig::retries_per_combination),
+    /// which tries *different value vectors* after a deterministic rejection;
+    /// this re-attempts the *same* vector when the failure was
+    /// state-dependent. Defaults to [`RetryPolicy::none`].
+    pub retry: RetryPolicy,
 }
 
 impl Default for GenerationConfig {
@@ -62,6 +71,7 @@ impl Default for GenerationConfig {
             retries_per_combination: 3,
             value_offset: 0,
             invoke_threads: 1,
+            retry: RetryPolicy::none(),
         }
     }
 }
@@ -85,6 +95,11 @@ pub struct GenerationReport {
     /// *actual* module invocations can be lower still; see the cache's
     /// [`stats`](InvocationCache::stats).
     pub invocations: usize,
+    /// Attempts whose outcome was still a *transient* error after the retry
+    /// policy gave up — state-dependent failures the run degraded through
+    /// rather than aborting. `0` whenever every injected fault was retried
+    /// to its true outcome (and always `0` on a healthy module population).
+    pub transient_failures: usize,
 }
 
 impl GenerationReport {
@@ -255,32 +270,6 @@ fn plan_invocations<'p>(
     combos
 }
 
-/// Executes a wave of distinct invocation vectors directly (no shared
-/// cache), optionally fanning out over scoped threads. Outcomes are returned
-/// in input order regardless of scheduling.
-fn invoke_wave_direct(
-    module: &dyn BlackBox,
-    vectors: &[Vec<Value>],
-    threads: usize,
-) -> Vec<Arc<InvocationOutcome>> {
-    let threads = threads.max(1).min(vectors.len());
-    if threads <= 1 {
-        return vectors.iter().map(|v| Arc::new(module.invoke(v))).collect();
-    }
-    let mut results: Vec<Option<Arc<InvocationOutcome>>> = vec![None; vectors.len()];
-    let chunk = vectors.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (vec_chunk, out_chunk) in vectors.chunks(chunk).zip(results.chunks_mut(chunk)) {
-            scope.spawn(move || {
-                for (vector, slot) in vec_chunk.iter().zip(out_chunk) {
-                    *slot = Some(Arc::new(module.invoke(vector)));
-                }
-            });
-        }
-    });
-    results.into_iter().map(|r| r.expect("filled")).collect()
-}
-
 /// Runs the full §3.2 procedure for one module:
 ///
 /// 1. partition the domain of every input using its semantic annotation;
@@ -298,7 +287,7 @@ pub fn generate_examples(
     pool: &InstancePool,
     config: &GenerationConfig,
 ) -> Result<GenerationReport, GenerationError> {
-    generate_with(module, ontology, pool, config, None)
+    generate_with(module, ontology, pool, config, None, None)
 }
 
 /// [`generate_examples`] through a shared [`InvocationCache`]: every distinct
@@ -313,7 +302,23 @@ pub fn generate_examples_cached(
     config: &GenerationConfig,
     cache: &InvocationCache,
 ) -> Result<GenerationReport, GenerationError> {
-    generate_with(module, ontology, pool, config, Some(cache))
+    generate_with(module, ontology, pool, config, Some(cache), None)
+}
+
+/// [`generate_examples_cached`] with an explicit, shared [`Retrier`]: every
+/// transient invocation failure is re-attempted under the retrier's policy
+/// (and against its run-wide budget) before an attempt is recorded as
+/// failed. Callers that share one retrier across many generations — the
+/// experiment fleet, a `MatchSession` — get run-global retry accounting.
+pub fn generate_examples_retrying(
+    module: &dyn BlackBox,
+    ontology: &Ontology,
+    pool: &InstancePool,
+    config: &GenerationConfig,
+    cache: &InvocationCache,
+    retrier: &Retrier,
+) -> Result<GenerationReport, GenerationError> {
+    generate_with(module, ontology, pool, config, Some(cache), Some(retrier))
 }
 
 fn generate_with(
@@ -322,6 +327,7 @@ fn generate_with(
     pool: &InstancePool,
     config: &GenerationConfig,
     cache: Option<&InvocationCache>,
+    retrier: Option<&Retrier>,
 ) -> Result<GenerationReport, GenerationError> {
     let _timer = {
         static MODULE_NS: std::sync::OnceLock<dex_telemetry::Histo> = std::sync::OnceLock::new();
@@ -342,6 +348,18 @@ fn generate_with(
 
     let (resolved, unvalued) = resolve_candidates(&plan, descriptor, ontology, pool, config);
     let mut planned = plan_invocations(&plan, &resolved, ontology);
+
+    // One invocation wave per planned attempt; transient-retry policy comes
+    // either from the caller's shared retrier or from the config.
+    let local_retrier;
+    let retrier = match retrier {
+        Some(shared) => shared,
+        None => {
+            local_retrier = Retrier::new(config.retry);
+            &local_retrier
+        }
+    };
+    let mut transient_failures = 0usize;
 
     // Execute in retry waves: wave `a` invokes each still-unresolved
     // combination's next planned vector. This invokes exactly the vectors
@@ -367,10 +385,7 @@ fn generate_with(
                     .collect()
             })
             .collect();
-        let outcomes = match cache {
-            Some(cache) => invoke_all_cached(module, &vectors, cache, config.invoke_threads),
-            None => invoke_wave_direct(module, &vectors, config.invoke_threads),
-        };
+        let outcomes = invoke_all_retrying(module, &vectors, cache, retrier, config.invoke_threads);
         for (&idx, outcome) in pending.iter().zip(outcomes) {
             let combo = &mut planned[idx];
             combo.consumed += 1;
@@ -378,6 +393,9 @@ fn generate_with(
                 let winning = combo.attempts[combo.next].clone();
                 combo.success = Some((winning, outcome));
             } else {
+                if matches!(outcome.as_ref(), Err(e) if e.is_transient()) {
+                    transient_failures += 1;
+                }
                 combo.next += 1;
             }
         }
@@ -438,6 +456,7 @@ fn generate_with(
         unvalued_partitions: unvalued,
         failed_combinations: failed,
         invocations,
+        transient_failures,
     };
     record_generation_telemetry(&report, telemetry_on, &covered_flags);
     Ok(report)
@@ -485,6 +504,7 @@ pub fn generate_examples_sequential(
     let mut examples = ExampleSet::new(descriptor.id.clone());
     let mut failed: Vec<Vec<String>> = Vec::new();
     let mut invocations = 0usize;
+    let mut transient_failures = 0usize;
     'combos: for combo in planned {
         if combo.attempts.is_empty() {
             failed.push(combo.concept_names);
@@ -518,8 +538,13 @@ pub fn generate_examples_sequential(
                         .push(DataExample::new(inputs, outputs, combo.concept_names));
                     continue 'combos;
                 }
-                Err(_) if attempt < last => continue,
-                Err(_) => {
+                Err(e) => {
+                    if e.is_transient() {
+                        transient_failures += 1;
+                    }
+                    if attempt < last {
+                        continue;
+                    }
                     failed.push(combo.concept_names);
                     continue 'combos;
                 }
@@ -533,6 +558,7 @@ pub fn generate_examples_sequential(
         unvalued_partitions: unvalued,
         failed_combinations: failed,
         invocations,
+        transient_failures,
     };
     record_generation_telemetry(&report, telemetry_on, &covered_flags);
     Ok(report)

@@ -88,13 +88,14 @@ pub use display::to_markdown;
 pub use error::GenerationError;
 pub use example::{Binding, DataExample, ExampleSet};
 pub use generate::{
-    generate_examples, generate_examples_cached, generate_examples_sequential, GenerationConfig,
-    GenerationReport,
+    generate_examples, generate_examples_cached, generate_examples_retrying,
+    generate_examples_sequential, GenerationConfig, GenerationReport,
 };
 pub use inverse::{cover_output_partitions, InverseCoverageReport};
 pub use matching::{
-    compare_modules, match_against_examples, match_against_examples_cached, CacheStats,
-    MappingMode, MatchOutcome, MatchReport, MatchSession, MatchVerdict,
+    compare_modules, match_against_examples, match_against_examples_cached,
+    match_against_examples_retrying, CacheStats, MappingMode, MatchOutcome, MatchReport,
+    MatchSession, MatchVerdict,
 };
 pub use metrics::{completeness, conciseness, BehaviorOracle, ModuleScore};
 pub use partition::{input_partition_plan, partitions_for, PartitionPlan};

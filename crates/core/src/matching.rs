@@ -3,9 +3,12 @@
 use crate::error::GenerationError;
 use crate::example::ExampleSet;
 use crate::generate::{
-    generate_examples, generate_examples_cached, GenerationConfig, GenerationReport,
+    generate_examples, generate_examples_retrying, GenerationConfig, GenerationReport,
 };
-use dex_modules::{BlackBox, InvocationCache, InvocationCacheStats, ModuleDescriptor, ModuleId};
+use dex_modules::{
+    BlackBox, InvocationCache, InvocationCacheStats, ModuleDescriptor, ModuleId, Retrier,
+    RetryStats,
+};
 use dex_ontology::Ontology;
 use dex_pool::InstancePool;
 use dex_values::Value;
@@ -189,7 +192,7 @@ pub fn match_against_examples(
     ontology: &Ontology,
     mode: MappingMode,
 ) -> Result<MatchVerdict, GenerationError> {
-    match_with(target, examples, candidate, ontology, mode, None)
+    match_with(target, examples, candidate, ontology, mode, None, None)
 }
 
 /// [`match_against_examples`] through a shared [`InvocationCache`]: each
@@ -205,7 +208,40 @@ pub fn match_against_examples_cached(
     mode: MappingMode,
     cache: &InvocationCache,
 ) -> Result<MatchVerdict, GenerationError> {
-    match_with(target, examples, candidate, ontology, mode, Some(cache))
+    match_with(
+        target,
+        examples,
+        candidate,
+        ontology,
+        mode,
+        Some(cache),
+        None,
+    )
+}
+
+/// [`match_against_examples_cached`] with an explicit, shared [`Retrier`]:
+/// a replay invocation that fails *transiently* is re-attempted under the
+/// retrier's policy before it is scored as a behavioral disagreement —
+/// a flaky candidate must not look behaviorally different from a healthy
+/// one. Permanent errors still count as disagreements immediately.
+pub fn match_against_examples_retrying(
+    target: &ModuleDescriptor,
+    examples: &ExampleSet,
+    candidate: &dyn BlackBox,
+    ontology: &Ontology,
+    mode: MappingMode,
+    cache: &InvocationCache,
+    retrier: &Retrier,
+) -> Result<MatchVerdict, GenerationError> {
+    match_with(
+        target,
+        examples,
+        candidate,
+        ontology,
+        mode,
+        Some(cache),
+        Some(retrier),
+    )
 }
 
 fn match_with(
@@ -215,6 +251,7 @@ fn match_with(
     ontology: &Ontology,
     mode: MappingMode,
     cache: Option<&InvocationCache>,
+    retrier: Option<&Retrier>,
 ) -> Result<MatchVerdict, GenerationError> {
     let mapping = map_parameters(target, candidate.descriptor(), ontology, mode)?;
     if examples.is_empty() {
@@ -224,6 +261,14 @@ fn match_with(
     }
     let mut compared = 0usize;
     let mut agreeing = 0usize;
+    let local_retrier;
+    let retrier = match retrier {
+        Some(shared) => shared,
+        None => {
+            local_retrier = Retrier::none();
+            &local_retrier
+        }
+    };
     for example in examples.iter() {
         compared += 1;
         // Build the candidate's input vector.
@@ -241,11 +286,11 @@ fn match_with(
         // A failed invocation on inputs the target handled is a behavioral
         // disagreement on that example.
         let agreed = match cache {
-            Some(cache) => match cache.invoke(candidate, &inputs).as_ref() {
+            Some(cache) => match retrier.invoke_cached(cache, candidate, &inputs).as_ref() {
                 Ok(outputs) => all_equal(outputs),
                 Err(_) => false,
             },
-            None => match candidate.invoke(&inputs) {
+            None => match retrier.invoke(candidate, &inputs) {
                 Ok(outputs) => all_equal(&outputs),
                 Err(_) => false,
             },
@@ -410,6 +455,7 @@ pub struct MatchSession<'a> {
     config: GenerationConfig,
     cache: Mutex<HashMap<(ModuleId, usize), CachedGeneration>>,
     invocations: InvocationCache,
+    retrier: Retrier,
     hits: AtomicU64,
     misses: AtomicU64,
     memoized_bytes: AtomicU64,
@@ -417,13 +463,18 @@ pub struct MatchSession<'a> {
 
 impl<'a> MatchSession<'a> {
     /// Creates a session over fixed ontology, pool, and generation config.
+    /// The session owns one [`Retrier`] built from the config's
+    /// [`retry`](GenerationConfig::retry) policy, shared by every generation
+    /// and replay it performs — so the retry budget is session-wide.
     pub fn new(ontology: &'a Ontology, pool: &'a InstancePool, config: GenerationConfig) -> Self {
+        let retrier = Retrier::new(config.retry);
         MatchSession {
             ontology,
             pool,
             config,
             cache: Mutex::new(HashMap::new()),
             invocations: InvocationCache::new(),
+            retrier,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             memoized_bytes: AtomicU64::new(0),
@@ -448,6 +499,12 @@ impl<'a> MatchSession<'a> {
     /// level up and counts whole generations, not invocations).
     pub fn invocation_stats(&self) -> InvocationCacheStats {
         self.invocations.stats()
+    }
+
+    /// Snapshot of the session's transient-retry accounting (zero everywhere
+    /// unless the config enabled a retry policy and transients occurred).
+    pub fn retry_stats(&self) -> RetryStats {
+        self.retrier.stats()
     }
 
     /// Number of memoized `(module, value_offset)` generation results.
@@ -496,12 +553,13 @@ impl<'a> MatchSession<'a> {
             value_offset,
             ..self.config.clone()
         };
-        let report = Arc::new(generate_examples_cached(
+        let report = Arc::new(generate_examples_retrying(
             module,
             self.ontology,
             self.pool,
             &config,
             &self.invocations,
+            &self.retrier,
         ));
         let bytes = approx_cached_bytes(&report);
         let displaced = self
@@ -526,13 +584,14 @@ impl<'a> MatchSession<'a> {
         candidate: &dyn BlackBox,
     ) -> Result<MatchVerdict, GenerationError> {
         match self.report_for(target).as_ref() {
-            Ok(report) => match_against_examples_cached(
+            Ok(report) => match_against_examples_retrying(
                 target.descriptor(),
                 &report.examples,
                 candidate,
                 self.ontology,
                 MappingMode::Strict,
                 &self.invocations,
+                &self.retrier,
             ),
             Err(e) => Err(e.clone()),
         }

@@ -8,16 +8,18 @@
 //! invoked, never what the generation report says.
 
 use dex_core::{
-    generate_examples, generate_examples_cached, generate_examples_sequential, GenerationConfig,
-    GenerationReport,
+    generate_examples, generate_examples_cached, generate_examples_retrying,
+    generate_examples_sequential, GenerationConfig, GenerationReport,
 };
 use dex_modules::{
-    FnModule, InvocationCache, InvocationError, ModuleDescriptor, ModuleKind, Parameter,
+    FaultPlan, FaultyModule, FnModule, InvocationCache, InvocationError, ModuleDescriptor,
+    ModuleKind, Parameter, Retrier, RetryPolicy, SharedModule,
 };
 use dex_ontology::mygrid;
 use dex_pool::build_synthetic_pool;
 use dex_values::{StructuralType, Value};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// Text-valued concepts of the mygrid ontology the synthetic pool can
 /// realize — input annotations are drawn from these.
@@ -80,6 +82,10 @@ fn assert_reports_identical(label: &str, a: &GenerationReport, b: &GenerationRep
     assert_eq!(
         a.invocations, b.invocations,
         "{label}: logical invocation counts differ"
+    );
+    assert_eq!(
+        a.transient_failures, b.transient_failures,
+        "{label}: transient failure counts differ"
     );
 }
 
@@ -148,6 +154,71 @@ proptest! {
         assert_reports_identical("cached/shifted", &shifted_cached, &shifted_oracle);
     }
 
+    /// Fault tolerance contract: a module population injected with bounded
+    /// transient fault bursts, generated through cache + retry, produces a
+    /// report *byte-identical* to the fault-free sequential oracle — and the
+    /// cache never memoizes a transient outcome along the way.
+    #[test]
+    fn faulted_retried_generation_matches_the_fault_free_oracle(
+        inputs in proptest::collection::vec(0usize..CONCEPTS.len(), 1..3),
+        salt in any::<u64>(),
+        reject_pct in 0u64..101,
+        fault_rate_pct in 0u32..41,
+        fault_seed in any::<u64>(),
+        value_offset in 0usize..3,
+    ) {
+        let ontology = mygrid::ontology();
+        let pool = build_synthetic_pool(&ontology, 3, 7);
+        let config = GenerationConfig {
+            value_offset,
+            ..GenerationConfig::default()
+        };
+        let plain = arb_module(&inputs, salt, reject_pct);
+        let oracle = generate_examples_sequential(&plain, &ontology, &pool, &config).unwrap();
+
+        // Same behavior, wrapped in seeded fault injection: bursts of up to
+        // 2 consecutive transient faults per key, under a policy granting 3
+        // retries — every key converges to its true outcome.
+        let faulty = FaultyModule::new(
+            Arc::new(arb_module(&inputs, salt, reject_pct)) as SharedModule,
+            FaultPlan {
+                seed: fault_seed,
+                fault_rate_millis: fault_rate_pct * 10,
+                max_consecutive: 2,
+                latency_ticks: 1,
+                flaps: Vec::new(),
+            },
+        );
+        let retry_config = GenerationConfig {
+            retry: RetryPolicy::transient(4),
+            ..config.clone()
+        };
+        let cache = InvocationCache::new();
+        let retrier = Retrier::new(retry_config.retry);
+        let report = generate_examples_retrying(
+            &faulty, &ontology, &pool, &retry_config, &cache, &retrier,
+        )
+        .unwrap();
+        assert_reports_identical("faulted+retried", &report, &oracle);
+        let stats = cache.stats();
+        prop_assert_eq!(stats.memoized_transients, 0, "no transient was memoized");
+        if faulty.stats().injected_faults > 0 {
+            prop_assert!(retrier.stats().retries > 0, "faults imply retries");
+        }
+
+        // Disabling faults (rate 0) keeps the retried path equal to the
+        // oracle too — retry machinery is inert on a healthy module.
+        let healthy = FaultyModule::new(
+            Arc::new(arb_module(&inputs, salt, reject_pct)) as SharedModule,
+            FaultPlan::none(fault_seed),
+        );
+        let inert = generate_examples_retrying(
+            &healthy, &ontology, &pool, &retry_config, &InvocationCache::new(), &retrier,
+        )
+        .unwrap();
+        assert_reports_identical("faults-disabled", &inert, &oracle);
+    }
+
     /// The planner never performs *more* real invocations than the report
     /// claims, and a bounded cache (evictions!) still yields the exact
     /// report — capacity pressure may cost re-invocations, never wrong data.
@@ -169,4 +240,107 @@ proptest! {
             assert_reports_identical(&format!("bounded round {round}"), &report, &oracle);
         }
     }
+}
+
+/// [`arb_module`]'s digest behavior under an explicit module id, so a target
+/// and a behaviorally identical candidate can carry distinct identities.
+fn digest_module(id: &str, salt: u64, reject_pct: u64) -> FnModule {
+    FnModule::new(
+        ModuleDescriptor::new(
+            id,
+            "FlapModule",
+            ModuleKind::SoapService,
+            vec![
+                Parameter::required("in0", StructuralType::Text, CONCEPTS[0]),
+                Parameter::required("in1", StructuralType::Text, CONCEPTS[4]),
+            ],
+            vec![Parameter::required(
+                "digest",
+                StructuralType::Text,
+                "Document",
+            )],
+        ),
+        move |values| {
+            let mut acc = salt;
+            for v in values {
+                if let Some(t) = v.as_text() {
+                    for b in t.bytes() {
+                        acc = acc.wrapping_mul(1099511628211).wrapping_add(u64::from(b));
+                    }
+                }
+            }
+            if acc % 100 < reject_pct {
+                return Err(InvocationError::rejected("salted rejection"));
+            }
+            Ok(vec![Value::text(format!("{acc:016x}"))])
+        },
+    )
+}
+
+/// Acceptance scenario for the fault-tolerance subsystem: under a seeded
+/// flap schedule (provider withdraws, then restores — `Unavailable` inside
+/// the window), the cached pipeline's example *and* matching reports are
+/// byte-identical to the fault-free sequential oracle, and the invocation
+/// cache holds zero memoized transient outcomes.
+#[test]
+fn flap_schedule_converges_to_the_fault_free_reports() {
+    use dex_core::{compare_modules, MatchSession};
+
+    let ontology = mygrid::ontology();
+    let pool = build_synthetic_pool(&ontology, 3, 42);
+    let no_retry = GenerationConfig::default();
+    let retry_config = GenerationConfig {
+        // Backoff 8 ticks on first retry: longer than the 4-tick flap
+        // window below, so one retry always escapes the outage.
+        retry: RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ticks: 8,
+            max_backoff_ticks: 64,
+            retry_budget: Some(10_000),
+        },
+        ..GenerationConfig::default()
+    };
+    let flap = |seed: u64| FaultPlan::none(seed).with_flap(2, 6);
+
+    // --- Generation: faulted target vs fault-free oracle -----------------
+    let target = digest_module("flap:target", 77, 20);
+    let oracle = generate_examples_sequential(&target, &ontology, &pool, &no_retry).unwrap();
+    let faulted_target = FaultyModule::new(
+        Arc::new(digest_module("flap:target", 77, 20)) as SharedModule,
+        flap(1),
+    );
+    let cache = InvocationCache::new();
+    let retrier = Retrier::new(retry_config.retry);
+    let report = generate_examples_retrying(
+        &faulted_target,
+        &ontology,
+        &pool,
+        &retry_config,
+        &cache,
+        &retrier,
+    )
+    .unwrap();
+    assert_reports_identical("flap/generation", &report, &oracle);
+    assert!(
+        faulted_target.stats().injected_unavailable > 0,
+        "the schedule actually flapped"
+    );
+    assert!(
+        retrier.stats().retries > 0,
+        "the outage was retried through"
+    );
+    assert_eq!(retrier.stats().budget_denied, 0, "budget was not exceeded");
+    assert_eq!(cache.stats().memoized_transients, 0);
+
+    // --- Matching: flapping candidate vs fault-free oracle ----------------
+    let candidate = digest_module("flap:candidate", 77, 20);
+    let oracle_verdict = compare_modules(&target, &candidate, &ontology, &pool, &no_retry).unwrap();
+    let faulted_candidate = FaultyModule::new(
+        Arc::new(digest_module("flap:candidate", 77, 20)) as SharedModule,
+        flap(2),
+    );
+    let session = MatchSession::new(&ontology, &pool, retry_config.clone());
+    let verdict = session.compare(&target, &faulted_candidate).unwrap();
+    assert_eq!(verdict, oracle_verdict, "flap must not change the verdict");
+    assert_eq!(session.invocation_stats().memoized_transients, 0);
 }

@@ -2,12 +2,13 @@
 //! one table/figure, paper numbers alongside measured ones.
 
 use crate::format::{heading, table};
-use crate::Context;
+use crate::{Context, FaultConfig};
 use dex_core::coverage::measure_coverage;
 use dex_core::metrics::score;
 use dex_pool::build_synthetic_pool;
 use dex_repair::{
-    build_corpus, generate_repository, repair_repository, run_matching_study, RepositoryPlan,
+    build_corpus_with, generate_repository, repair_repository_with, run_matching_study_with,
+    RepositoryPlan,
 };
 use dex_study::run_user_study;
 use dex_universe::{Category, SpecOracle};
@@ -290,13 +291,37 @@ pub struct DecayResults {
 /// Runs the §6 pipeline: generate repository, record corpus, decay, match,
 /// repair. `plan` defaults to the paper-scale population.
 pub fn decay_experiments(plan: &RepositoryPlan) -> DecayResults {
+    decay_experiments_with(plan, &FaultConfig::none())
+}
+
+/// [`decay_experiments`] under an explicit [`FaultConfig`]: every catalog
+/// module is wrapped in the injector (if any) before the corpus is recorded,
+/// and the corpus build, matching study, and repair verification all retry
+/// transients under the config's policy. Residual corpus failures degrade
+/// the run instead of aborting it unless `fail_fast` is set.
+pub fn decay_experiments_with(plan: &RepositoryPlan, faults: &FaultConfig) -> DecayResults {
     let _span = dex_telemetry::span("exp.decay");
     let mut universe = dex_universe::build();
+    faults.apply(&mut universe.catalog);
     let pool = build_synthetic_pool(&universe.ontology, 40, 77);
     let repository = generate_repository(&universe, &pool, plan);
-    let corpus = build_corpus(&universe, &repository, &pool);
+    let (corpus, corpus_report) = build_corpus_with(
+        &universe,
+        &repository,
+        &pool,
+        faults.retry,
+        faults.fail_fast,
+    );
+    if !corpus_report.is_clean() {
+        eprintln!(
+            "decay: corpus degraded — {} enactments and {} archive invocations failed",
+            corpus_report.failed_enactments.len(),
+            corpus_report.failed_archive_invocations.len()
+        );
+    }
     universe.decay();
-    let study = run_matching_study(&universe.catalog, &corpus, &universe.ontology);
+    let study =
+        run_matching_study_with(&universe.catalog, &corpus, &universe.ontology, faults.retry);
     let (eq, ov, none) = study.counts();
 
     let with_examples = study
@@ -326,12 +351,13 @@ pub fn decay_experiments(plan: &RepositoryPlan) -> DecayResults {
     figure8.push_str(&table(&["measure", "paper", "measured"], &rows));
     figure8.push('\n');
 
-    let (_, summary) = repair_repository(
+    let (_, summary) = repair_repository_with(
         &repository,
         &universe.catalog,
         &study,
         &corpus,
         &universe.ontology,
+        faults.retry,
     );
     let broken = repository.len() - summary.healthy;
     let rows = vec![

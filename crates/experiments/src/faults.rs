@@ -1,0 +1,140 @@
+//! Opt-in deterministic fault injection for the experiment binaries.
+//!
+//! A [`FaultConfig`] bundles the three fault-tolerance knobs a run needs:
+//! an optional [`FaultInjector`] that wraps every catalog module in a
+//! seeded [`dex_modules::FaultyModule`], the [`RetryPolicy`] the pipeline
+//! uses to ride the injected transients out, and whether residual failures
+//! should abort the run (`fail_fast`) or degrade it gracefully.
+//!
+//! Like telemetry, faults are parsed from the process arguments and
+//! environment: `--fault-rate=PCT` (and optional `--fault-seed=SEED`,
+//! `--fail-fast`) or the `DEX_FAULT_RATE` / `DEX_FAULT_SEED` /
+//! `DEX_FAIL_FAST` variables. Without a rate, [`FaultConfig::from_env`]
+//! returns the inert [`FaultConfig::none`] and the binaries behave exactly
+//! as before.
+
+use dex_modules::{FaultInjector, FaultPlan, FaultStats, ModuleCatalog, RetryPolicy};
+
+/// Default seed for injected faults when only a rate is given.
+pub const DEFAULT_FAULT_SEED: u64 = 0xFA_0175;
+
+/// Fault-injection and retry configuration for one experiment run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultConfig {
+    /// When set, every catalog module gets wrapped in a seeded fault
+    /// injector before any invocation happens.
+    pub injector: Option<FaultInjector>,
+    /// Retry policy threaded through generation, matching, and enactment.
+    pub retry: RetryPolicy,
+    /// Abort on the first residual (post-retry) failure instead of
+    /// degrading gracefully.
+    pub fail_fast: bool,
+}
+
+impl FaultConfig {
+    /// No injection, no retries, graceful degradation: the historical
+    /// behavior of every binary.
+    pub fn none() -> FaultConfig {
+        FaultConfig::default()
+    }
+
+    /// Injects transient faults on roughly `rate_pct`% of invocations
+    /// (seeded, deterministic) and arms a retry policy strong enough to
+    /// ride out the bounded fault bursts the plan produces.
+    pub fn injected(rate_pct: u32, seed: u64) -> FaultConfig {
+        FaultConfig {
+            injector: Some(FaultInjector::new(FaultPlan::rate_pct(seed, rate_pct))),
+            retry: RetryPolicy {
+                retry_budget: Some(10_000_000),
+                ..RetryPolicy::transient(4)
+            },
+            fail_fast: false,
+        }
+    }
+
+    /// Parses `--fault-rate=PCT`, `--fault-seed=SEED`, `--fail-fast` from
+    /// the process arguments, falling back to the `DEX_FAULT_RATE`,
+    /// `DEX_FAULT_SEED`, and `DEX_FAIL_FAST` environment variables.
+    pub fn from_env() -> FaultConfig {
+        let mut rate: Option<u32> = None;
+        let mut seed: Option<u64> = None;
+        let mut fail_fast = false;
+        for arg in std::env::args().skip(1) {
+            if let Some(v) = arg.strip_prefix("--fault-rate=") {
+                rate = v.parse().ok();
+            } else if let Some(v) = arg.strip_prefix("--fault-seed=") {
+                seed = v.parse().ok();
+            } else if arg == "--fail-fast" {
+                fail_fast = true;
+            }
+        }
+        if rate.is_none() {
+            rate = std::env::var("DEX_FAULT_RATE")
+                .ok()
+                .and_then(|v| v.parse().ok());
+        }
+        if seed.is_none() {
+            seed = std::env::var("DEX_FAULT_SEED")
+                .ok()
+                .and_then(|v| v.parse().ok());
+        }
+        if !fail_fast {
+            fail_fast = std::env::var("DEX_FAIL_FAST").is_ok_and(|v| !v.is_empty() && v != "0");
+        }
+        let mut config = match rate {
+            Some(rate) if rate > 0 => {
+                FaultConfig::injected(rate, seed.unwrap_or(DEFAULT_FAULT_SEED))
+            }
+            _ => FaultConfig::none(),
+        };
+        config.fail_fast = fail_fast;
+        config
+    }
+
+    /// Whether any faults will actually be injected.
+    pub fn is_injecting(&self) -> bool {
+        self.injector
+            .as_ref()
+            .is_some_and(|i| i.plan().fault_rate_millis > 0 || !i.plan().flaps.is_empty())
+    }
+
+    /// Wraps every module of `catalog` (withdrawn ones included) in the
+    /// configured injector. No-op without one.
+    pub fn apply(&self, catalog: &mut ModuleCatalog) {
+        if let Some(injector) = &self.injector {
+            catalog.wrap_modules(|_, module| injector.wrap(module));
+        }
+    }
+
+    /// Aggregated injection counters across every wrapped module.
+    pub fn stats(&self) -> FaultStats {
+        self.injector
+            .as_ref()
+            .map(|i| i.stats())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inert() {
+        let f = FaultConfig::none();
+        assert!(!f.is_injecting());
+        assert!(!f.retry.retries_enabled());
+        assert_eq!(f.stats().injected_total(), 0);
+    }
+
+    #[test]
+    fn injected_arms_retries_strong_enough_for_the_plan() {
+        let f = FaultConfig::injected(10, 7);
+        assert!(f.is_injecting());
+        let plan = f.injector.as_ref().unwrap().plan().clone();
+        // Convergence argument: the longest fault burst must be shorter than
+        // the retry budget per invocation, or a faulted run could diverge
+        // from the fault-free baseline.
+        assert!(plan.max_consecutive < f.retry.max_attempts);
+    }
+}

@@ -19,17 +19,19 @@
 //! every run regenerates identical tables.
 
 use dex_core::{ExampleSet, GenerationConfig, GenerationReport};
-use dex_modules::ModuleId;
+use dex_modules::{ModuleId, Retrier, RetryStats};
 use dex_pool::{build_synthetic_pool, InstancePool};
 use dex_universe::Universe;
 use std::collections::BTreeMap;
 
 pub mod ablations;
 pub mod experiments;
+pub mod faults;
 pub mod format;
 pub mod parallel;
 pub mod telemetry;
 
+pub use faults::FaultConfig;
 pub use telemetry::TelemetryRun;
 
 /// Seed of the synthetic curator pool used by the evaluation.
@@ -47,28 +49,58 @@ pub struct Context {
     pub config: GenerationConfig,
     /// Per-module generation reports for the 252 available modules.
     pub reports: BTreeMap<ModuleId, GenerationReport>,
+    /// Modules whose generation failed even after retries — empty on a
+    /// healthy run; populated (instead of panicking) on a degraded one.
+    pub generation_failures: Vec<(ModuleId, String)>,
+    /// Retry accounting for the generation phase.
+    pub retry: RetryStats,
 }
 
 impl Context {
     /// Builds the shared experimental context: universe + pool + data
-    /// examples for all 252 available modules.
+    /// examples for all 252 available modules. Honors the process-level
+    /// fault configuration ([`FaultConfig::from_env`]); call
+    /// [`Context::build_with`] to pin one explicitly.
     pub fn build() -> Context {
+        Context::build_with(&FaultConfig::from_env())
+    }
+
+    /// [`Context::build`] under an explicit [`FaultConfig`]: the catalog is
+    /// wrapped in the injector (if any) before generation, generation rides
+    /// transients out under the config's retry policy, and residual
+    /// failures degrade the context instead of aborting it (unless
+    /// `fail_fast`).
+    pub fn build_with(faults: &FaultConfig) -> Context {
         let _span = dex_telemetry::span("context.build");
-        let universe = dex_universe::build();
+        let mut universe = dex_universe::build();
+        faults.apply(&mut universe.catalog);
         let pool = {
             let _span = dex_telemetry::span("pool.build");
             build_synthetic_pool(&universe.ontology, POOL_PER_CONCEPT, POOL_SEED)
         };
-        let config = GenerationConfig::default();
+        let config = GenerationConfig {
+            retry: faults.retry,
+            ..GenerationConfig::default()
+        };
         let threads = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(4);
-        let reports = parallel::generate_all_parallel(&universe, &pool, &config, threads);
+        let retrier = Retrier::new(config.retry);
+        let fleet = parallel::generate_fleet(
+            &universe,
+            &pool,
+            &config,
+            threads,
+            &retrier,
+            faults.fail_fast,
+        );
         Context {
             universe,
             pool,
             config,
-            reports,
+            reports: fleet.reports,
+            generation_failures: fleet.failures,
+            retry: retrier.stats(),
         }
     }
 

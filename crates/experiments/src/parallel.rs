@@ -7,14 +7,27 @@
 //! scheduling.
 
 use dex_core::{
-    generate_examples_cached, GenerationConfig, GenerationReport, MatchReport, MatchSession,
+    generate_examples_retrying, GenerationConfig, GenerationReport, MatchOutcome, MatchReport,
+    MatchSession,
 };
-use dex_modules::{InvocationCache, ModuleId};
+use dex_modules::{InvocationCache, ModuleId, Retrier};
 use dex_pool::InstancePool;
 use dex_universe::Universe;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+
+/// The outcome of a degradation-tolerant fleet generation: per-module
+/// reports for everything that generated, failure records for everything
+/// that did not.
+#[derive(Debug, Default)]
+pub struct GenerationFleet {
+    /// Reports for modules whose generation succeeded, in module-id order.
+    pub reports: BTreeMap<ModuleId, GenerationReport>,
+    /// `(module, rendered error)` for each module whose generation failed
+    /// even after retries — the run degraded around them instead of dying.
+    pub failures: Vec<(ModuleId, String)>,
+}
 
 /// Generates reports for every available module of the universe, fanning
 /// out over `threads` workers (values below 1 are clamped to 1).
@@ -25,19 +38,37 @@ use std::sync::mpsc;
 ///
 /// Panics if generation fails for any module, like the serial experiment
 /// context does — the shipped universe is expected to be fully generable.
+/// [`generate_fleet`] is the graceful variant.
 pub fn generate_all_parallel(
     universe: &Universe,
     pool: &InstancePool,
     config: &GenerationConfig,
     threads: usize,
 ) -> BTreeMap<ModuleId, GenerationReport> {
+    let retrier = Retrier::new(config.retry);
+    generate_fleet(universe, pool, config, threads, &retrier, true).reports
+}
+
+/// [`generate_all_parallel`] with explicit fault handling: transiently
+/// failing invocations are retried through the shared `retrier`, and a
+/// module whose generation still fails is *recorded and skipped* (the paper
+/// pipeline keeps annotating the modules it can reach) — unless `fail_fast`
+/// is set, which restores the panic-on-first-failure contract.
+pub fn generate_fleet(
+    universe: &Universe,
+    pool: &InstancePool,
+    config: &GenerationConfig,
+    threads: usize,
+    retrier: &Retrier,
+    fail_fast: bool,
+) -> GenerationFleet {
     let ids = universe.available_ids();
     let threads = threads.max(1).min(ids.len().max(1));
     let _span = dex_telemetry::span("parallel.generate_all");
     dex_telemetry::gauge_set("dex.parallel.threads", threads as i64);
     let chunk = ids.len().div_ceil(threads);
 
-    let mut results: Vec<Option<(ModuleId, GenerationReport)>> = Vec::new();
+    let mut results: Vec<Option<(ModuleId, Result<GenerationReport, String>)>> = Vec::new();
     results.resize_with(ids.len(), || None);
 
     // One invocation memo across all workers: distinct modules never share a
@@ -49,16 +80,26 @@ pub fn generate_all_parallel(
             let invocations = &invocations;
             scope.spawn(move || {
                 for (id, slot) in id_chunk.iter().zip(out_chunk) {
-                    let module = universe.catalog.get(id).expect("available");
-                    let report = generate_examples_cached(
+                    let Some(module) = universe.catalog.get(id) else {
+                        if fail_fast {
+                            panic!("{id}: module withdrawn mid-run");
+                        }
+                        *slot = Some((id.clone(), Err("module withdrawn mid-run".to_string())));
+                        continue;
+                    };
+                    let outcome = generate_examples_retrying(
                         module.as_ref(),
                         &universe.ontology,
                         pool,
                         config,
                         invocations,
-                    )
-                    .unwrap_or_else(|e| panic!("{id}: {e}"));
-                    *slot = Some((id.clone(), report));
+                        retrier,
+                    );
+                    *slot = Some(match outcome {
+                        Ok(report) => (id.clone(), Ok(report)),
+                        Err(e) if fail_fast => panic!("{id}: {e}"),
+                        Err(e) => (id.clone(), Err(e.to_string())),
+                    });
                 }
             });
         }
@@ -67,10 +108,21 @@ pub fn generate_all_parallel(
         invocations.publish_telemetry();
     }
 
-    results
-        .into_iter()
-        .map(|slot| slot.expect("filled"))
-        .collect()
+    let mut fleet = GenerationFleet::default();
+    for (id, outcome) in results.into_iter().map(|slot| slot.expect("filled")) {
+        match outcome {
+            Ok(report) => {
+                fleet.reports.insert(id, report);
+            }
+            Err(error) => {
+                if dex_telemetry::is_enabled() {
+                    dex_telemetry::counter_add("dex.parallel.generation_failures", 1);
+                }
+                fleet.failures.push((id, error));
+            }
+        }
+    }
+    fleet
 }
 
 /// Matches every ordered pair of distinct modules in `ids` against each
@@ -112,10 +164,26 @@ pub fn match_pairs_parallel(
                     break;
                 }
                 let (t, c) = pairs[i];
-                let target = universe.catalog.get(&ids[t]).expect("available");
-                let candidate = universe.catalog.get(&ids[c]).expect("available");
-                let report = session.compare_report(target.as_ref(), candidate.as_ref());
                 let key = (ids[t].clone(), ids[c].clone());
+                // A module withdrawn between id listing and comparison is an
+                // incomparable pair, not a dead sweep: record it as data and
+                // keep draining the cursor.
+                let report = match (universe.catalog.get(&ids[t]), universe.catalog.get(&ids[c])) {
+                    (Some(target), Some(candidate)) => {
+                        session.compare_report(target.as_ref(), candidate.as_ref())
+                    }
+                    (target, _) => {
+                        let gone = if target.is_none() { &ids[t] } else { &ids[c] };
+                        MatchReport {
+                            target: ids[t].clone(),
+                            candidate: ids[c].clone(),
+                            outcome: MatchOutcome::Incomparable(format!(
+                                "module `{gone}` is unavailable"
+                            )),
+                            examples: 0,
+                        }
+                    }
+                };
                 tx.send((key, report)).expect("collector alive");
             });
         }
@@ -177,6 +245,42 @@ mod tests {
         let config = GenerationConfig::default();
         let reports = generate_all_parallel(&universe, &pool, &config, 1);
         assert_eq!(reports.len(), 252);
+    }
+
+    #[test]
+    fn fleet_degrades_around_a_withdrawn_module_instead_of_dying() {
+        let mut universe = dex_universe::build();
+        let pool = build_synthetic_pool(&universe.ontology, 2, 5);
+        let config = GenerationConfig::default();
+        let victim = universe.available_ids()[0].clone();
+
+        let baseline = generate_all_parallel(&universe, &pool, &config, 4);
+        universe.catalog.withdraw(&victim);
+        let retrier = Retrier::new(dex_modules::RetryPolicy::transient(2));
+        let fleet = generate_fleet(&universe, &pool, &config, 4, &retrier, false);
+        assert_eq!(fleet.reports.len(), baseline.len() - 1);
+        assert!(!fleet.reports.contains_key(&victim));
+        assert!(
+            fleet.failures.is_empty(),
+            "withdrawn ids drop out of available_ids(), so nothing failed"
+        );
+        for (id, report) in &fleet.reports {
+            assert_eq!(report.examples, baseline[id].examples, "{id}");
+        }
+
+        // The matching sweep likewise records the withdrawn module as
+        // incomparable instead of panicking.
+        let ids = vec![victim.clone(), fleet.reports.keys().next().unwrap().clone()];
+        let matrix = match_pairs_parallel(&universe, &ids, &pool, &config, 2);
+        assert_eq!(matrix.len(), 2);
+        for report in matrix.values() {
+            match &report.outcome {
+                MatchOutcome::Incomparable(msg) => {
+                    assert!(msg.contains("unavailable"), "{msg}")
+                }
+                other => panic!("expected incomparable, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -10,6 +10,13 @@
 //! *or* error — modules are deterministic, so a `Rejected` is as cacheable
 //! as a result vector) behind sharded locks, and guarantees that concurrent
 //! readers racing on the same key trigger exactly one invocation.
+//!
+//! **Transient errors are never memoized.** `Unavailable` and `Fault` are
+//! state-dependent (a withdrawn module can be restored; a crashed call can
+//! succeed on retry — see [`InvocationError::is_transient`]), so memoizing
+//! one would poison the key for the rest of the process. The cache hands
+//! the transient outcome to the callers that raced on it, then forgets the
+//! entry so the next lookup invokes afresh.
 
 use crate::blackbox::BlackBox;
 use crate::invoke::InvocationError;
@@ -79,8 +86,15 @@ pub struct InvocationCacheStats {
     pub misses: u64,
     /// Entries dropped by the capacity bound.
     pub evictions: u64,
+    /// Transient outcomes handed through (and immediately forgotten) instead
+    /// of being memoized.
+    pub transients: u64,
     /// Entries currently held across all shards.
     pub entries: usize,
+    /// Initialized entries currently holding a transient error — the
+    /// invariant is that this is always `0` (transients are forgotten before
+    /// `invoke` returns); it is reported so callers can assert it.
+    pub memoized_transients: usize,
 }
 
 impl InvocationCacheStats {
@@ -105,8 +119,10 @@ fn cache_counters() -> &'static (
     dex_telemetry::Counter,
     dex_telemetry::Counter,
     dex_telemetry::Counter,
+    dex_telemetry::Counter,
 ) {
     static COUNTERS: OnceLock<(
+        dex_telemetry::Counter,
         dex_telemetry::Counter,
         dex_telemetry::Counter,
         dex_telemetry::Counter,
@@ -116,6 +132,7 @@ fn cache_counters() -> &'static (
             dex_telemetry::counter("dex.invoke.cache.hits"),
             dex_telemetry::counter("dex.invoke.cache.misses"),
             dex_telemetry::counter("dex.invoke.cache.evictions"),
+            dex_telemetry::counter("dex.invoke.cache.transients"),
         )
     })
 }
@@ -131,6 +148,10 @@ fn cache_counters() -> &'static (
 ///   suite).
 /// * **Bounded (optionally)**: `with_capacity` caps the total entry count;
 ///   the oldest entries of the fullest shard are evicted FIFO.
+/// * **Transient-aware**: outcomes whose error
+///   [`InvocationError::is_transient`] holds are handed through to the
+///   racing callers and then *forgotten* — only successes and permanent
+///   errors are memoized.
 /// * **Observable**: per-cache atomic counters plus `dex.invoke.cache.*`
 ///   telemetry counters when the global subscriber is on.
 pub struct InvocationCache {
@@ -140,6 +161,7 @@ pub struct InvocationCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    transients: AtomicU64,
 }
 
 impl Default for InvocationCache {
@@ -172,6 +194,7 @@ impl InvocationCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            transients: AtomicU64::new(0),
         }
     }
 
@@ -201,10 +224,14 @@ impl InvocationCache {
                     if let Some(cap) = self.per_shard_capacity {
                         while shard.fifo.len() > cap {
                             if let Some(old) = shard.fifo.pop_front() {
-                                shard.map.remove(&old);
-                                self.evictions.fetch_add(1, Ordering::Relaxed);
-                                if telemetry_on {
-                                    cache_counters().2.add(1);
+                                // The FIFO can hold keys whose entry a
+                                // transient forget already removed — only
+                                // count an eviction that dropped something.
+                                if shard.map.remove(&old).is_some() {
+                                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                                    if telemetry_on {
+                                        cache_counters().2.add(1);
+                                    }
                                 }
                             }
                         }
@@ -226,7 +253,33 @@ impl InvocationCache {
         }
         // `get_or_init` runs the invocation at most once per cell; racing
         // readers block here until the winner's outcome is published.
-        Arc::clone(cell.get_or_init(|| Arc::new(module.invoke(inputs))))
+        let outcome = Arc::clone(cell.get_or_init(|| Arc::new(module.invoke(inputs))));
+        if matches!(outcome.as_ref(), Err(e) if e.is_transient()) {
+            // State-dependent failure: hand it to whoever raced on this
+            // cell, but forget the entry so the next lookup re-invokes.
+            self.forget_transient(module, inputs, &cell);
+            self.transients.fetch_add(1, Ordering::Relaxed);
+            if telemetry_on {
+                cache_counters().3.add(1);
+            }
+        }
+        outcome
+    }
+
+    /// Removes the entry for `(module, inputs)` if it still holds `cell` —
+    /// a newer cell (inserted after an earlier forget, or after eviction)
+    /// must not be clobbered by a stale transient outcome.
+    fn forget_transient(&self, module: &dyn BlackBox, inputs: &[Value], cell: &CacheCell) {
+        let key = CacheKey::new(&module.descriptor().id, inputs);
+        let mut shard = self.shard(&key).lock().expect("no poisoning");
+        if shard
+            .map
+            .get(&key)
+            .is_some_and(|current| Arc::ptr_eq(current, cell))
+        {
+            shard.map.remove(&key);
+            shard.fifo.retain(|k| k != &key);
+        }
     }
 
     /// The memoized outcome for `(module, inputs)`, if present and
@@ -261,11 +314,26 @@ impl InvocationCache {
 
     /// Snapshot of the cache's lifetime behavior.
     pub fn stats(&self) -> InvocationCacheStats {
+        let mut entries = 0;
+        let mut memoized_transients = 0;
+        for shard in self.shards.iter() {
+            let shard = shard.lock().expect("no poisoning");
+            entries += shard.map.len();
+            memoized_transients += shard
+                .map
+                .values()
+                .filter(|cell| {
+                    matches!(cell.get().map(|o| o.as_ref()), Some(Err(e)) if e.is_transient())
+                })
+                .count();
+        }
         InvocationCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.len(),
+            transients: self.transients.load(Ordering::Relaxed),
+            entries,
+            memoized_transients,
         }
     }
 
@@ -447,5 +515,83 @@ mod tests {
         // 7 distinct vectors → exactly 7 invocations despite 50 requests
         // across 8 threads.
         assert_eq!(invoked.load(Ordering::Relaxed), 7);
+    }
+
+    /// A module that fails `Unavailable` while the flag is raised — the
+    /// cache must re-invoke it every time instead of memoizing the outage.
+    fn flagged_module() -> (
+        FnModule,
+        Arc<AtomicUsize>,
+        Arc<std::sync::atomic::AtomicBool>,
+    ) {
+        let count = Arc::new(AtomicUsize::new(0));
+        let down = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let seen = Arc::clone(&count);
+        let outage = Arc::clone(&down);
+        let module = FnModule::new(
+            ModuleDescriptor::new(
+                "op:flagged",
+                "Flagged",
+                ModuleKind::SoapService,
+                vec![Parameter::required(
+                    "text",
+                    StructuralType::Text,
+                    "Document",
+                )],
+                vec![Parameter::required("out", StructuralType::Text, "Document")],
+            ),
+            move |inputs| {
+                seen.fetch_add(1, Ordering::Relaxed);
+                if outage.load(Ordering::Relaxed) {
+                    return Err(InvocationError::Unavailable);
+                }
+                Ok(vec![Value::text(
+                    inputs[0].as_text().unwrap().to_uppercase(),
+                )])
+            },
+        );
+        (module, count, down)
+    }
+
+    #[test]
+    fn transient_outcomes_are_passed_through_not_memoized() {
+        let cache = InvocationCache::new();
+        let (module, invoked, down) = flagged_module();
+        down.store(true, Ordering::Relaxed);
+        for _ in 0..3 {
+            let out = cache.invoke(&module, &[Value::text("x")]);
+            assert_eq!(out.as_ref(), &Err(InvocationError::Unavailable));
+        }
+        // Every lookup re-invoked — no poisoned cell.
+        assert_eq!(invoked.load(Ordering::Relaxed), 3);
+        let stats = cache.stats();
+        assert_eq!(stats.transients, 3);
+        assert_eq!(stats.memoized_transients, 0, "invariant: never stored");
+        assert_eq!(stats.entries, 0);
+
+        // Recovery: once the outage lifts, the success is memoized again.
+        down.store(false, Ordering::Relaxed);
+        let ok = cache.invoke(&module, &[Value::text("x")]);
+        assert_eq!(ok.as_ref().as_ref().unwrap(), &vec![Value::text("X")]);
+        cache.invoke(&module, &[Value::text("x")]);
+        assert_eq!(invoked.load(Ordering::Relaxed), 4, "second lookup hit");
+        assert_eq!(cache.stats().memoized_transients, 0);
+    }
+
+    #[test]
+    fn transient_forget_does_not_clobber_a_newer_success() {
+        // Sequence: outage outcome obtained, key re-invoked successfully,
+        // then the stale forget path must leave the fresh entry in place.
+        // (Exercised here sequentially; the Arc::ptr_eq guard is what makes
+        // the interleaved version safe.)
+        let cache = InvocationCache::new();
+        let (module, invoked, down) = flagged_module();
+        down.store(true, Ordering::Relaxed);
+        let _ = cache.invoke(&module, &[Value::text("k")]);
+        down.store(false, Ordering::Relaxed);
+        let _ = cache.invoke(&module, &[Value::text("k")]);
+        let _ = cache.invoke(&module, &[Value::text("k")]);
+        assert_eq!(invoked.load(Ordering::Relaxed), 2, "outage + one success");
+        assert_eq!(cache.stats().entries, 1);
     }
 }

@@ -129,6 +129,29 @@ impl ModuleCatalog {
             .iter()
             .filter(|(id, _)| !self.withdrawn.contains(*id))
     }
+
+    /// Replaces every registered module — withdrawn ones included — with
+    /// `wrap(id, module)`, preserving ids and withdrawal flags. This is how
+    /// a fault injector (see [`crate::fault::FaultInjector`]) decorates a
+    /// whole population without re-plumbing the universe builder.
+    ///
+    /// # Panics
+    /// Panics if a wrapper changes the module's id: the catalog key, cache
+    /// keys and experiment tables all assume the decorated module is
+    /// externally indistinguishable from the original.
+    pub fn wrap_modules(&mut self, mut wrap: impl FnMut(&ModuleId, SharedModule) -> SharedModule) {
+        let ids: Vec<ModuleId> = self.modules.keys().cloned().collect();
+        for id in ids {
+            let module = self.modules.get(&id).expect("listed above").clone();
+            let wrapped = wrap(&id, module);
+            assert_eq!(
+                wrapped.descriptor().id,
+                id,
+                "module wrappers must preserve the module id"
+            );
+            self.modules.insert(id, wrapped);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -225,5 +248,24 @@ mod tests {
         cat.withdraw(&id);
         cat.register(echo("a"));
         assert!(cat.is_available(&id));
+    }
+
+    #[test]
+    fn wrap_modules_preserves_ids_and_withdrawal() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let mut cat = ModuleCatalog::new();
+        for id in ["a", "b"] {
+            cat.register(echo(id));
+        }
+        cat.withdraw(&ModuleId::from("b"));
+        let injector = FaultInjector::new(FaultPlan::none(1));
+        cat.wrap_modules(|_, m| injector.wrap(m));
+        assert!(cat.is_available(&ModuleId::from("a")));
+        assert!(!cat.is_available(&ModuleId::from("b")), "flag survives");
+        let out = cat
+            .invoke(&ModuleId::from("a"), &[Value::text("hi")])
+            .unwrap();
+        assert_eq!(out, vec![Value::text("hi")]);
+        assert_eq!(injector.stats().invocations, 1, "wrapper is in the path");
     }
 }

@@ -1,0 +1,430 @@
+//! Deterministic, seeded fault injection around any [`BlackBox`].
+//!
+//! Real BioCatalogue-style services fail transiently all the time; the
+//! pipeline must keep its reports reproducible anyway. A [`FaultyModule`]
+//! wraps a module and injects *transient* errors ([`InvocationError::Fault`]
+//! and, during flap windows, [`InvocationError::Unavailable`]) according to
+//! a [`FaultPlan`]:
+//!
+//! * **No wall clock.** Time is a per-module tick counter advanced by
+//!   simulated invocation latency and by retry backoff (through
+//!   [`BlackBox::advance_ticks`]), so runs are byte-for-byte reproducible.
+//! * **Keyed, not sequenced.** Whether a given `(module, input vector)`
+//!   faults — and how many consecutive attempts fail — is a pure hash of
+//!   the seed, module id and inputs. Injection is therefore independent of
+//!   invocation order, thread interleaving and cache hits, which is what
+//!   lets a faulted run converge to the fault-free reports once every key's
+//!   bounded fault burst is retried through.
+//! * **Flap schedules.** [`FlapWindow`]s model a provider withdrawing and
+//!   restoring a module: any invocation landing on a tick inside a window
+//!   fails `Unavailable`, exactly like catalog withdrawal.
+
+use crate::blackbox::{BlackBox, SharedModule};
+use crate::invoke::InvocationError;
+use crate::module::ModuleDescriptor;
+use dex_values::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A half-open interval `[from_tick, until_tick)` of the wrapped module's
+/// simulated clock during which every invocation fails `Unavailable` — a
+/// scripted withdraw → restore episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlapWindow {
+    /// First unavailable tick.
+    pub from_tick: u64,
+    /// First tick available again.
+    pub until_tick: u64,
+}
+
+impl FlapWindow {
+    /// Whether `tick` falls inside the window.
+    pub fn contains(&self, tick: u64) -> bool {
+        tick >= self.from_tick && tick < self.until_tick
+    }
+}
+
+/// What faults to inject, fully determined by the seed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed mixed into every per-key fault decision.
+    pub seed: u64,
+    /// Per-mill (‰) probability that a distinct `(module, inputs)` key
+    /// faults at all. `100` ≈ 10% of keys.
+    pub fault_rate_millis: u32,
+    /// A faulting key fails between 1 and this many consecutive attempts
+    /// before succeeding. Keep it below a retry policy's `max_attempts` and
+    /// every key converges to its true outcome.
+    pub max_consecutive: u32,
+    /// Simulated ticks each invocation advances the module clock by.
+    pub latency_ticks: u64,
+    /// Scripted unavailability windows on the module clock.
+    pub flaps: Vec<FlapWindow>,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing (useful as a baseline with the wrapper on).
+    pub fn none(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            fault_rate_millis: 0,
+            max_consecutive: 0,
+            latency_ticks: 1,
+            flaps: Vec::new(),
+        }
+    }
+
+    /// A plan faulting roughly `rate_pct`% of keys for up to 2 consecutive
+    /// attempts, with one tick of latency per invocation and no flaps.
+    pub fn rate_pct(seed: u64, rate_pct: u32) -> FaultPlan {
+        FaultPlan {
+            seed,
+            fault_rate_millis: (rate_pct * 10).min(1000),
+            max_consecutive: 2,
+            latency_ticks: 1,
+            flaps: Vec::new(),
+        }
+    }
+
+    /// This plan with a flap window appended.
+    pub fn with_flap(mut self, from_tick: u64, until_tick: u64) -> FaultPlan {
+        self.flaps.push(FlapWindow {
+            from_tick,
+            until_tick,
+        });
+        self
+    }
+}
+
+/// Snapshot of injected-fault accounting, aggregated across every module an
+/// injector wrapped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Invocations that reached a faulty wrapper.
+    pub invocations: u64,
+    /// Injected `Fault` errors.
+    pub injected_faults: u64,
+    /// Injected `Unavailable` errors (flap windows).
+    pub injected_unavailable: u64,
+}
+
+impl FaultStats {
+    /// All injected transient errors.
+    pub fn injected_total(&self) -> u64 {
+        self.injected_faults + self.injected_unavailable
+    }
+}
+
+#[derive(Debug, Default)]
+struct FaultStatsInner {
+    invocations: AtomicU64,
+    injected_faults: AtomicU64,
+    injected_unavailable: AtomicU64,
+}
+
+impl FaultStatsInner {
+    fn snapshot(&self) -> FaultStats {
+        FaultStats {
+            invocations: self.invocations.load(Ordering::Relaxed),
+            injected_faults: self.injected_faults.load(Ordering::Relaxed),
+            injected_unavailable: self.injected_unavailable.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Process-global telemetry counters for injected faults, interned once.
+fn fault_counters() -> &'static (dex_telemetry::Counter, dex_telemetry::Counter) {
+    static COUNTERS: OnceLock<(dex_telemetry::Counter, dex_telemetry::Counter)> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        (
+            dex_telemetry::counter("dex.fault.injected"),
+            dex_telemetry::counter("dex.fault.unavailable"),
+        )
+    })
+}
+
+/// Wraps a whole module population with one [`FaultPlan`], aggregating the
+/// injection stats across all wrapped modules.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    stats: Arc<FaultStatsInner>,
+}
+
+impl FaultInjector {
+    /// An injector executing `plan`.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            plan,
+            stats: Arc::default(),
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Wraps `module` in a [`FaultyModule`] sharing this injector's stats.
+    pub fn wrap(&self, module: SharedModule) -> SharedModule {
+        Arc::new(FaultyModule {
+            inner: module,
+            plan: self.plan.clone(),
+            stats: Arc::clone(&self.stats),
+            clock: AtomicU64::new(0),
+            burst: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Aggregated injection accounting across every wrapped module.
+    pub fn stats(&self) -> FaultStats {
+        self.stats.snapshot()
+    }
+}
+
+/// A [`BlackBox`] decorator injecting deterministic transient faults.
+///
+/// The wrapper is transparent to the rest of the pipeline: it delegates the
+/// descriptor (so cache keys, catalog ids and match verdicts are unchanged)
+/// and only ever *adds* transient errors in front of the inner module.
+pub struct FaultyModule {
+    inner: SharedModule,
+    plan: FaultPlan,
+    stats: Arc<FaultStatsInner>,
+    /// Simulated module-local clock: advanced by invocation latency and by
+    /// retry backoff via [`BlackBox::advance_ticks`].
+    clock: AtomicU64,
+    /// Remaining consecutive-fault burst per key hash.
+    burst: Mutex<HashMap<u64, u32>>,
+}
+
+impl FaultyModule {
+    /// Wraps `module` with its own private stats (see [`FaultInjector`] for
+    /// population-wide aggregation).
+    pub fn new(module: SharedModule, plan: FaultPlan) -> FaultyModule {
+        FaultyModule {
+            inner: module,
+            plan,
+            stats: Arc::default(),
+            clock: AtomicU64::new(0),
+            burst: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// This wrapper's injection accounting.
+    pub fn stats(&self) -> FaultStats {
+        self.stats.snapshot()
+    }
+
+    /// Current value of the simulated module clock.
+    pub fn clock_ticks(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    /// Pure per-key decision hash: seed × module id × inputs.
+    fn fault_key(&self, inputs: &[Value]) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        self.plan.seed.hash(&mut hasher);
+        self.inner.descriptor().id.hash(&mut hasher);
+        inputs.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    /// How many consecutive attempts of this key fail (0 = key never
+    /// faults). Low hash bits pick *whether*, high bits pick *how long*.
+    fn planned_burst(&self, key: u64) -> u32 {
+        if self.plan.fault_rate_millis == 0 || self.plan.max_consecutive == 0 {
+            return 0;
+        }
+        if key % 1000 < u64::from(self.plan.fault_rate_millis) {
+            1 + ((key >> 32) % u64::from(self.plan.max_consecutive)) as u32
+        } else {
+            0
+        }
+    }
+}
+
+impl BlackBox for FaultyModule {
+    fn descriptor(&self) -> &ModuleDescriptor {
+        self.inner.descriptor()
+    }
+
+    fn invoke(&self, inputs: &[Value]) -> Result<Vec<Value>, InvocationError> {
+        self.stats.invocations.fetch_add(1, Ordering::Relaxed);
+        let tick = self
+            .clock
+            .fetch_add(self.plan.latency_ticks, Ordering::Relaxed);
+        if self.plan.flaps.iter().any(|w| w.contains(tick)) {
+            self.stats
+                .injected_unavailable
+                .fetch_add(1, Ordering::Relaxed);
+            if dex_telemetry::is_enabled() {
+                fault_counters().1.add(1);
+            }
+            return Err(InvocationError::Unavailable);
+        }
+        let key = self.fault_key(inputs);
+        let planned = self.planned_burst(key);
+        if planned > 0 {
+            let mut burst = self.burst.lock().expect("no poisoning");
+            let fired = burst.entry(key).or_insert(0);
+            if *fired < planned {
+                *fired += 1;
+                let nth = *fired;
+                drop(burst);
+                self.stats.injected_faults.fetch_add(1, Ordering::Relaxed);
+                if dex_telemetry::is_enabled() {
+                    fault_counters().0.add(1);
+                }
+                return Err(InvocationError::fault(format!(
+                    "injected transient fault ({nth}/{planned})"
+                )));
+            }
+        }
+        self.inner.invoke(inputs)
+    }
+
+    fn advance_ticks(&self, ticks: u64) {
+        self.clock.fetch_add(ticks, Ordering::Relaxed);
+        self.inner.advance_ticks(ticks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blackbox::FnModule;
+    use crate::module::ModuleKind;
+    use crate::param::Parameter;
+    use crate::retry::{Retrier, RetryPolicy};
+    use dex_values::StructuralType;
+
+    fn upper() -> SharedModule {
+        FnModule::shared(
+            ModuleDescriptor::new(
+                "op:upper",
+                "Upper",
+                ModuleKind::RestService,
+                vec![Parameter::required("in", StructuralType::Text, "Document")],
+                vec![Parameter::required("out", StructuralType::Text, "Document")],
+            ),
+            |i| Ok(vec![Value::text(i[0].as_text().unwrap().to_uppercase())]),
+        )
+    }
+
+    #[test]
+    fn injection_is_deterministic_and_order_independent() {
+        let plan = FaultPlan::rate_pct(7, 30);
+        let inputs: Vec<Vec<Value>> = (0..40)
+            .map(|i| vec![Value::text(format!("k{i}"))])
+            .collect();
+
+        let outcomes_of = |order: Vec<usize>| {
+            let faulty = FaultyModule::new(upper(), plan.clone());
+            let mut out = vec![None; inputs.len()];
+            for i in order {
+                out[i] = Some(faulty.invoke(&inputs[i]).is_err());
+            }
+            (
+                out.into_iter().map(Option::unwrap).collect::<Vec<bool>>(),
+                faulty.stats().injected_faults,
+            )
+        };
+
+        let (forward, injected) = outcomes_of((0..inputs.len()).collect());
+        let (reverse, _) = outcomes_of((0..inputs.len()).rev().collect());
+        assert_eq!(
+            forward, reverse,
+            "first-attempt fate is per-key, not per-sequence"
+        );
+        assert!(injected > 0, "a 30% rate over 40 keys injects something");
+        assert!(forward.iter().any(|e| !e), "and spares something");
+    }
+
+    #[test]
+    fn bursts_are_bounded_and_then_the_truth_comes_through() {
+        let plan = FaultPlan {
+            seed: 11,
+            fault_rate_millis: 1000, // every key faults
+            max_consecutive: 3,
+            latency_ticks: 1,
+            flaps: Vec::new(),
+        };
+        let faulty = FaultyModule::new(upper(), plan);
+        let input = [Value::text("seq")];
+        let mut failures = 0;
+        let ok = loop {
+            match faulty.invoke(&input) {
+                Ok(out) => break out,
+                Err(e) => {
+                    assert!(e.is_transient());
+                    failures += 1;
+                    assert!(failures <= 3, "burst must be bounded");
+                }
+            }
+        };
+        assert_eq!(ok, vec![Value::text("SEQ")]);
+        assert!(failures >= 1);
+        // Once drained, the key is served straight from the inner module.
+        assert!(faulty.invoke(&input).is_ok());
+    }
+
+    #[test]
+    fn flap_window_fails_unavailable_until_backoff_escapes_it() {
+        let plan = FaultPlan::none(0).with_flap(1, 5);
+        let faulty = FaultyModule::new(upper(), plan);
+        let input = [Value::text("x")];
+        assert!(faulty.invoke(&input).is_ok(), "tick 0 precedes the flap");
+        assert_eq!(
+            faulty.invoke(&input),
+            Err(InvocationError::Unavailable),
+            "tick 1 is inside"
+        );
+        // Retry backoff advances the module clock past the window.
+        faulty.advance_ticks(4);
+        assert!(faulty.invoke(&input).is_ok(), "tick 6 is restored");
+    }
+
+    #[test]
+    fn retrier_rides_out_a_flap_via_backoff() {
+        let plan = FaultPlan::none(0).with_flap(0, 4);
+        let faulty = FaultyModule::new(upper(), plan);
+        let retrier = Retrier::new(RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ticks: 2,
+            max_backoff_ticks: 8,
+            retry_budget: None,
+        });
+        let out = retrier.invoke(&faulty, &[Value::text("x")]);
+        assert_eq!(out.unwrap(), vec![Value::text("X")]);
+        assert!(retrier.stats().retries >= 1);
+    }
+
+    #[test]
+    fn zero_rate_plan_is_transparent() {
+        let faulty = FaultyModule::new(upper(), FaultPlan::none(99));
+        for i in 0..20 {
+            assert!(faulty.invoke(&[Value::text(format!("v{i}"))]).is_ok());
+        }
+        let stats = faulty.stats();
+        assert_eq!(stats.injected_total(), 0);
+        assert_eq!(stats.invocations, 20);
+    }
+
+    #[test]
+    fn injector_aggregates_across_wrapped_modules() {
+        let injector = FaultInjector::new(FaultPlan::rate_pct(3, 100));
+        let a = injector.wrap(upper());
+        let b = injector.wrap(upper());
+        for i in 0..10 {
+            let _ = a.invoke(&[Value::text(format!("a{i}"))]);
+            let _ = b.invoke(&[Value::text(format!("b{i}"))]);
+        }
+        assert_eq!(injector.stats().invocations, 20);
+        assert_eq!(injector.plan().fault_rate_millis, 1000);
+    }
+}

@@ -62,6 +62,28 @@ impl InvocationError {
             reason: reason.into(),
         }
     }
+
+    /// Whether the error describes a *state-dependent* failure that a later
+    /// attempt may not reproduce.
+    ///
+    /// `Arity`, `BadInput` and `Rejected` are functions of the input vector
+    /// alone — a deterministic module will fail the same way forever, so they
+    /// are safe to memoize and pointless to retry. `Unavailable` depends on
+    /// catalog/provider state (a withdrawn module can be restored, §6) and
+    /// `Fault` models a crashed service call; both can succeed on a retry and
+    /// must never be cached.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            InvocationError::Unavailable | InvocationError::Fault { .. }
+        )
+    }
+
+    /// Whether the error is a deterministic function of the inputs — the
+    /// complement of [`InvocationError::is_transient`].
+    pub fn is_permanent(&self) -> bool {
+        !self.is_transient()
+    }
 }
 
 #[cfg(test)]
@@ -89,5 +111,22 @@ mod tests {
         }
         .to_string()
         .contains("seq"));
+    }
+
+    #[test]
+    fn taxonomy_splits_state_dependent_from_deterministic() {
+        assert!(InvocationError::Unavailable.is_transient());
+        assert!(InvocationError::fault("timeout").is_transient());
+        assert!(InvocationError::Arity {
+            expected: 1,
+            got: 0
+        }
+        .is_permanent());
+        assert!(InvocationError::BadInput {
+            parameter: "seq".into(),
+            reason: "not text".into()
+        }
+        .is_permanent());
+        assert!(InvocationError::rejected("no such accession").is_permanent());
     }
 }

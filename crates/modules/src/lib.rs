@@ -38,13 +38,17 @@
 pub mod blackbox;
 pub mod cache;
 pub mod catalog;
+pub mod fault;
 pub mod invoke;
 pub mod module;
 pub mod param;
+pub mod retry;
 
 pub use blackbox::{BlackBox, FnModule, SharedModule};
 pub use cache::{invoke_all_cached, InvocationCache, InvocationCacheStats, InvocationOutcome};
 pub use catalog::ModuleCatalog;
+pub use fault::{FaultInjector, FaultPlan, FaultStats, FaultyModule, FlapWindow};
 pub use invoke::InvocationError;
 pub use module::{ModuleDescriptor, ModuleId, ModuleKind};
 pub use param::Parameter;
+pub use retry::{invoke_all_retrying, Retrier, RetryPolicy, RetryStats};

@@ -5,12 +5,13 @@
 //! memoized outcome.
 
 use dex_modules::{
-    invoke_all_cached, BlackBox, FnModule, InvocationCache, InvocationError, ModuleDescriptor,
-    ModuleKind, Parameter,
+    invoke_all_cached, BlackBox, FnModule, InvocationCache, InvocationError, ModuleCatalog,
+    ModuleDescriptor, ModuleKind, Parameter, Retrier, RetryPolicy, SharedModule,
 };
 use dex_values::{StructuralType, Value};
 use std::collections::HashMap;
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex, RwLock};
 
 /// A module that records how often each distinct input was invoked, with an
 /// artificial stall to widen the race window.
@@ -177,4 +178,147 @@ fn cache_keys_are_scoped_by_module_identity() {
     cache.invoke(&lower, &input);
     assert_eq!(cache.stats().hits, 2);
     let _ = upper.descriptor();
+}
+
+/// Adapter that routes every invocation through a live [`ModuleCatalog`]'s
+/// availability gate, so a test can withdraw/restore the module *between*
+/// cache lookups — the caching equivalent of a provider flapping mid-run.
+struct CatalogBacked {
+    descriptor: ModuleDescriptor,
+    catalog: Arc<RwLock<ModuleCatalog>>,
+}
+
+impl BlackBox for CatalogBacked {
+    fn descriptor(&self) -> &ModuleDescriptor {
+        &self.descriptor
+    }
+
+    fn invoke(&self, inputs: &[Value]) -> Result<Vec<Value>, InvocationError> {
+        let catalog = self.catalog.read().unwrap();
+        catalog.invoke(&self.descriptor.id, inputs)
+    }
+}
+
+/// Regression for the PR 4 poisoning bug: a module withdrawn mid-run used to
+/// leave a memoized `Unavailable` behind, so restoring the provider never
+/// helped. Transients now pass through, and the restored module recovers.
+#[test]
+fn withdrawn_then_restored_module_recovers_through_the_cache() {
+    let (module, counts) = counting_module(std::time::Duration::ZERO);
+    let descriptor = module.descriptor().clone();
+    let id = descriptor.id.clone();
+    let mut catalog = ModuleCatalog::new();
+    catalog.register(Arc::new(module) as SharedModule);
+    let catalog = Arc::new(RwLock::new(catalog));
+    let backed = CatalogBacked {
+        descriptor,
+        catalog: Arc::clone(&catalog),
+    };
+    let cache = InvocationCache::new();
+    let input = [Value::text("probe")];
+
+    // Healthy: success memoized.
+    assert!(cache.invoke(&backed, &input).is_ok());
+
+    // Provider withdraws the module mid-run; the cached success for *this*
+    // vector still answers (the cache is process-scoped — see the enactment
+    // test for the per-enactment gate), but a fresh vector observes the
+    // outage as a pass-through transient.
+    catalog.write().unwrap().withdraw(&id);
+    let fresh = [Value::text("during-outage")];
+    for _ in 0..2 {
+        assert_eq!(
+            cache.invoke(&backed, &fresh).as_ref(),
+            &Err(InvocationError::Unavailable)
+        );
+    }
+
+    // Provider restores supply: the very next lookup recovers. Before the
+    // taxonomy fix this stayed `Unavailable` forever.
+    catalog.write().unwrap().restore(&id);
+    let out = cache.invoke(&backed, &fresh);
+    assert_eq!(
+        out.as_ref().as_ref().unwrap(),
+        &vec![Value::text("DURING-OUTAGE")]
+    );
+    let stats = cache.stats();
+    assert_eq!(stats.transients, 2, "both outage lookups passed through");
+    assert_eq!(stats.memoized_transients, 0);
+    assert_eq!(counts.lock().unwrap()["during-outage"], 1, "one real run");
+}
+
+/// Two threads racing on a transiently-failing key must both retry — no
+/// `OnceLock` cell may stay permanently seeded with a transient error — and
+/// the eventual success must still be invoked exactly once.
+#[test]
+fn racing_retriers_share_exactly_one_eventual_success() {
+    let attempts = Arc::new(AtomicUsize::new(0));
+    let successes = Arc::new(AtomicUsize::new(0));
+    let seen_attempts = Arc::clone(&attempts);
+    let seen_successes = Arc::clone(&successes);
+    let module = FnModule::new(
+        ModuleDescriptor::new(
+            "op:recovering",
+            "Recovering",
+            ModuleKind::SoapService,
+            vec![Parameter::required("in", StructuralType::Text, "Document")],
+            vec![Parameter::required("out", StructuralType::Text, "Document")],
+        ),
+        move |inputs| {
+            // The first two invocations fault transiently; from then on the
+            // module is healthy.
+            if seen_attempts.fetch_add(1, Ordering::SeqCst) < 2 {
+                return Err(InvocationError::fault("cold start"));
+            }
+            seen_successes.fetch_add(1, Ordering::SeqCst);
+            Ok(vec![Value::text(
+                inputs[0].as_text().unwrap().to_uppercase(),
+            )])
+        },
+    );
+
+    let cache = InvocationCache::new();
+    let retrier = Retrier::new(RetryPolicy::transient(8));
+    let input = vec![Value::text("contended")];
+    let barrier = Barrier::new(2);
+    let outcomes: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = &cache;
+                let retrier = &retrier;
+                let module = &module;
+                let input = &input;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    retrier.invoke_cached(cache, module, input)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for outcome in &outcomes {
+        assert_eq!(
+            outcome.as_ref().as_ref().unwrap(),
+            &vec![Value::text("CONTENDED")],
+            "both racers recovered"
+        );
+    }
+    assert_eq!(
+        successes.load(Ordering::SeqCst),
+        1,
+        "exactly-once still holds for the success"
+    );
+    let stats = cache.stats();
+    assert_eq!(
+        stats.memoized_transients, 0,
+        "no cell seeded with a transient"
+    );
+    assert!(
+        stats.transients >= 1,
+        "the cold-start faults passed through"
+    );
+    assert_eq!(stats.entries, 1, "only the success is memoized");
+    assert!(retrier.stats().retries >= 1);
 }

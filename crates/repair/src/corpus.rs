@@ -1,12 +1,33 @@
 //! Provenance corpus construction: repository enactments + archive traces.
 
 use crate::repository::WorkflowRepository;
-use dex_modules::{InvocationCache, ModuleId};
+use dex_modules::{InvocationCache, ModuleId, Retrier, RetryPolicy, RetryStats};
 use dex_pool::InstancePool;
 use dex_provenance::ProvenanceCorpus;
 use dex_universe::Universe;
 use dex_values::Value;
-use dex_workflow::{enact_cached, EnactmentTrace, StepRecord};
+use dex_workflow::{enact_retrying, EnactmentTrace, StepRecord};
+
+/// Failure accounting for a tolerant corpus build: which enactments and
+/// archive invocations were skipped, and what the retrier spent getting the
+/// rest through.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusBuildReport {
+    /// Repository workflows whose enactment failed even after retries, with
+    /// the rendered error. Empty on a healthy (or fully recovered) build.
+    pub failed_enactments: Vec<(String, String)>,
+    /// Legacy archive invocations that failed permanently, per module.
+    pub failed_archive_invocations: Vec<(ModuleId, String)>,
+    /// Lifetime retry accounting for the build's internal retrier.
+    pub retry: RetryStats,
+}
+
+impl CorpusBuildReport {
+    /// True when every enactment and archive invocation landed.
+    pub fn is_clean(&self) -> bool {
+        self.failed_enactments.is_empty() && self.failed_archive_invocations.is_empty()
+    }
+}
 
 /// Builds the provenance corpus the §6 study trawls.
 ///
@@ -20,32 +41,63 @@ use dex_workflow::{enact_cached, EnactmentTrace, StepRecord};
 ///    coverage beyond whatever the repository happened to exercise.
 ///
 /// Must be called on a pre-decay universe; enactment failures are a bug in
-/// the repository generator and panic.
+/// the repository generator and panic. For fault-tolerant builds (injected
+/// faults, flaky services) use [`build_corpus_with`], which retries
+/// transients and records rather than panics on residual failures.
 pub fn build_corpus(
     universe: &Universe,
     repository: &WorkflowRepository,
     pool: &InstancePool,
 ) -> ProvenanceCorpus {
+    let (corpus, report) = build_corpus_with(universe, repository, pool, RetryPolicy::none(), true);
+    debug_assert!(report.is_clean());
+    corpus
+}
+
+/// [`build_corpus`] with fault tolerance: transiently failing enactments and
+/// archive invocations are retried under `retry`; anything that still fails
+/// is *skipped and accounted* in the returned [`CorpusBuildReport`] instead
+/// of aborting the build — unless `fail_fast` is set, which restores the
+/// panic-on-failure contract for callers that treat any failure as a bug.
+pub fn build_corpus_with(
+    universe: &Universe,
+    repository: &WorkflowRepository,
+    pool: &InstancePool,
+    retry: RetryPolicy,
+    fail_fast: bool,
+) -> (ProvenanceCorpus, CorpusBuildReport) {
     let mut corpus = ProvenanceCorpus::new("simulated-taverna");
+    let mut report = CorpusBuildReport::default();
+    let retrier = Retrier::new(retry);
 
     // Repository workflows are stamped out from shared templates over shared
     // pool values, so their step invocations repeat heavily; one memo across
     // all enactments skips the duplicates without changing any trace.
     let invocations = InvocationCache::new();
     for stored in &repository.workflows {
-        let trace = enact_cached(
+        match enact_retrying(
             &stored.workflow,
             &universe.catalog,
             &stored.sample_inputs,
             &invocations,
-        )
-        .unwrap_or_else(|e| {
-            panic!(
-                "pre-decay enactment of {} must succeed: {e}",
-                stored.workflow.id
-            )
-        });
-        corpus.add(trace);
+            &retrier,
+        ) {
+            Ok(trace) => corpus.add(trace),
+            Err(e) if fail_fast => {
+                panic!(
+                    "pre-decay enactment of {} must succeed: {e}",
+                    stored.workflow.id
+                )
+            }
+            Err(e) => {
+                if dex_telemetry::is_enabled() {
+                    dex_telemetry::counter_add("dex.corpus.enact_failures", 1);
+                }
+                report
+                    .failed_enactments
+                    .push((stored.workflow.id.clone(), e.to_string()));
+            }
+        }
     }
 
     for legacy in &universe.legacy {
@@ -53,7 +105,13 @@ pub fn build_corpus(
             .into_iter()
             .enumerate()
         {
-            match universe.catalog.invoke(legacy, &inputs) {
+            let Some(module) = universe.catalog.get(legacy) else {
+                report
+                    .failed_archive_invocations
+                    .push((legacy.clone(), "module unavailable".to_string()));
+                continue;
+            };
+            match retrier.invoke(module.as_ref(), &inputs) {
                 Ok(outputs) => corpus.add(EnactmentTrace {
                     workflow: format!("ispider:{legacy}:{k}"),
                     inputs: inputs.clone(),
@@ -66,12 +124,25 @@ pub fn build_corpus(
                     }],
                     outputs,
                 }),
+                // Archive invocations were always best-effort (a rejected
+                // input simply yields no trace), so permanent rejections are
+                // not failures — but record them when telemetry is on so a
+                // faulted run can be audited.
+                Err(e) if e.is_transient() => {
+                    if dex_telemetry::is_enabled() {
+                        dex_telemetry::counter_add("dex.corpus.archive_failures", 1);
+                    }
+                    report
+                        .failed_archive_invocations
+                        .push((legacy.clone(), e.to_string()));
+                }
                 Err(_) => continue,
             }
         }
     }
 
-    corpus
+    report.retry = retrier.stats();
+    (corpus, report)
 }
 
 /// Picks archive inputs for one legacy module: up to six distinct pool
@@ -82,7 +153,7 @@ fn archive_inputs(universe: &Universe, pool: &InstancePool, legacy: &ModuleId) -
     let descriptor = universe
         .catalog
         .descriptor(legacy)
-        .expect("legacy module registered");
+        .unwrap_or_else(|| panic!("legacy module {legacy} is not registered in the catalog"));
     assert_eq!(
         descriptor.inputs.len(),
         1,
@@ -151,5 +222,40 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn tolerant_build_matches_the_panicking_build_when_healthy() {
+        let u = build();
+        let pool = build_synthetic_pool(&u.ontology, 40, 77);
+        let repo = generate_repository(&u, &pool, &RepositoryPlan::small(1));
+        let strict = build_corpus(&u, &repo, &pool);
+        let (tolerant, report) =
+            build_corpus_with(&u, &repo, &pool, RetryPolicy::transient(3), false);
+        assert!(report.is_clean());
+        assert_eq!(report.retry.retries, 0, "no faults, no retries");
+        assert_eq!(strict.len(), tolerant.len());
+    }
+
+    #[test]
+    fn tolerant_build_skips_and_accounts_failed_enactments() {
+        let mut u = build();
+        let pool = build_synthetic_pool(&u.ontology, 40, 77);
+        let repo = generate_repository(&u, &pool, &RepositoryPlan::small(1));
+        // Withdraw one workflow module pre-build: every workflow using it now
+        // fails its enactment permanently, and the tolerant build must carry
+        // on with the rest instead of panicking.
+        let victim = repo.workflows[0].workflow.steps[0].module.clone();
+        u.catalog.withdraw(&victim);
+        let (corpus, report) =
+            build_corpus_with(&u, &repo, &pool, RetryPolicy::transient(2), false);
+        assert!(!report.is_clean());
+        assert!(report
+            .failed_enactments
+            .iter()
+            .any(|(id, _)| *id == repo.workflows[0].workflow.id));
+        // Unaffected workflows still contributed traces.
+        let affected = report.failed_enactments.len();
+        assert!(corpus.len() >= repo.len() - affected);
     }
 }

@@ -6,7 +6,7 @@
 use crate::matching::MatchingStudy;
 use crate::repository::WorkflowRepository;
 use dex_core::matching::{map_parameters, MappingMode, MatchVerdict};
-use dex_modules::{InvocationCache, ModuleCatalog, ModuleId};
+use dex_modules::{InvocationCache, ModuleCatalog, ModuleId, Retrier, RetryPolicy};
 use dex_ontology::Ontology;
 use dex_provenance::ProvenanceCorpus;
 use dex_values::Value;
@@ -88,6 +88,28 @@ pub fn repair_repository(
     corpus: &ProvenanceCorpus,
     ontology: &Ontology,
 ) -> (Vec<RepairOutcome>, RepairSummary) {
+    repair_repository_with(
+        repository,
+        catalog,
+        study,
+        corpus,
+        ontology,
+        RetryPolicy::none(),
+    )
+}
+
+/// [`repair_repository`] with transient-fault tolerance: verification
+/// replays go through one pass-wide [`Retrier`] built from `retry`, so a
+/// flapping candidate is re-attempted instead of being rejected as a
+/// substitute on the strength of a momentary outage.
+pub fn repair_repository_with(
+    repository: &WorkflowRepository,
+    catalog: &ModuleCatalog,
+    study: &MatchingStudy,
+    corpus: &ProvenanceCorpus,
+    ontology: &Ontology,
+    retry: RetryPolicy,
+) -> (Vec<RepairOutcome>, RepairSummary) {
     let mut outcomes = Vec::with_capacity(repository.len());
     let mut summary = RepairSummary::default();
     // One invocation memo for the whole repair pass: the same few candidates
@@ -95,6 +117,7 @@ pub fn repair_repository(
     // input vectors (same pool values feed many workflows), so verification
     // replays overlap heavily across outcomes.
     let invocations = InvocationCache::new();
+    let retrier = Retrier::new(retry);
 
     for stored in &repository.workflows {
         let workflow = &stored.workflow;
@@ -131,6 +154,7 @@ pub fn repair_repository(
                         corpus,
                         ontology,
                         &invocations,
+                        &retrier,
                     ) =>
                 {
                     substitutions.push(Substitution {
@@ -191,6 +215,7 @@ fn verify_substitution(
     corpus: &ProvenanceCorpus,
     ontology: &Ontology,
     invocations: &InvocationCache,
+    retrier: &Retrier,
 ) -> bool {
     let Some(candidate) = catalog.get(candidate_id) else {
         return false;
@@ -222,7 +247,10 @@ fn verify_substitution(
             for (t_idx, &c_idx) in mapping.inputs.iter().enumerate() {
                 inputs[c_idx] = record.inputs[t_idx].clone();
             }
-            match invocations.invoke(candidate.as_ref(), &inputs).as_ref() {
+            match retrier
+                .invoke_cached(invocations, candidate.as_ref(), &inputs)
+                .as_ref()
+            {
                 Ok(outputs) => {
                     let all_equal = mapping
                         .outputs

@@ -21,7 +21,9 @@ pub mod keys;
 pub mod matching;
 pub mod repository;
 
-pub use corpus::build_corpus;
-pub use engine::{repair_repository, RepairOutcome, RepairStatus, RepairSummary};
-pub use matching::{run_matching_study, LegacyMatch, MatchingStudy};
+pub use corpus::{build_corpus, build_corpus_with, CorpusBuildReport};
+pub use engine::{
+    repair_repository, repair_repository_with, RepairOutcome, RepairStatus, RepairSummary,
+};
+pub use matching::{run_matching_study, run_matching_study_with, LegacyMatch, MatchingStudy};
 pub use repository::{generate_repository, RepositoryPlan, StoredWorkflow, WorkflowRepository};

@@ -3,9 +3,9 @@
 //! examples.
 
 use dex_core::matching::{
-    map_parameters, match_against_examples_cached, MappingMode, MatchVerdict,
+    map_parameters, match_against_examples_retrying, MappingMode, MatchVerdict,
 };
-use dex_modules::{InvocationCache, ModuleCatalog, ModuleId};
+use dex_modules::{InvocationCache, ModuleCatalog, ModuleId, Retrier, RetryPolicy, RetryStats};
 use dex_ontology::Ontology;
 use dex_provenance::{reconstruct_examples, ProvenanceCorpus};
 use std::collections::BTreeMap;
@@ -41,6 +41,9 @@ impl LegacyMatch {
 pub struct MatchingStudy {
     /// Per-legacy outcomes, in module-id order.
     pub matches: BTreeMap<ModuleId, LegacyMatch>,
+    /// Retry accounting for the study's replay invocations — all zeros when
+    /// the study ran with retries disabled (the default).
+    pub retry: RetryStats,
 }
 
 impl MatchingStudy {
@@ -81,11 +84,26 @@ pub fn run_matching_study(
     corpus: &ProvenanceCorpus,
     ontology: &Ontology,
 ) -> MatchingStudy {
+    run_matching_study_with(catalog, corpus, ontology, RetryPolicy::none())
+}
+
+/// [`run_matching_study`] with transient-fault tolerance: every candidate
+/// replay invocation goes through one study-wide [`Retrier`] built from
+/// `retry`, so a momentarily flapping candidate is re-attempted instead of
+/// silently classified from a failed replay. The per-run accounting lands in
+/// [`MatchingStudy::retry`].
+pub fn run_matching_study_with(
+    catalog: &ModuleCatalog,
+    corpus: &ProvenanceCorpus,
+    ontology: &Ontology,
+    retry: RetryPolicy,
+) -> MatchingStudy {
     let mut study = MatchingStudy::default();
     let withdrawn = catalog.withdrawn_ids();
     // One memo across the whole study: legacy modules decayed from the same
     // template replay the same candidates on the same reconstructed values.
     let invocations = InvocationCache::new();
+    let retrier = Retrier::new(retry);
 
     for legacy in &withdrawn {
         let descriptor = catalog
@@ -120,13 +138,14 @@ pub fn run_matching_study(
                 } else {
                     continue;
                 };
-                let Ok(verdict) = match_against_examples_cached(
+                let Ok(verdict) = match_against_examples_retrying(
                     &descriptor,
                     &examples,
                     candidate.as_ref(),
                     ontology,
                     mode,
                     &invocations,
+                    &retrier,
                 ) else {
                     continue;
                 };
@@ -150,6 +169,7 @@ pub fn run_matching_study(
         );
     }
     invocations.publish_telemetry();
+    study.retry = retrier.stats();
     study
 }
 

@@ -1,7 +1,7 @@
 //! A myExperiment-like workflow repository with a planned population.
 
 use crate::keys::diverges_on;
-use dex_modules::{ModuleId, Parameter};
+use dex_modules::{ModuleCatalog, ModuleDescriptor, ModuleId, Parameter};
 use dex_pool::InstancePool;
 use dex_universe::{ExpectedMatch, Universe};
 use dex_values::Value;
@@ -262,6 +262,16 @@ struct Generator<'a> {
     downstream: std::collections::BTreeMap<ModuleId, Vec<ModuleId>>,
 }
 
+/// Descriptor lookup with context: generation never *invokes* modules, so a
+/// missing descriptor is a broken universe invariant, never a transient
+/// fault — panic loudly, naming the module.
+fn described(catalog: &ModuleCatalog, id: &ModuleId) -> ModuleDescriptor {
+    catalog
+        .descriptor(id)
+        .unwrap_or_else(|| panic!("module {id} has no descriptor in the generation catalog"))
+        .clone()
+}
+
 impl<'a> Generator<'a> {
     fn new(universe: &'a Universe, pool: &'a InstancePool) -> Self {
         let ontology = &universe.ontology;
@@ -271,7 +281,14 @@ impl<'a> Generator<'a> {
         // downstream steps too).
         let all_ids: Vec<ModuleId> = universe.catalog.available_ids().into_iter().collect();
         for id in &all_ids {
-            let out = &universe.catalog.descriptor(id).expect("registered").outputs[0];
+            // Audit note: descriptor lookups never invoke the module, so
+            // these cannot fail transiently — a miss here is a broken
+            // universe invariant, and the panic message says which module.
+            let out = &universe
+                .catalog
+                .descriptor(id)
+                .unwrap_or_else(|| panic!("module {id} vanished from the catalog it came from"))
+                .outputs[0];
             let mut compatible = Vec::new();
             for cand in &available {
                 if cand == id {
@@ -280,7 +297,9 @@ impl<'a> Generator<'a> {
                 let cin = &universe
                     .catalog
                     .descriptor(cand)
-                    .expect("registered")
+                    .unwrap_or_else(|| {
+                        panic!("candidate {cand} vanished from the catalog it came from")
+                    })
                     .inputs[0];
                 let semantic_ok = match (ontology.id(&cin.semantic), ontology.id(&out.semantic)) {
                     (Some(t), Some(s)) => ontology.subsumes(t, s),
@@ -320,7 +339,7 @@ impl<'a> Generator<'a> {
         let mut sample_inputs: Vec<Value> = Vec::new();
 
         // Step 0: the focus module.
-        let d0 = catalog.descriptor(first).expect("registered").clone();
+        let d0 = described(catalog, first);
         let s0 = builder.step(d0.name.clone(), first.clone());
         for (j, p) in d0.inputs.iter().enumerate() {
             let idx = builder.input(p.clone());
@@ -335,7 +354,7 @@ impl<'a> Generator<'a> {
 
         // Optional parallel legacy step.
         if let Some(extra_id) = extra {
-            let d1 = catalog.descriptor(extra_id).expect("registered").clone();
+            let d1 = described(catalog, extra_id);
             let s1 = builder.step(d1.name.clone(), extra_id.clone());
             for (j, p) in d1.inputs.iter().enumerate() {
                 let idx = builder.input(p.clone());
@@ -355,7 +374,7 @@ impl<'a> Generator<'a> {
                 break;
             }
             let next = &candidates[rng.gen_range(0..candidates.len())];
-            let dn = catalog.descriptor(next).expect("registered").clone();
+            let dn = described(catalog, next);
             let sn = builder.step(dn.name.clone(), next.clone());
             builder.link(
                 Source::StepOutput {

@@ -1,7 +1,7 @@
 //! Workflow enactment with full trace capture.
 
 use crate::model::{Source, Workflow};
-use dex_modules::{InvocationCache, InvocationError, ModuleCatalog, ModuleId};
+use dex_modules::{InvocationCache, InvocationError, ModuleCatalog, ModuleId, Retrier};
 use dex_values::Value;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -75,7 +75,7 @@ pub fn enact(
     catalog: &ModuleCatalog,
     inputs: &[Value],
 ) -> Result<EnactmentTrace, EnactError> {
-    enact_with(workflow, catalog, inputs, None)
+    enact_with(workflow, catalog, inputs, None, None)
 }
 
 /// [`enact`] through a shared [`InvocationCache`]: step invocations whose
@@ -90,7 +90,22 @@ pub fn enact_cached(
     inputs: &[Value],
     cache: &InvocationCache,
 ) -> Result<EnactmentTrace, EnactError> {
-    enact_with(workflow, catalog, inputs, Some(cache))
+    enact_with(workflow, catalog, inputs, Some(cache), None)
+}
+
+/// [`enact_cached`] with an explicit, shared [`Retrier`]: a step invocation
+/// that fails *transiently* is re-attempted under the retrier's policy
+/// before the enactment is abandoned. The availability gate still applies —
+/// a step whose module the catalog reports withdrawn fails
+/// [`EnactError::ModuleUnavailable`] without an invocation, retried or not.
+pub fn enact_retrying(
+    workflow: &Workflow,
+    catalog: &ModuleCatalog,
+    inputs: &[Value],
+    cache: &InvocationCache,
+    retrier: &Retrier,
+) -> Result<EnactmentTrace, EnactError> {
+    enact_with(workflow, catalog, inputs, Some(cache), Some(retrier))
 }
 
 fn enact_with(
@@ -98,9 +113,10 @@ fn enact_with(
     catalog: &ModuleCatalog,
     inputs: &[Value],
     cache: Option<&InvocationCache>,
+    retrier: Option<&Retrier>,
 ) -> Result<EnactmentTrace, EnactError> {
     let _span = dex_telemetry::span("workflow.enact");
-    let result = enact_inner(workflow, catalog, inputs, cache);
+    let result = enact_inner(workflow, catalog, inputs, cache, retrier);
     if dex_telemetry::is_enabled() {
         dex_telemetry::counter_add("dex.workflow.enactments", 1);
         match &result {
@@ -126,6 +142,7 @@ fn enact_inner(
     catalog: &ModuleCatalog,
     inputs: &[Value],
     cache: Option<&InvocationCache>,
+    retrier: Option<&Retrier>,
 ) -> Result<EnactmentTrace, EnactError> {
     if inputs.len() != workflow.inputs.len() {
         return Err(EnactError::Structure(format!(
@@ -169,9 +186,14 @@ fn enact_inner(
             }
             values[link.target_input] = resolve(&link.source, &step_outputs)?;
         }
-        let invoked = match cache {
-            Some(cache) => cache.invoke(module.as_ref(), &values).as_ref().clone(),
-            None => module.invoke(&values),
+        let invoked = match (cache, retrier) {
+            (Some(cache), Some(retrier)) => retrier
+                .invoke_cached(cache, module.as_ref(), &values)
+                .as_ref()
+                .clone(),
+            (Some(cache), None) => cache.invoke(module.as_ref(), &values).as_ref().clone(),
+            (None, Some(retrier)) => retrier.invoke(module.as_ref(), &values),
+            (None, None) => module.invoke(&values),
         };
         let outputs = invoked.map_err(|error| EnactError::Invocation {
             step: i,
@@ -310,6 +332,80 @@ mod tests {
         c.register(catalog().get(&"suffix".into()).unwrap().clone());
         let err = enact(&pipeline(), &c, &[Value::text("x")]).unwrap_err();
         assert!(matches!(err, EnactError::Invocation { step: 0, .. }));
+    }
+
+    #[test]
+    fn cached_success_does_not_outlive_withdrawal() {
+        // The availability gate runs before the cache is consulted, so a
+        // memoized success from an earlier enactment cannot mask a module
+        // that has since been withdrawn from the catalog.
+        let mut c = catalog();
+        let cache = InvocationCache::default();
+        let wf = pipeline();
+        let ok = enact_cached(&wf, &c, &[Value::text("ab")], &cache).unwrap();
+        assert_eq!(ok.outputs, vec![Value::text("abab!")]);
+        assert!(cache.stats().entries > 0, "first enactment seeds the cache");
+
+        c.withdraw(&"double".into());
+        let err = enact_cached(&wf, &c, &[Value::text("ab")], &cache).unwrap_err();
+        assert_eq!(
+            err,
+            EnactError::ModuleUnavailable {
+                step: 0,
+                module: "double".into()
+            }
+        );
+
+        c.restore(&"double".into());
+        let again = enact_cached(&wf, &c, &[Value::text("ab")], &cache).unwrap();
+        assert_eq!(again, ok, "restoration re-enables the memoized trace");
+    }
+
+    #[test]
+    fn retrying_enactment_rides_out_transient_faults() {
+        use dex_modules::RetryPolicy;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let failures = Arc::new(AtomicUsize::new(2));
+        let flaky = {
+            let failures = Arc::clone(&failures);
+            FnModule::shared(
+                ModuleDescriptor::new(
+                    "double",
+                    "Double",
+                    ModuleKind::LocalProgram,
+                    vec![Parameter::required("x", StructuralType::Text, "Document")],
+                    vec![Parameter::required("y", StructuralType::Text, "Document")],
+                ),
+                move |i| {
+                    if failures
+                        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                        .is_ok()
+                    {
+                        return Err(InvocationError::fault("transient outage"));
+                    }
+                    let s = i[0].as_text().unwrap();
+                    Ok(vec![Value::text(format!("{s}{s}"))])
+                },
+            )
+        };
+        let mut c = ModuleCatalog::new();
+        c.register(flaky);
+        c.register(catalog().get(&"suffix".into()).unwrap().clone());
+
+        let cache = InvocationCache::default();
+        let retrier = Retrier::new(RetryPolicy::transient(4));
+        let trace =
+            enact_retrying(&pipeline(), &c, &[Value::text("ab")], &cache, &retrier).unwrap();
+        assert_eq!(trace.outputs, vec![Value::text("abab!")]);
+        let stats = retrier.stats();
+        assert!(stats.retries >= 2, "both injected faults were retried");
+        assert_eq!(
+            cache.stats().memoized_transients,
+            0,
+            "transient outcomes never persist in the memo"
+        );
     }
 
     #[test]
