@@ -1,0 +1,463 @@
+//! Emits `BENCH_blocking.json`: the fingerprint-blocking + batched-executor
+//! numbers of ISSUE 6 — all-pairs vs blocked matching, serial vs
+//! batched-parallel vs the per-pair channel executor it replaced, and the
+//! pair-pruning ratio — at paper scale (252 modules, the catalog size of
+//! Belhajjame et al.'s EDBT 2014 evaluation) and at 2.5k / 25k synthetic
+//! registry scale.
+//!
+//! Usage:
+//!   cargo run --release -p dex-bench --bin bench_blocking [--ci] [OUT.json]
+//!
+//! `--ci` skips the 25k catalog and shortens the crossover sweep so the
+//! smoke step stays within CI budget; the default output path is
+//! `BENCH_blocking.json` in the working directory.
+//!
+//! Methodology (DESIGN.md §12):
+//! - Every timed configuration gets a warm-up run first, and serial/batched
+//!   runs alternate A/B with the minimum reported — mass allocation in one
+//!   run otherwise bleeds into the next run's wall clock through the
+//!   allocator, which on this workload can inflate a timing by 10x.
+//! - The all-pairs baseline tallies verdicts without materializing the
+//!   dense matrix (at 2.5k that matrix holds 6.25M reports, and building
+//!   then dropping it poisons every timing that follows). Its tallies must
+//!   equal the blocked summary's — the bench doubles as an equivalence
+//!   check at a scale the proptest suite cannot afford.
+//! - `perpair_parallel_ms` reproduces the executor this PR replaced:
+//!   per-pair atomic claiming, one mpsc send per report, dense collection.
+//!   That is the `cached_parallel` that *lost* to `cached_serial` at every
+//!   catalog size in the pre-PR BENCH_matching.json.
+//! - On a single-core host (`threads: 1` in the output) the batched
+//!   executor degenerates to the serial sweep by design, so
+//!   `parallel_speedup` reads ~1.0 there; the win over the per-pair
+//!   executor still shows, and multi-core CI enforces the strict win.
+//!
+//! The synthetic registries amplify the shipped 252-module universe: one
+//! base module per fingerprint bucket (up to 64 distinct interface shapes)
+//! is cloned under fresh ids, and every third clone's text outputs are
+//! perturbed so same-shape pairs split across equivalent / overlapping /
+//! disjoint verdicts instead of collapsing into one class.
+
+use dex_core::{
+    FingerprintIndex, GenerationConfig, MatchOutcome, MatchReport, MatchSession, MatchVerdict,
+};
+use dex_experiments::parallel::{
+    match_pairs_blocked, match_pairs_blocked_summary, match_pairs_exhaustive,
+};
+use dex_experiments::BatchConfig;
+use dex_modules::{FnModule, ModuleCatalog, ModuleId, SharedModule};
+use dex_pool::{build_synthetic_pool, InstancePool};
+use dex_universe::Universe;
+use dex_values::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+/// Max distinct interface shapes in an amplified registry.
+const MAX_SHAPES: usize = 64;
+
+/// Builds an `n`-module synthetic registry by amplifying the shipped
+/// universe: clones cycle over one representative module per fingerprint
+/// bucket, so the registry has at most [`MAX_SHAPES`] interface shapes and
+/// blocking has real work to do.
+fn amplified_universe(n: usize) -> Universe {
+    let base = dex_universe::build();
+    let ids = base.available_ids();
+    let index = FingerprintIndex::build(
+        ids.iter()
+            .map(|id| base.catalog.get(id).map(|m| m.descriptor())),
+        &base.ontology,
+    );
+    // One representative per bucket, first-seen order: deterministic.
+    let representatives: Vec<SharedModule> = index
+        .buckets()
+        .take(MAX_SHAPES)
+        .map(|bucket| Arc::clone(base.catalog.get(&ids[bucket[0]]).expect("available")))
+        .collect();
+
+    let mut catalog = ModuleCatalog::new();
+    for i in 0..n {
+        let source = Arc::clone(&representatives[i % representatives.len()]);
+        let mut descriptor = source.descriptor().clone();
+        descriptor.id = ModuleId::new(format!("syn:{i:05}"));
+        descriptor.name = format!("Synthetic{i}");
+        // Every third clone perturbs its text outputs, so same-shape pairs
+        // split into equivalent (same variant) and disjoint/overlapping
+        // (different variant) verdicts.
+        let perturb = i % 3 == 0;
+        catalog.register(Arc::new(FnModule::new(descriptor, move |inputs| {
+            let mut outputs = source.invoke(inputs)?;
+            if perturb {
+                for value in &mut outputs {
+                    if let Some(text) = value.as_text() {
+                        *value = Value::text(format!("{text}~"));
+                    }
+                }
+            }
+            Ok(outputs)
+        })));
+    }
+    Universe {
+        catalog,
+        ontology: base.ontology,
+        categories: BTreeMap::new(),
+        specs: BTreeMap::new(),
+        legacy: Vec::new(),
+        expected_match: BTreeMap::new(),
+        popular: Default::default(),
+        unfamiliar_output: Default::default(),
+        partial_output: Default::default(),
+    }
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1_000.0
+}
+
+/// `(equivalent, overlapping, disjoint, incomparable)` slot of an outcome.
+fn verdict_slot(outcome: &MatchOutcome) -> usize {
+    match outcome {
+        MatchOutcome::Verdict(MatchVerdict::Equivalent { .. }) => 0,
+        MatchOutcome::Verdict(MatchVerdict::Overlapping { .. }) => 1,
+        MatchOutcome::Verdict(MatchVerdict::Disjoint { .. }) => 2,
+        MatchOutcome::Incomparable(_) => 3,
+    }
+}
+
+/// The exhaustive all-pairs baseline, tallying verdicts without
+/// materializing the dense matrix: every ordered pair runs the full
+/// comparison serially through one shared session, no blocking.
+fn allpairs_tally(
+    universe: &Universe,
+    ids: &[ModuleId],
+    pool: &InstancePool,
+    config: &GenerationConfig,
+) -> [usize; 4] {
+    let session = MatchSession::new(&universe.ontology, pool, config.clone());
+    let mut tally = [0usize; 4];
+    for t in 0..ids.len() {
+        for c in 0..ids.len() {
+            if t == c {
+                continue;
+            }
+            let target = universe.catalog.get(&ids[t]).expect("available");
+            let candidate = universe.catalog.get(&ids[c]).expect("available");
+            let report = session.compare_report(target.as_ref(), candidate.as_ref());
+            tally[verdict_slot(&report.outcome)] += 1;
+        }
+    }
+    tally
+}
+
+/// The executor this PR replaced, reproduced faithfully for comparison:
+/// workers claim ONE pair per atomic fetch and ship every report over an
+/// mpsc channel to a dense `BTreeMap` collector. Run over the same blocked
+/// pair list so the difference is pure executor overhead.
+fn perpair_channel(
+    universe: &Universe,
+    ids: &[ModuleId],
+    pairs: &[(usize, usize)],
+    pool: &InstancePool,
+    config: &GenerationConfig,
+    threads: usize,
+) -> BTreeMap<(ModuleId, ModuleId), MatchReport> {
+    let session = MatchSession::new(&universe.ontology, pool, config.clone());
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<((ModuleId, ModuleId), MatchReport)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            let tx = tx.clone();
+            let session = &session;
+            let cursor = &cursor;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= pairs.len() {
+                    break;
+                }
+                let (t, c) = pairs[i];
+                let key = (ids[t].clone(), ids[c].clone());
+                let target = universe.catalog.get(&ids[t]).expect("available");
+                let candidate = universe.catalog.get(&ids[c]).expect("available");
+                let report = session.compare_report(target.as_ref(), candidate.as_ref());
+                tx.send((key, report)).expect("collector alive");
+            });
+        }
+        drop(tx);
+        rx.into_iter().collect()
+    })
+}
+
+fn main() {
+    let mut ci = false;
+    let mut out_path = "BENCH_blocking.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--ci" {
+            ci = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    // The crossover sweep's whole point is exercising the spawn path, so it
+    // forces at least two workers even on a single-core host.
+    let crossover_threads = threads.max(2);
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"profile\": \"{profile}\",").unwrap();
+    writeln!(json, "  \"threads\": {threads},").unwrap();
+
+    // --- Catalog-scale sweep ---------------------------------------------
+    // 252 = the paper's catalog (natural shape diversity); 2.5k and 25k =
+    // amplified registries. The all-pairs baseline and the per-pair
+    // executor column are only feasible through 2.5k (6.25M mapping
+    // attempts / 95k channel sends); at 25k (625M ordered pairs) only the
+    // blocked summary paths run, which is rather the point of this PR.
+    let config = GenerationConfig::default();
+    let sizes: &[usize] = if ci {
+        &[252, 2_500]
+    } else {
+        &[252, 2_500, 25_000]
+    };
+    writeln!(json, "  \"blocked_matching_by_catalog\": [").unwrap();
+    for (row, &n) in sizes.iter().enumerate() {
+        let universe = if n == 252 {
+            dex_universe::build()
+        } else {
+            amplified_universe(n)
+        };
+        let pool = build_synthetic_pool(&universe.ontology, 3, 42);
+        let ids = universe.available_ids();
+        assert_eq!(ids.len(), n);
+        let index = FingerprintIndex::build(
+            ids.iter()
+                .map(|id| universe.catalog.get(id).map(|m| m.descriptor())),
+            &universe.ontology,
+        );
+        let pairs = index.comparable_pairs();
+
+        let serial = BatchConfig {
+            threads: 1,
+            serial_cutoff: BatchConfig::SERIAL_CUTOFF_PAIRS,
+            chunk: BatchConfig::CHUNK_PAIRS,
+        };
+        let batched = BatchConfig::with_threads(threads);
+
+        // Warm-up, then alternate serial/batched and keep the minimum.
+        let warm = match_pairs_blocked_summary(&universe, &ids, &pool, &config, &serial);
+        let rounds = if n <= 2_500 { 3 } else { 2 };
+        let mut blocked_serial_ms = f64::INFINITY;
+        let mut blocked_parallel_ms = f64::INFINITY;
+        let mut summary = warm;
+        for round in 0..rounds {
+            // Alternate which executor goes first each round: whatever
+            // position-dependent cost a round carries (page cache, frequency
+            // ramp) lands on both sides equally.
+            for leg in 0..2 {
+                if (round + leg) % 2 == 0 {
+                    let start = Instant::now();
+                    let s = match_pairs_blocked_summary(&universe, &ids, &pool, &config, &serial);
+                    blocked_serial_ms = blocked_serial_ms.min(ms(start));
+                    assert_eq!(warm.tallies(), s.tallies(), "serial sweep unstable at {n}");
+                } else {
+                    let start = Instant::now();
+                    let p = match_pairs_blocked_summary(&universe, &ids, &pool, &config, &batched);
+                    blocked_parallel_ms = blocked_parallel_ms.min(ms(start));
+                    assert_eq!(
+                        warm.tallies(),
+                        p.tallies(),
+                        "serial and batched disagree at {n}"
+                    );
+                    summary = p;
+                }
+            }
+        }
+
+        // The replaced executor, over the same compared pairs.
+        let perpair_parallel_ms = if n <= 2_500 {
+            let _ = perpair_channel(&universe, &ids, &pairs, &pool, &config, threads);
+            let mut best = f64::INFINITY;
+            for _ in 0..2 {
+                let start = Instant::now();
+                let dense = perpair_channel(&universe, &ids, &pairs, &pool, &config, threads);
+                best = best.min(ms(start));
+                assert_eq!(dense.len(), pairs.len());
+            }
+            Some(best)
+        } else {
+            None
+        };
+
+        // The all-pairs baseline, last in the row so its long serial sweep
+        // cannot bleed into the executor timings. Its verdict tally must
+        // agree with the blocked summary exactly.
+        let allpairs_serial_ms = if n <= 2_500 {
+            let start = Instant::now();
+            let tally = allpairs_tally(&universe, &ids, &pool, &config);
+            let elapsed = ms(start);
+            assert_eq!(
+                (tally[0], tally[1], tally[2], tally[3]),
+                summary.tallies(),
+                "blocked summary diverged from the exhaustive sweep at {n}"
+            );
+            Some(elapsed)
+        } else {
+            None
+        };
+
+        let stats = summary.stats;
+        let comma = if row + 1 < sizes.len() { "," } else { "" };
+        let fmt_opt = |v: Option<f64>| {
+            v.map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "null".to_string())
+        };
+        writeln!(
+            json,
+            "    {{\"modules\": {n}, \"pairs_total\": {}, \"pairs_compared\": {}, \
+             \"pairs_pruned\": {}, \"prune_ratio\": {:.4}, \"buckets\": {}, \
+             \"largest_bucket\": {}, \"allpairs_serial_ms\": {}, \
+             \"blocked_serial_ms\": {blocked_serial_ms:.2}, \
+             \"blocked_parallel_ms\": {blocked_parallel_ms:.2}, \
+             \"perpair_parallel_ms\": {}, \
+             \"parallel_speedup\": {:.2}, \
+             \"batched_vs_perpair_speedup\": {}, \
+             \"verdicts\": {{\"equivalent\": {}, \"overlapping\": {}, \"disjoint\": {}, \
+             \"incomparable\": {}}}}}{comma}",
+            stats.pairs_total,
+            stats.pairs_compared,
+            stats.pairs_pruned,
+            stats.prune_ratio(),
+            stats.buckets,
+            stats.largest_bucket,
+            fmt_opt(allpairs_serial_ms),
+            fmt_opt(perpair_parallel_ms),
+            blocked_serial_ms / blocked_parallel_ms.max(1e-9),
+            fmt_opt(perpair_parallel_ms.map(|v| v / blocked_parallel_ms.max(1e-9))),
+            summary.equivalent,
+            summary.overlapping,
+            summary.disjoint,
+            summary.incomparable,
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ],").unwrap();
+
+    // --- Serial/parallel crossover sweep ---------------------------------
+    // Slices of the 2.5k registry with growing compared-pair counts, each
+    // timed with the executor forced serial and forced batched (at least
+    // two workers, so the spawn path actually runs). The smallest
+    // compared-pair count where batched wins is the measured crossover
+    // behind `BatchConfig::SERIAL_CUTOFF_PAIRS`; on a single-core host no
+    // such count exists and the sweep reports `null`.
+    let universe = amplified_universe(2_500);
+    let pool = build_synthetic_pool(&universe.ontology, 3, 42);
+    let all_ids = universe.available_ids();
+    // Slices start at 128: the first 64 ids cover each of the 64 shapes
+    // exactly once, a degenerate all-singleton-buckets plan with zero
+    // compared pairs and nothing to time.
+    let slice_sizes: &[usize] = if ci {
+        &[128, 384]
+    } else {
+        &[128, 192, 256, 384, 512, 768]
+    };
+    writeln!(json, "  \"crossover_threads\": {crossover_threads},").unwrap();
+    writeln!(json, "  \"crossover\": [").unwrap();
+    let mut crossover_pairs: Option<usize> = None;
+    for (row, &m) in slice_sizes.iter().enumerate() {
+        let ids: Vec<ModuleId> = all_ids.iter().take(m).cloned().collect();
+        let forced_serial = BatchConfig {
+            threads: 1,
+            serial_cutoff: usize::MAX,
+            chunk: BatchConfig::CHUNK_PAIRS,
+        };
+        let forced_batched = BatchConfig {
+            threads: crossover_threads,
+            serial_cutoff: 0,
+            chunk: BatchConfig::CHUNK_PAIRS,
+        };
+        // Warm the generation memo out of the timings with a throwaway run,
+        // then alternate the executors and keep each one's minimum.
+        let warm = match_pairs_blocked_summary(&universe, &ids, &pool, &config, &forced_serial);
+        let mut serial_ms = f64::INFINITY;
+        let mut batched_ms = f64::INFINITY;
+        for round in 0..2 {
+            for leg in 0..2 {
+                if (round + leg) % 2 == 0 {
+                    let start = Instant::now();
+                    let serial = match_pairs_blocked_summary(
+                        &universe,
+                        &ids,
+                        &pool,
+                        &config,
+                        &forced_serial,
+                    );
+                    serial_ms = serial_ms.min(ms(start));
+                    assert_eq!(warm.tallies(), serial.tallies());
+                } else {
+                    let start = Instant::now();
+                    let batched = match_pairs_blocked_summary(
+                        &universe,
+                        &ids,
+                        &pool,
+                        &config,
+                        &forced_batched,
+                    );
+                    batched_ms = batched_ms.min(ms(start));
+                    assert_eq!(warm.tallies(), batched.tallies());
+                }
+            }
+        }
+        let pairs = warm.stats.pairs_compared;
+        if pairs > 0 && batched_ms < serial_ms && crossover_pairs.is_none() {
+            crossover_pairs = Some(pairs);
+        }
+        let comma = if row + 1 < slice_sizes.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{\"modules\": {m}, \"pairs_compared\": {pairs}, \
+             \"serial_ms\": {serial_ms:.2}, \"batched_ms\": {batched_ms:.2}}}{comma}"
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ],").unwrap();
+    writeln!(
+        json,
+        "  \"measured_crossover_pairs\": {},",
+        crossover_pairs
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| "null".to_string())
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"serial_cutoff_pairs\": {}",
+        BatchConfig::SERIAL_CUTOFF_PAIRS
+    )
+    .unwrap();
+    json.push_str("}\n");
+
+    // Sanity tie-back to the dense path at paper scale: the matrix agrees
+    // with the exhaustive oracle (the proptest suite covers this broadly;
+    // this keeps the bench itself honest about what it measures).
+    let universe = dex_universe::build();
+    let pool = build_synthetic_pool(&universe.ontology, 3, 42);
+    let ids: Vec<ModuleId> = universe.available_ids().into_iter().step_by(9).collect();
+    let oracle = match_pairs_exhaustive(&universe, &ids, &pool, &config);
+    let blocked = match_pairs_blocked(
+        &universe,
+        &ids,
+        &pool,
+        &config,
+        &BatchConfig::with_threads(threads),
+    );
+    assert_eq!(oracle, blocked.reports, "dense blocked matrix diverged");
+
+    std::fs::write(&out_path, &json).expect("write summary");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -166,8 +166,12 @@ fn main() {
         }
         let cached_ms = start.elapsed().as_secs_f64() * 1_000.0;
 
+        // The deployment configuration: one worker per hardware thread.
+        // Below the crossover (or on a single-core host) the batched
+        // executor runs the sweep on the calling thread by design.
+        let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
         let start = Instant::now();
-        let matrix = match_pairs_parallel(&universe, &ids, &pool, &config, 8);
+        let matrix = match_pairs_parallel(&universe, &ids, &pool, &config, threads);
         let parallel_ms = start.elapsed().as_secs_f64() * 1_000.0;
         assert_eq!(matrix.len(), serial_pairs);
 

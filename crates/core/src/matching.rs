@@ -358,6 +358,266 @@ pub struct MatchReport {
     pub examples: usize,
 }
 
+// ---------------------------------------------------------------------------
+// Partition fingerprints: the blocking layer over all-pairs matching.
+// ---------------------------------------------------------------------------
+
+/// 64-bit FNV-1a — a tiny, dependency-free, *stable* hash. `DefaultHasher`'s
+/// algorithm is explicitly unspecified and may change between std releases;
+/// fingerprints are compared across runs (bench trajectories, serialized
+/// reports), so they must be bit-identical forever.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fnv1a_u64(state: u64, v: u64) -> u64 {
+    fnv1a(state, &v.to_le_bytes())
+}
+
+/// A structural summary of a module's interface that *provably* decides
+/// strict comparability without invoking anything: two modules admit a
+/// 1-to-1 [`MappingMode::Strict`] parameter mapping **iff** their input
+/// (resp. output) parameter *multisets* of `(structural, semantic)` labels
+/// are equal — strict compatibility is label equality, so a perfect matching
+/// in the compatibility bipartite graph exists exactly when every label
+/// class has the same cardinality on both sides.
+///
+/// The fingerprint hashes, per direction, the sorted label multiset, plus
+/// the multiset of input *partition sets* (the §3.1 sub-domain partitions of
+/// each input's annotation concept) — the partition component is implied by
+/// the semantic labels under a fixed ontology, but keeping it explicit makes
+/// the fingerprint the unit of bucketing for partition-aligned workloads
+/// and catches ontology drift between index build and use.
+///
+/// Soundness is one-directional by construction: equal multisets always
+/// produce equal fingerprints (the encoding is canonical — sorted, length
+/// prefixed, separator-delimited), so *unequal* fingerprints prove the
+/// multisets differ and therefore that `map_parameters` must fail. A hash
+/// collision can only make two differing interfaces look compatible, which
+/// costs a wasted full comparison but never a wrong verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PartitionFingerprint {
+    /// Number of input parameters.
+    pub inputs: usize,
+    /// Number of output parameters.
+    pub outputs: usize,
+    /// FNV-1a over the sorted input `(structural, semantic)` label multiset.
+    pub inputs_sig: u64,
+    /// FNV-1a over the sorted output `(structural, semantic)` label multiset.
+    pub outputs_sig: u64,
+    /// FNV-1a over the multiset of per-input partition sets.
+    pub partitions_sig: u64,
+}
+
+/// Canonical multiset signature of a parameter list: sort the rendered
+/// labels, then fold them (length-prefixed) into FNV-1a.
+fn param_multiset_sig(params: &[dex_modules::Parameter]) -> u64 {
+    let mut labels: Vec<String> = params
+        .iter()
+        .map(|p| format!("{}\u{1f}{}", p.structural, p.semantic))
+        .collect();
+    labels.sort_unstable();
+    let mut sig = fnv1a_u64(FNV_OFFSET, labels.len() as u64);
+    for label in &labels {
+        sig = fnv1a_u64(sig, label.len() as u64);
+        sig = fnv1a(sig, label.as_bytes());
+    }
+    sig
+}
+
+impl PartitionFingerprint {
+    /// Fingerprints a module interface against `ontology`.
+    pub fn of(descriptor: &ModuleDescriptor, ontology: &Ontology) -> PartitionFingerprint {
+        // Per-input partition-set hashes, combined as a sorted multiset so
+        // parameter declaration order is irrelevant (mappings are 1-to-1,
+        // not positional).
+        let mut partition_sets: Vec<u64> = descriptor
+            .inputs
+            .iter()
+            .map(|p| match ontology.id(&p.semantic) {
+                Some(concept) => {
+                    let mut h = fnv1a(FNV_OFFSET, b"partitions");
+                    for part in ontology.partitions_of(concept) {
+                        let name = ontology.concept_name(part);
+                        h = fnv1a_u64(h, name.len() as u64);
+                        h = fnv1a(h, name.as_bytes());
+                    }
+                    h
+                }
+                // Unknown concept: no partitions exist; key by the raw name
+                // so two unknown-but-different annotations stay distinct.
+                None => fnv1a(fnv1a(FNV_OFFSET, b"unknown"), p.semantic.as_bytes()),
+            })
+            .collect();
+        partition_sets.sort_unstable();
+        let partitions_sig = partition_sets
+            .iter()
+            .fold(FNV_OFFSET, |acc, &h| fnv1a_u64(acc, h));
+        PartitionFingerprint {
+            inputs: descriptor.inputs.len(),
+            outputs: descriptor.outputs.len(),
+            inputs_sig: param_multiset_sig(&descriptor.inputs),
+            outputs_sig: param_multiset_sig(&descriptor.outputs),
+            partitions_sig,
+        }
+    }
+
+    /// Whether a strict 1-to-1 parameter mapping can exist between two
+    /// modules carrying these fingerprints (in either direction — the
+    /// relation is reflexive and symmetric). `false` is a *proof* of
+    /// incomparability; `true` merely admits the full comparison.
+    pub fn compatible(&self, other: &PartitionFingerprint) -> bool {
+        self == other
+    }
+
+    /// Whether the two interfaces have the same arity. Arity mismatch is
+    /// the one incomparability proof that holds for **every**
+    /// [`MappingMode`] (the mapping is 1-to-1 in all of them), so this is
+    /// the correct prefilter where the subsuming relaxation may apply.
+    pub fn arity_compatible(&self, other: &PartitionFingerprint) -> bool {
+        self.inputs == other.inputs && self.outputs == other.outputs
+    }
+
+    /// A single stable 64-bit digest of the whole fingerprint (for compact
+    /// logging and cross-run comparison).
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = fnv1a_u64(FNV_OFFSET, self.inputs as u64);
+        h = fnv1a_u64(h, self.outputs as u64);
+        h = fnv1a_u64(h, self.inputs_sig);
+        h = fnv1a_u64(h, self.outputs_sig);
+        fnv1a_u64(h, self.partitions_sig)
+    }
+}
+
+/// Aggregate accounting of one blocked all-pairs run, serialized into
+/// `BENCH_blocking.json` and telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockingStats {
+    /// Ordered module pairs in the sweep (`n·(n−1)`).
+    pub pairs_total: usize,
+    /// Pairs whose fingerprints were compatible — the full memoized
+    /// aligned-example comparison ran on exactly these.
+    pub pairs_compared: usize,
+    /// Pairs proven incomparable by fingerprints alone (no invocation).
+    pub pairs_pruned: usize,
+    /// Pairs skipped because a module was unavailable (withdrawn ids).
+    pub pairs_unavailable: usize,
+    /// Distinct fingerprint buckets among the available modules.
+    pub buckets: usize,
+    /// Largest bucket's module count (the worst-case comparison hotspot).
+    pub largest_bucket: usize,
+}
+
+impl BlockingStats {
+    /// Fraction of pairs pruned without comparison, in `[0, 1]`.
+    pub fn prune_ratio(&self) -> f64 {
+        if self.pairs_total == 0 {
+            0.0
+        } else {
+            (self.pairs_total - self.pairs_compared) as f64 / self.pairs_total as f64
+        }
+    }
+}
+
+/// Fingerprint buckets over a module list: index `i` of the constructed
+/// slice corresponds to the `i`-th descriptor handed to [`build`].
+///
+/// [`build`]: FingerprintIndex::build
+#[derive(Debug, Clone)]
+pub struct FingerprintIndex {
+    /// One fingerprint per module, `None` where no descriptor was available.
+    fingerprints: Vec<Option<PartitionFingerprint>>,
+    /// Buckets of module indices sharing a fingerprint, in first-seen order
+    /// (deterministic regardless of hash-map iteration).
+    buckets: Vec<Vec<usize>>,
+}
+
+impl FingerprintIndex {
+    /// Builds the index from per-module descriptors (a `None` descriptor —
+    /// e.g. a withdrawn module — lands in no bucket and compares with
+    /// nothing).
+    pub fn build<'d>(
+        descriptors: impl IntoIterator<Item = Option<&'d ModuleDescriptor>>,
+        ontology: &Ontology,
+    ) -> FingerprintIndex {
+        let fingerprints: Vec<Option<PartitionFingerprint>> = descriptors
+            .into_iter()
+            .map(|d| d.map(|d| PartitionFingerprint::of(d, ontology)))
+            .collect();
+        let mut by_fp: HashMap<PartitionFingerprint, usize> = HashMap::new();
+        let mut buckets: Vec<Vec<usize>> = Vec::new();
+        for (idx, fp) in fingerprints.iter().enumerate() {
+            let Some(fp) = fp else { continue };
+            match by_fp.entry(*fp) {
+                std::collections::hash_map::Entry::Occupied(slot) => buckets[*slot.get()].push(idx),
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(buckets.len());
+                    buckets.push(vec![idx]);
+                }
+            }
+        }
+        FingerprintIndex {
+            fingerprints,
+            buckets,
+        }
+    }
+
+    /// The fingerprint of module `idx`, if it had a descriptor.
+    pub fn fingerprint(&self, idx: usize) -> Option<&PartitionFingerprint> {
+        self.fingerprints.get(idx).and_then(|fp| fp.as_ref())
+    }
+
+    /// The fingerprint buckets, each a set of mutually comparable module
+    /// indices, in first-seen order.
+    pub fn buckets(&self) -> impl Iterator<Item = &[usize]> {
+        self.buckets.iter().map(Vec::as_slice)
+    }
+
+    /// Number of distinct fingerprints observed.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Size of the largest bucket (`0` for an empty index).
+    pub fn largest_bucket(&self) -> usize {
+        self.buckets.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Every ordered pair `(t, c)`, `t ≠ c`, whose fingerprints are
+    /// compatible — exactly the pairs the full comparison must run on, in
+    /// deterministic bucket-major order.
+    pub fn comparable_pairs(&self) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::new();
+        for bucket in &self.buckets {
+            for &t in bucket {
+                for &c in bucket {
+                    if t != c {
+                        pairs.push((t, c));
+                    }
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Whether the ordered pair `(t, c)` survives blocking (both modules
+    /// present and fingerprint-compatible).
+    pub fn is_comparable(&self, t: usize, c: usize) -> bool {
+        match (self.fingerprint(t), self.fingerprint(c)) {
+            (Some(a), Some(b)) => a.compatible(b),
+            _ => false,
+        }
+    }
+}
+
 /// A memoized generation result, shared between all readers of a session.
 type CachedGeneration = Arc<Result<GenerationReport, GenerationError>>;
 
@@ -398,6 +658,7 @@ struct MatchCounters {
     overlapping: dex_telemetry::Counter,
     disjoint: dex_telemetry::Counter,
     incomparable: dex_telemetry::Counter,
+    pruned: dex_telemetry::Counter,
 }
 
 fn match_counters() -> &'static MatchCounters {
@@ -410,6 +671,7 @@ fn match_counters() -> &'static MatchCounters {
         overlapping: dex_telemetry::counter("dex.match.verdict.overlapping"),
         disjoint: dex_telemetry::counter("dex.match.verdict.disjoint"),
         incomparable: dex_telemetry::counter("dex.match.verdict.incomparable"),
+        pruned: dex_telemetry::counter("dex.match.pairs_pruned"),
     })
 }
 
@@ -625,6 +887,58 @@ impl<'a> MatchSession<'a> {
                 MatchOutcome::Incomparable(_) => &counters.incomparable,
             };
             verdict.add(1);
+        }
+        MatchReport {
+            target: target.descriptor().id.clone(),
+            candidate: candidate.descriptor().id.clone(),
+            outcome,
+            examples,
+        }
+    }
+
+    /// The [`MatchReport`] for a pair whose [`PartitionFingerprint`]s are
+    /// *incompatible*, produced **without a single candidate invocation**:
+    /// incompatible fingerprints prove `map_parameters` must fail, so the
+    /// outcome is the mapping error (or the target's generation error, which
+    /// takes precedence in [`compare`](MatchSession::compare) too).
+    ///
+    /// Byte-identical to what [`compare_report`](MatchSession::compare_report)
+    /// would return for the same pair — the equivalence property suite in
+    /// `tests/properties.rs` pins this. If a caller hands in a pair whose
+    /// parameters *do* map (a blocking-layer bug, or a deliberate misuse),
+    /// this falls back to the full comparison rather than fabricating an
+    /// incomparability.
+    pub fn pruned_report(&self, target: &dyn BlackBox, candidate: &dyn BlackBox) -> MatchReport {
+        let report = self.report_for(target);
+        let examples = match report.as_ref() {
+            Ok(report) => report.examples.len(),
+            Err(_) => 0,
+        };
+        let outcome = match report.as_ref() {
+            Err(e) => MatchOutcome::Incomparable(e.to_string()),
+            Ok(_) => match map_parameters(
+                target.descriptor(),
+                candidate.descriptor(),
+                self.ontology,
+                MappingMode::Strict,
+            ) {
+                Err(e) => MatchOutcome::Incomparable(e.to_string()),
+                Ok(_) => {
+                    debug_assert!(
+                        false,
+                        "pruned_report on a mappable pair: {} vs {}",
+                        target.descriptor().id,
+                        candidate.descriptor().id
+                    );
+                    return self.compare_report(target, candidate);
+                }
+            },
+        };
+        if dex_telemetry::is_enabled() {
+            let counters = match_counters();
+            counters.pairs.add(1);
+            counters.incomparable.add(1);
+            counters.pruned.add(1);
         }
         MatchReport {
             target: target.descriptor().id.clone(),
@@ -998,6 +1312,331 @@ mod tests {
             same.outcome,
             MatchOutcome::Verdict(MatchVerdict::Equivalent { compared: 4 })
         ));
+    }
+
+    fn descriptor_with(
+        id: &str,
+        inputs: Vec<(&str, StructuralType, &str)>,
+        outputs: Vec<(&str, StructuralType, &str)>,
+    ) -> ModuleDescriptor {
+        ModuleDescriptor::new(
+            id,
+            id,
+            ModuleKind::SoapService,
+            inputs
+                .into_iter()
+                .map(|(n, s, c)| Parameter::required(n, s, c))
+                .collect(),
+            outputs
+                .into_iter()
+                .map(|(n, s, c)| Parameter::required(n, s, c))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn fingerprint_compatibility_is_reflexive_and_symmetric() {
+        let onto = mygrid::ontology();
+        let descriptors = [
+            descriptor_with(
+                "a",
+                vec![("s", StructuralType::Text, "ProteinSequence")],
+                vec![("o", StructuralType::Text, "ProteinSequence")],
+            ),
+            descriptor_with(
+                "b",
+                vec![
+                    ("x", StructuralType::Text, "DNASequence"),
+                    ("y", StructuralType::Integer, "ScoreThreshold"),
+                ],
+                vec![("o", StructuralType::Text, "BlastReport")],
+            ),
+            descriptor_with(
+                "c",
+                vec![("acc", StructuralType::Text, "UniprotAccession")],
+                vec![("rec", StructuralType::Text, "UniprotRecord")],
+            ),
+        ];
+        let fps: Vec<_> = descriptors
+            .iter()
+            .map(|d| PartitionFingerprint::of(d, &onto))
+            .collect();
+        for (i, a) in fps.iter().enumerate() {
+            assert!(a.compatible(a), "reflexive");
+            assert!(a.arity_compatible(a));
+            for b in &fps {
+                assert_eq!(a.compatible(b), b.compatible(a), "symmetric");
+                assert_eq!(a.arity_compatible(b), b.arity_compatible(a));
+            }
+            for (j, b) in fps.iter().enumerate() {
+                if i != j {
+                    assert!(!a.compatible(b), "distinct interfaces stay apart");
+                }
+            }
+        }
+    }
+
+    /// The fingerprint digest is pinned to an exact value: the hash is
+    /// hand-rolled FNV-1a precisely so it can never drift with a std
+    /// `DefaultHasher` change, and this test is the tripwire. Computing the
+    /// same descriptor twice (fresh allocations, fresh ontology) must land
+    /// on the same bits every run, on every platform.
+    #[test]
+    fn fingerprint_hash_is_stable_across_constructions() {
+        let d = || {
+            descriptor_with(
+                "m",
+                vec![("seq", StructuralType::Text, "ProteinSequence")],
+                vec![("out", StructuralType::Text, "ProteinSequence")],
+            )
+        };
+        let a = PartitionFingerprint::of(&d(), &mygrid::ontology());
+        let b = PartitionFingerprint::of(&d(), &mygrid::ontology());
+        assert_eq!(a, b);
+        assert_eq!(a.stable_hash(), b.stable_hash());
+        // Pinned digest: fails loudly if the encoding ever changes. Update
+        // deliberately (it invalidates cross-run fingerprint comparisons).
+        assert_eq!(
+            a.stable_hash(),
+            0xe3dc_f42d_716e_5c91,
+            "{:#x}",
+            a.stable_hash()
+        );
+        // Parameter *names* must not affect the fingerprint (mappings are
+        // name-blind), but order-insensitivity must hold too.
+        let renamed = descriptor_with(
+            "other",
+            vec![("sequence_in", StructuralType::Text, "ProteinSequence")],
+            vec![("result", StructuralType::Text, "ProteinSequence")],
+        );
+        assert_eq!(PartitionFingerprint::of(&renamed, &mygrid::ontology()), a);
+    }
+
+    #[test]
+    fn fingerprint_ignores_parameter_declaration_order() {
+        let onto = mygrid::ontology();
+        let ab = descriptor_with(
+            "ab",
+            vec![
+                ("a", StructuralType::Text, "DNASequence"),
+                ("b", StructuralType::Integer, "ScoreThreshold"),
+            ],
+            vec![("o", StructuralType::Text, "BlastReport")],
+        );
+        let ba = descriptor_with(
+            "ba",
+            vec![
+                ("b", StructuralType::Integer, "ScoreThreshold"),
+                ("a", StructuralType::Text, "DNASequence"),
+            ],
+            vec![("o", StructuralType::Text, "BlastReport")],
+        );
+        let fa = PartitionFingerprint::of(&ab, &onto);
+        let fb = PartitionFingerprint::of(&ba, &onto);
+        assert!(fa.compatible(&fb), "permuted parameters still map 1-to-1");
+        assert!(
+            map_parameters(&ab, &ba, &onto, MappingMode::Strict).is_ok(),
+            "and the mapping indeed exists"
+        );
+    }
+
+    /// Adversarial pairs: wherever fingerprints rule a pair *out*, the
+    /// strict mapping must actually be impossible — a pruned pair may never
+    /// be one the matcher could have compared. (The converse is allowed:
+    /// a compatible fingerprint is only an admission ticket.)
+    #[test]
+    fn incompatible_fingerprints_imply_no_strict_mapping() {
+        let onto = mygrid::ontology();
+        let adversarial = [
+            // Same arity, same structurals, one semantic differs.
+            descriptor_with(
+                "p1",
+                vec![("s", StructuralType::Text, "ProteinSequence")],
+                vec![("o", StructuralType::Text, "ProteinSequence")],
+            ),
+            descriptor_with(
+                "p2",
+                vec![("s", StructuralType::Text, "DNASequence")],
+                vec![("o", StructuralType::Text, "ProteinSequence")],
+            ),
+            // Duplicate-concept counts differ: {A,A,B} vs {A,B,B}.
+            descriptor_with(
+                "p3",
+                vec![
+                    ("x", StructuralType::Text, "DNASequence"),
+                    ("y", StructuralType::Text, "DNASequence"),
+                    ("z", StructuralType::Text, "ProteinSequence"),
+                ],
+                vec![("o", StructuralType::Text, "BlastReport")],
+            ),
+            descriptor_with(
+                "p4",
+                vec![
+                    ("x", StructuralType::Text, "DNASequence"),
+                    ("y", StructuralType::Text, "ProteinSequence"),
+                    ("z", StructuralType::Text, "ProteinSequence"),
+                ],
+                vec![("o", StructuralType::Text, "BlastReport")],
+            ),
+            // Same semantics, structural type differs.
+            descriptor_with(
+                "p5",
+                vec![("s", StructuralType::Integer, "ScoreThreshold")],
+                vec![("o", StructuralType::Text, "BlastReport")],
+            ),
+            descriptor_with(
+                "p6",
+                vec![("s", StructuralType::Float, "ScoreThreshold")],
+                vec![("o", StructuralType::Text, "BlastReport")],
+            ),
+            // Outputs differ, inputs identical.
+            descriptor_with(
+                "p7",
+                vec![("s", StructuralType::Text, "ProteinSequence")],
+                vec![("o", StructuralType::Text, "FastaRecord")],
+            ),
+            // Arity differs.
+            descriptor_with(
+                "p8",
+                vec![
+                    ("s", StructuralType::Text, "ProteinSequence"),
+                    ("t", StructuralType::Text, "ProteinSequence"),
+                ],
+                vec![("o", StructuralType::Text, "FastaRecord")],
+            ),
+            // Concept unknown to the ontology.
+            descriptor_with(
+                "p9",
+                vec![("s", StructuralType::Text, "NotAConcept")],
+                vec![("o", StructuralType::Text, "ProteinSequence")],
+            ),
+        ];
+        for t in &adversarial {
+            for c in &adversarial {
+                let ft = PartitionFingerprint::of(t, &onto);
+                let fc = PartitionFingerprint::of(c, &onto);
+                if !ft.compatible(&fc) {
+                    assert!(
+                        map_parameters(t, c, &onto, MappingMode::Strict).is_err(),
+                        "{} vs {}: pruned but strict-mappable",
+                        t.id,
+                        c.id
+                    );
+                }
+                if !ft.arity_compatible(&fc) {
+                    for mode in [MappingMode::Strict, MappingMode::Subsuming] {
+                        assert!(
+                            map_parameters(t, c, &onto, mode).is_err(),
+                            "{} vs {}: arity-pruned but mappable under {mode:?}",
+                            t.id,
+                            c.id
+                        );
+                    }
+                }
+                // And the mirror obligation: whenever a mapping exists, the
+                // fingerprints must admit it.
+                if map_parameters(t, c, &onto, MappingMode::Strict).is_ok() {
+                    assert!(
+                        ft.compatible(&fc),
+                        "{} vs {}: mappable but pruned",
+                        t.id,
+                        c.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_index_buckets_deterministically() {
+        let onto = mygrid::ontology();
+        let descriptors = [
+            descriptor_with(
+                "a",
+                vec![("s", StructuralType::Text, "ProteinSequence")],
+                vec![("o", StructuralType::Text, "ProteinSequence")],
+            ),
+            descriptor_with(
+                "b",
+                vec![("s", StructuralType::Text, "DNASequence")],
+                vec![("o", StructuralType::Text, "DNASequence")],
+            ),
+            descriptor_with(
+                "c",
+                vec![("in", StructuralType::Text, "ProteinSequence")],
+                vec![("out", StructuralType::Text, "ProteinSequence")],
+            ),
+        ];
+        let index = FingerprintIndex::build(
+            [
+                Some(&descriptors[0]),
+                Some(&descriptors[1]),
+                None,
+                Some(&descriptors[2]),
+            ],
+            &onto,
+        );
+        assert_eq!(index.bucket_count(), 2);
+        assert_eq!(index.largest_bucket(), 2);
+        assert!(index.fingerprint(2).is_none(), "withdrawn slot");
+        let buckets: Vec<&[usize]> = index.buckets().collect();
+        assert_eq!(buckets, vec![&[0usize, 3][..], &[1usize][..]]);
+        assert_eq!(index.comparable_pairs(), vec![(0, 3), (3, 0)]);
+        assert!(index.is_comparable(0, 3) && index.is_comparable(3, 0));
+        assert!(!index.is_comparable(0, 1));
+        assert!(!index.is_comparable(0, 2), "no descriptor, no comparison");
+    }
+
+    /// `pruned_report` must be indistinguishable from `compare_report` on
+    /// every fingerprint-incompatible pair — same outcome string, same
+    /// example count — while replaying nothing.
+    #[test]
+    fn pruned_report_is_byte_identical_to_compare_report() {
+        let (onto, pool) = fixture();
+        let a = seq_echo("a", "BiologicalSequence", "BiologicalSequence", false);
+        let b = seq_echo("b", "ProteinSequence", "ProteinSequence", false);
+        let (c, c_count) = counted_echo("c", "DNASequence");
+        let full_session = MatchSession::new(&onto, &pool, GenerationConfig::default());
+        let pruned_session = MatchSession::new(&onto, &pool, GenerationConfig::default());
+        let modules: [&dyn BlackBox; 3] = [&a, &b, &c];
+        for t in &modules {
+            for cand in &modules {
+                let ft = PartitionFingerprint::of(t.descriptor(), &onto);
+                let fc = PartitionFingerprint::of(cand.descriptor(), &onto);
+                if ft.compatible(&fc) {
+                    continue;
+                }
+                let full = full_session.compare_report(*t, *cand);
+                let candidate_invocations_before =
+                    c_count.load(std::sync::atomic::Ordering::Relaxed);
+                let pruned = pruned_session.pruned_report(*t, *cand);
+                assert_eq!(full, pruned);
+                if !std::ptr::eq(*cand as *const dyn BlackBox, &c as &dyn BlackBox) {
+                    continue;
+                }
+                // Candidate "c" was generated once (as a target) but its
+                // pruned replays must never have invoked it again.
+                assert_eq!(
+                    c_count.load(std::sync::atomic::Ordering::Relaxed),
+                    candidate_invocations_before,
+                    "pruned replay invoked the candidate"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocking_stats_prune_ratio() {
+        let stats = BlockingStats {
+            pairs_total: 100,
+            pairs_compared: 25,
+            pairs_pruned: 70,
+            pairs_unavailable: 5,
+            buckets: 4,
+            largest_bucket: 5,
+        };
+        assert!((stats.prune_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(BlockingStats::default().prune_ratio(), 0.0);
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod parallel;
 pub mod telemetry;
 
 pub use faults::FaultConfig;
+pub use parallel::{BatchConfig, BlockedMatchMatrix, BlockedMatchSummary};
 pub use telemetry::TelemetryRun;
 
 /// Seed of the synthetic curator pool used by the evaluation.

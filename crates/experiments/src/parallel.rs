@@ -7,15 +7,14 @@
 //! scheduling.
 
 use dex_core::{
-    generate_examples_retrying, GenerationConfig, GenerationReport, MatchOutcome, MatchReport,
-    MatchSession,
+    generate_examples_retrying, BlockingStats, FingerprintIndex, GenerationConfig,
+    GenerationReport, MatchOutcome, MatchReport, MatchSession, MatchVerdict,
 };
 use dex_modules::{InvocationCache, ModuleId, Retrier};
 use dex_pool::InstancePool;
 use dex_universe::Universe;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
 
 /// The outcome of a degradation-tolerant fleet generation: per-module
 /// reports for everything that generated, failure records for everything
@@ -125,71 +124,203 @@ pub fn generate_fleet(
     fleet
 }
 
-/// Matches every ordered pair of distinct modules in `ids` against each
-/// other, fanning the O(N²) comparisons out over `threads` workers.
+/// Tuning for the batched blocked matching executor.
 ///
-/// Target-side example generation goes through one shared [`MatchSession`],
-/// so each module is generated once for the whole run instead of once per
-/// pair. Workers claim pairs off an atomic cursor (comparison costs vary
-/// wildly between trivially-incomparable and fully-replayed pairs) and ship
-/// reports back over a channel; the final `BTreeMap` keying makes the result
-/// independent of scheduling.
-pub fn match_pairs_parallel(
+/// The constants encode a crossover *measured* by
+/// `crates/bench/src/bin/bench_blocking.rs` (methodology in DESIGN.md §12):
+/// below [`BatchConfig::SERIAL_CUTOFF_PAIRS`] compared pairs, thread spawn
+/// and claim traffic cost more than the comparisons themselves, so the
+/// executor runs on the calling thread; above it, workers claim
+/// [`BatchConfig::CHUNK_PAIRS`] pairs per atomic `fetch_add` and buffer
+/// results in worker-local vectors (no channel, no per-pair
+/// synchronization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Worker threads for the batched phase (values below 1 clamp to 1).
+    pub threads: usize,
+    /// Compared-pair count at or below which the executor stays serial.
+    pub serial_cutoff: usize,
+    /// Pairs claimed per atomic fetch — coarse enough to amortize the
+    /// claim, fine enough to balance uneven buckets across workers.
+    pub chunk: usize,
+}
+
+impl BatchConfig {
+    /// Compared-pair count below which fan-out cannot pay for itself: a
+    /// sub-512-pair sweep finishes in well under a millisecond warm, which
+    /// is the same order as spawning and joining the workers, so the guard
+    /// keeps those batches on the calling thread. `bench_blocking`'s
+    /// crossover sweep re-measures this per host and records it in
+    /// BENCH_blocking.json (`measured_crossover_pairs`; `null` on a
+    /// single-core host, where the batched path never beats serial and
+    /// this guard plus the `threads == 1` fallback keep it from losing —
+    /// unlike the per-pair channel executor it replaced, which lost at
+    /// every size, see the `perpair_parallel_ms` column).
+    pub const SERIAL_CUTOFF_PAIRS: usize = 512;
+    /// Claim granularity: 64 pairs ≈ tens of microseconds of warm-cache
+    /// work per claim, three orders of magnitude over the atomic itself.
+    pub const CHUNK_PAIRS: usize = 64;
+
+    /// The measured defaults with an explicit thread count.
+    pub fn with_threads(threads: usize) -> BatchConfig {
+        BatchConfig {
+            threads,
+            serial_cutoff: Self::SERIAL_CUTOFF_PAIRS,
+            chunk: Self::CHUNK_PAIRS,
+        }
+    }
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+        BatchConfig::with_threads(threads)
+    }
+}
+
+/// A dense blocked matching run: the full `n·(n−1)` report matrix plus the
+/// blocking ledger explaining how little of it required invocation.
+#[derive(Debug, Clone)]
+pub struct BlockedMatchMatrix {
+    /// Every ordered pair's report, keyed `(target, candidate)` — including
+    /// pruned and unavailable pairs, so the matrix is indistinguishable from
+    /// an exhaustive sweep.
+    pub reports: BTreeMap<(ModuleId, ModuleId), MatchReport>,
+    /// How the sweep was spent: compared vs pruned vs unavailable.
+    pub stats: BlockingStats,
+}
+
+/// Verdict tallies of a blocked matching run without materializing the
+/// `n·(n−1)` report matrix — the only feasible mode at 25k modules, where
+/// the dense matrix would hold 625M reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockedMatchSummary {
+    /// Pairs judged equivalent.
+    pub equivalent: usize,
+    /// Pairs judged overlapping.
+    pub overlapping: usize,
+    /// Pairs judged disjoint.
+    pub disjoint: usize,
+    /// Incomparable pairs — compared-but-unmappable, fingerprint-pruned,
+    /// and unavailable alike, so the four tallies always sum to
+    /// `stats.pairs_total` and agree with an exhaustive sweep's tally.
+    pub incomparable: usize,
+    /// How the sweep was spent: compared vs pruned vs unavailable.
+    pub stats: BlockingStats,
+}
+
+impl BlockedMatchSummary {
+    /// `(equivalent, overlapping, disjoint, incomparable)` as one tuple.
+    pub fn tallies(&self) -> (usize, usize, usize, usize) {
+        (
+            self.equivalent,
+            self.overlapping,
+            self.disjoint,
+            self.incomparable,
+        )
+    }
+}
+
+/// Builds the blocking plan for `ids`: fingerprint index, the compared-pair
+/// worklist, and the stats ledger. Withdrawn ids get no fingerprint and
+/// land in the `pairs_unavailable` bucket.
+fn blocked_plan(
     universe: &Universe,
     ids: &[ModuleId],
-    pool: &InstancePool,
-    config: &GenerationConfig,
-    threads: usize,
-) -> BTreeMap<(ModuleId, ModuleId), MatchReport> {
-    let pairs: Vec<(usize, usize)> = (0..ids.len())
-        .flat_map(|t| (0..ids.len()).map(move |c| (t, c)))
-        .filter(|(t, c)| t != c)
-        .collect();
-    let threads = threads.max(1).min(pairs.len().max(1));
-    let _span = dex_telemetry::span("parallel.match_pairs");
-    dex_telemetry::gauge_set("dex.parallel.threads", threads as i64);
-    let session = MatchSession::new(&universe.ontology, pool, config.clone());
-    let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<((ModuleId, ModuleId), MatchReport)>();
+) -> (FingerprintIndex, Vec<(usize, usize)>, BlockingStats) {
+    let index = FingerprintIndex::build(
+        ids.iter()
+            .map(|id| universe.catalog.get(id).map(|m| m.descriptor())),
+        &universe.ontology,
+    );
+    let pairs = index.comparable_pairs();
+    let n = ids.len();
+    let available = (0..n).filter(|&i| index.fingerprint(i).is_some()).count();
+    let pairs_total = n * n.saturating_sub(1);
+    let both_available = available * available.saturating_sub(1);
+    let stats = BlockingStats {
+        pairs_total,
+        pairs_compared: pairs.len(),
+        pairs_pruned: both_available - pairs.len(),
+        pairs_unavailable: pairs_total - both_available,
+        buckets: index.bucket_count(),
+        largest_bucket: index.largest_bucket(),
+    };
+    if dex_telemetry::is_enabled() {
+        dex_telemetry::gauge_set("dex.match.buckets", stats.buckets as i64);
+        dex_telemetry::gauge_set("dex.match.bucket_max", stats.largest_bucket as i64);
+    }
+    (index, pairs, stats)
+}
 
-    let matrix = std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let tx = tx.clone();
-            let session = &session;
-            let pairs = &pairs;
-            let cursor = &cursor;
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= pairs.len() {
-                    break;
-                }
-                let (t, c) = pairs[i];
-                let key = (ids[t].clone(), ids[c].clone());
-                // A module withdrawn between id listing and comparison is an
-                // incomparable pair, not a dead sweep: record it as data and
-                // keep draining the cursor.
-                let report = match (universe.catalog.get(&ids[t]), universe.catalog.get(&ids[c])) {
-                    (Some(target), Some(candidate)) => {
-                        session.compare_report(target.as_ref(), candidate.as_ref())
-                    }
-                    (target, _) => {
-                        let gone = if target.is_none() { &ids[t] } else { &ids[c] };
-                        MatchReport {
-                            target: ids[t].clone(),
-                            candidate: ids[c].clone(),
-                            outcome: MatchOutcome::Incomparable(format!(
-                                "module `{gone}` is unavailable"
-                            )),
-                            examples: 0,
+/// The batched chunk executor: runs `step` over every index of `pairs`,
+/// serially when the worklist is at or below the crossover, otherwise on
+/// `batch.threads` workers claiming `batch.chunk` indices per atomic fetch.
+/// Returns one accumulator per worker (exactly one on the serial path).
+fn run_batched<R, F, G>(pairs: &[(usize, usize)], batch: &BatchConfig, make: F, step: G) -> Vec<R>
+where
+    R: Send,
+    F: Fn() -> R + Sync,
+    G: Fn(&mut R, usize, (usize, usize)) + Sync,
+{
+    let threads = batch.threads.max(1);
+    if threads == 1 || pairs.len() <= batch.serial_cutoff {
+        dex_telemetry::gauge_set("dex.parallel.threads", 1);
+        let mut acc = make();
+        for (i, &pair) in pairs.iter().enumerate() {
+            step(&mut acc, i, pair);
+        }
+        return vec![acc];
+    }
+    let chunk = batch.chunk.max(1);
+    let workers = threads.min(pairs.len().div_ceil(chunk));
+    dex_telemetry::gauge_set("dex.parallel.threads", workers as i64);
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let make = &make;
+                let step = &step;
+                scope.spawn(move || {
+                    let mut acc = make();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= pairs.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(pairs.len());
+                        for (i, &pair) in pairs[start..end].iter().enumerate() {
+                            step(&mut acc, start + i, pair);
                         }
                     }
-                };
-                tx.send((key, report)).expect("collector alive");
-            });
-        }
-        drop(tx);
-        rx.into_iter().collect()
-    });
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("matching worker panicked"))
+            .collect()
+    })
+}
+
+fn unavailable_report(universe: &Universe, ids: &[ModuleId], t: usize, c: usize) -> MatchReport {
+    // Target-side absence is reported first, matching the exhaustive sweep.
+    let gone = if universe.catalog.get(&ids[t]).is_none() {
+        &ids[t]
+    } else {
+        &ids[c]
+    };
+    MatchReport {
+        target: ids[t].clone(),
+        candidate: ids[c].clone(),
+        outcome: MatchOutcome::Incomparable(format!("module `{gone}` is unavailable")),
+        examples: 0,
+    }
+}
+
+fn publish_session_telemetry(session: &MatchSession) {
     if dex_telemetry::is_enabled() {
         let stats = session.cache_stats();
         dex_telemetry::gauge_set("dex.match.cache_entries", stats.entries as i64);
@@ -201,7 +332,207 @@ pub fn match_pairs_parallel(
         // whole all-pairs run — the matrix shares one memo across threads.
         session.invocation_cache().publish_telemetry();
     }
+}
+
+/// Blocked all-pairs matching over an existing [`MatchSession`] — the
+/// warm-cache entry point: callers that already generated examples through
+/// `session` reuse every memoized report.
+///
+/// Fingerprint-compatible pairs run the full memoized aligned-example
+/// comparison through the batched executor; pairs pruned by fingerprints
+/// are synthesized serially via [`MatchSession::pruned_report`] (provably
+/// identical, invocation-free) so the returned matrix is byte-identical to
+/// an exhaustive sweep.
+pub fn match_pairs_blocked_in(
+    session: &MatchSession,
+    universe: &Universe,
+    ids: &[ModuleId],
+    batch: &BatchConfig,
+) -> BlockedMatchMatrix {
+    let _span = dex_telemetry::span("parallel.match_pairs");
+    let (index, pairs, stats) = blocked_plan(universe, ids);
+    let compared = run_batched(
+        &pairs,
+        batch,
+        Vec::new,
+        |acc: &mut Vec<(usize, MatchReport)>, i, (t, c)| {
+            let target = universe
+                .catalog
+                .get(&ids[t])
+                .expect("planned pair available");
+            let candidate = universe
+                .catalog
+                .get(&ids[c])
+                .expect("planned pair available");
+            acc.push((
+                i,
+                session.compare_report(target.as_ref(), candidate.as_ref()),
+            ));
+        },
+    );
+    let mut reports = BTreeMap::new();
+    for (i, report) in compared.into_iter().flatten() {
+        let (t, c) = pairs[i];
+        reports.insert((ids[t].clone(), ids[c].clone()), report);
+    }
+    // Pruned and unavailable pairs carry no invocation work, so they are
+    // synthesized on the calling thread.
+    for t in 0..ids.len() {
+        for c in 0..ids.len() {
+            if t == c || index.is_comparable(t, c) {
+                continue;
+            }
+            let report = match (universe.catalog.get(&ids[t]), universe.catalog.get(&ids[c])) {
+                (Some(target), Some(candidate)) => {
+                    session.pruned_report(target.as_ref(), candidate.as_ref())
+                }
+                _ => unavailable_report(universe, ids, t, c),
+            };
+            reports.insert((ids[t].clone(), ids[c].clone()), report);
+        }
+    }
+    BlockedMatchMatrix { reports, stats }
+}
+
+/// [`match_pairs_blocked_in`] with a fresh cold-cache session.
+pub fn match_pairs_blocked(
+    universe: &Universe,
+    ids: &[ModuleId],
+    pool: &InstancePool,
+    config: &GenerationConfig,
+    batch: &BatchConfig,
+) -> BlockedMatchMatrix {
+    let session = MatchSession::new(&universe.ontology, pool, config.clone());
+    let matrix = match_pairs_blocked_in(&session, universe, ids, batch);
+    publish_session_telemetry(&session);
     matrix
+}
+
+/// Blocked all-pairs matching that tallies verdicts instead of
+/// materializing reports — constant memory in the pair count, which is what
+/// makes the 25k-module sweep (625M ordered pairs) feasible at all. The
+/// tallies equal what an exhaustive dense sweep would count: pruned and
+/// unavailable pairs are incomparable by construction and are accounted
+/// arithmetically.
+pub fn match_pairs_blocked_summary(
+    universe: &Universe,
+    ids: &[ModuleId],
+    pool: &InstancePool,
+    config: &GenerationConfig,
+    batch: &BatchConfig,
+) -> BlockedMatchSummary {
+    let _span = dex_telemetry::span("parallel.match_pairs_summary");
+    let (_index, pairs, stats) = blocked_plan(universe, ids);
+    let session = MatchSession::new(&universe.ontology, pool, config.clone());
+    let tallies = run_batched(
+        &pairs,
+        batch,
+        <[usize; 4]>::default,
+        |acc: &mut [usize; 4], _i, (t, c)| {
+            let target = universe
+                .catalog
+                .get(&ids[t])
+                .expect("planned pair available");
+            let candidate = universe
+                .catalog
+                .get(&ids[c])
+                .expect("planned pair available");
+            let report = session.compare_report(target.as_ref(), candidate.as_ref());
+            let slot = match &report.outcome {
+                MatchOutcome::Verdict(MatchVerdict::Equivalent { .. }) => 0,
+                MatchOutcome::Verdict(MatchVerdict::Overlapping { .. }) => 1,
+                MatchOutcome::Verdict(MatchVerdict::Disjoint { .. }) => 2,
+                MatchOutcome::Incomparable(_) => 3,
+            };
+            acc[slot] += 1;
+        },
+    );
+    let mut summary = BlockedMatchSummary {
+        stats,
+        ..BlockedMatchSummary::default()
+    };
+    for [eq, ov, dj, inc] in tallies {
+        summary.equivalent += eq;
+        summary.overlapping += ov;
+        summary.disjoint += dj;
+        summary.incomparable += inc;
+    }
+    summary.incomparable += stats.pairs_pruned + stats.pairs_unavailable;
+    if dex_telemetry::is_enabled() {
+        // Mirror what the dense path's pruned_report calls would have
+        // counted, without synthesizing the reports.
+        let skipped = (stats.pairs_pruned + stats.pairs_unavailable) as u64;
+        dex_telemetry::counter_add("dex.match.pairs", skipped);
+        dex_telemetry::counter_add("dex.match.verdict.incomparable", skipped);
+        dex_telemetry::counter_add("dex.match.pairs_pruned", stats.pairs_pruned as u64);
+    }
+    publish_session_telemetry(&session);
+    summary
+}
+
+/// The exhaustive all-pairs oracle: every ordered pair runs the full
+/// comparison serially through one shared session, no blocking, no
+/// batching. This is the semantics the blocked paths must reproduce
+/// byte-for-byte; the equivalence proptests in `tests/properties.rs` hold
+/// them to it.
+pub fn match_pairs_exhaustive(
+    universe: &Universe,
+    ids: &[ModuleId],
+    pool: &InstancePool,
+    config: &GenerationConfig,
+) -> BTreeMap<(ModuleId, ModuleId), MatchReport> {
+    let session = MatchSession::new(&universe.ontology, pool, config.clone());
+    match_pairs_exhaustive_in(&session, universe, ids)
+}
+
+/// [`match_pairs_exhaustive`] over an existing (possibly warm) session.
+pub fn match_pairs_exhaustive_in(
+    session: &MatchSession,
+    universe: &Universe,
+    ids: &[ModuleId],
+) -> BTreeMap<(ModuleId, ModuleId), MatchReport> {
+    let mut reports = BTreeMap::new();
+    for t in 0..ids.len() {
+        for c in 0..ids.len() {
+            if t == c {
+                continue;
+            }
+            let report = match (universe.catalog.get(&ids[t]), universe.catalog.get(&ids[c])) {
+                (Some(target), Some(candidate)) => {
+                    session.compare_report(target.as_ref(), candidate.as_ref())
+                }
+                _ => unavailable_report(universe, ids, t, c),
+            };
+            reports.insert((ids[t].clone(), ids[c].clone()), report);
+        }
+    }
+    reports
+}
+
+/// Matches every ordered pair of distinct modules in `ids` against each
+/// other — blocked and batched: fingerprint blocking prunes provably
+/// incomparable pairs without invocation, and the surviving pairs run on
+/// the batched chunk executor over `threads` workers (serially below the
+/// measured crossover, where fan-out used to *lose* to the serial sweep).
+///
+/// Target-side example generation goes through one shared [`MatchSession`],
+/// so each module is generated once for the whole run instead of once per
+/// pair. The returned matrix is byte-identical to the exhaustive oracle's.
+pub fn match_pairs_parallel(
+    universe: &Universe,
+    ids: &[ModuleId],
+    pool: &InstancePool,
+    config: &GenerationConfig,
+    threads: usize,
+) -> BTreeMap<(ModuleId, ModuleId), MatchReport> {
+    match_pairs_blocked(
+        universe,
+        ids,
+        pool,
+        config,
+        &BatchConfig::with_threads(threads),
+    )
+    .reports
 }
 
 /// [`match_pairs_parallel`] over every available module of the universe: the
@@ -315,6 +646,95 @@ mod tests {
                 (got, want) => panic!("{t} vs {c}: {got:?} but serial said {want:?}"),
             }
         }
+    }
+
+    /// The crossover regression (ISSUE 6 satellite): the batched executor
+    /// must produce matrices identical to the serial path at catalog sizes
+    /// straddling the serial cutoff — forced onto each side of the
+    /// threshold explicitly, so the test exercises both code paths no
+    /// matter where the measured constant lands.
+    #[test]
+    fn batched_executor_identical_to_serial_across_the_cutoff() {
+        let universe = dex_universe::build();
+        let pool = build_synthetic_pool(&universe.ontology, 3, 19);
+        let config = GenerationConfig::default();
+        // Two catalog sizes: one whose compared-pair count sits below any
+        // plausible cutoff, one above the claim chunk size.
+        for step in [31usize, 7] {
+            let ids: Vec<ModuleId> = universe.available_ids().into_iter().step_by(step).collect();
+            let forced_serial = BatchConfig {
+                threads: 8,
+                serial_cutoff: usize::MAX,
+                chunk: BatchConfig::CHUNK_PAIRS,
+            };
+            let forced_batched = BatchConfig {
+                threads: 8,
+                serial_cutoff: 0,
+                chunk: 3, // tiny chunk: maximum claim churn
+            };
+            let serial = match_pairs_blocked(&universe, &ids, &pool, &config, &forced_serial);
+            let batched = match_pairs_blocked(&universe, &ids, &pool, &config, &forced_batched);
+            assert_eq!(serial.reports, batched.reports, "step {step}");
+            assert_eq!(serial.stats, batched.stats, "step {step}");
+        }
+    }
+
+    #[test]
+    fn blocked_matrix_is_byte_identical_to_exhaustive_oracle() {
+        let universe = dex_universe::build();
+        let pool = build_synthetic_pool(&universe.ontology, 4, 42);
+        let config = GenerationConfig::default();
+        let ids: Vec<ModuleId> = universe.available_ids().into_iter().step_by(13).collect();
+        let oracle = match_pairs_exhaustive(&universe, &ids, &pool, &config);
+        let blocked = match_pairs_blocked(
+            &universe,
+            &ids,
+            &pool,
+            &config,
+            &BatchConfig::with_threads(4),
+        );
+        assert_eq!(oracle, blocked.reports);
+        let s = blocked.stats;
+        assert_eq!(s.pairs_total, ids.len() * (ids.len() - 1));
+        assert_eq!(
+            s.pairs_compared + s.pairs_pruned + s.pairs_unavailable,
+            s.pairs_total
+        );
+        assert!(s.pairs_pruned > 0, "a mixed catalog must prune something");
+        assert!(s.buckets > 1);
+    }
+
+    #[test]
+    fn summary_tallies_agree_with_the_dense_matrix() {
+        let universe = dex_universe::build();
+        let pool = build_synthetic_pool(&universe.ontology, 3, 11);
+        let config = GenerationConfig::default();
+        let ids: Vec<ModuleId> = universe.available_ids().into_iter().step_by(17).collect();
+        let dense = match_pairs_blocked(
+            &universe,
+            &ids,
+            &pool,
+            &config,
+            &BatchConfig::with_threads(4),
+        );
+        let summary = match_pairs_blocked_summary(
+            &universe,
+            &ids,
+            &pool,
+            &config,
+            &BatchConfig::with_threads(4),
+        );
+        let mut want = (0usize, 0usize, 0usize, 0usize);
+        for report in dense.reports.values() {
+            match &report.outcome {
+                MatchOutcome::Verdict(dex_core::MatchVerdict::Equivalent { .. }) => want.0 += 1,
+                MatchOutcome::Verdict(dex_core::MatchVerdict::Overlapping { .. }) => want.1 += 1,
+                MatchOutcome::Verdict(dex_core::MatchVerdict::Disjoint { .. }) => want.2 += 1,
+                MatchOutcome::Incomparable(_) => want.3 += 1,
+            }
+        }
+        assert_eq!(summary.tallies(), want);
+        assert_eq!(summary.stats, dense.stats);
     }
 
     #[test]

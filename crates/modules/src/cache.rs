@@ -81,6 +81,9 @@ struct Shard {
 pub struct InvocationCacheStats {
     /// Lookups answered by an existing entry (including entries still being
     /// initialized by another thread — the caller waits, it never re-invokes).
+    /// A waiter whose entry resolves to a transient outcome is counted under
+    /// `transients` instead: the entry is forgotten immediately, so no
+    /// invocation was durably saved.
     pub hits: u64,
     /// Lookups that created a fresh entry and invoked the module.
     pub misses: u64,
@@ -92,8 +95,11 @@ pub struct InvocationCacheStats {
     /// Entries currently held across all shards.
     pub entries: usize,
     /// Initialized entries currently holding a transient error — the
-    /// invariant is that this is always `0` (transients are forgotten before
-    /// `invoke` returns); it is reported so callers can assert it.
+    /// invariant is that this is always `0` *at every instant*, not just at
+    /// quiescence: transient entries are forgotten before their cell is
+    /// published, so even a `stats()` racing with the failing invocation
+    /// cannot observe one. Reported so callers (and the stress tests) can
+    /// assert it mid-run.
     pub memoized_transients: usize,
 }
 
@@ -222,17 +228,34 @@ impl InvocationCache {
                     vacant.insert(Arc::clone(&cell));
                     shard.fifo.push_back(key);
                     if let Some(cap) = self.per_shard_capacity {
-                        while shard.fifo.len() > cap {
-                            if let Some(old) = shard.fifo.pop_front() {
-                                // The FIFO can hold keys whose entry a
-                                // transient forget already removed — only
-                                // count an eviction that dropped something.
-                                if shard.map.remove(&old).is_some() {
+                        // One pass over the FIFO at most: entries whose
+                        // invocation is still in flight are rotated to the
+                        // back instead of evicted — dropping an uninitialized
+                        // cell would let a later lookup re-invoke the same
+                        // vector concurrently, breaking exactly-once. The
+                        // bound can be exceeded transiently while every
+                        // entry is in flight.
+                        let mut attempts = shard.fifo.len();
+                        while shard.fifo.len() > cap && attempts > 0 {
+                            attempts -= 1;
+                            let Some(old) = shard.fifo.pop_front() else {
+                                break;
+                            };
+                            match shard.map.get(&old) {
+                                Some(cell) if cell.get().is_none() => {
+                                    shard.fifo.push_back(old);
+                                }
+                                Some(_) => {
+                                    shard.map.remove(&old);
                                     self.evictions.fetch_add(1, Ordering::Relaxed);
                                     if telemetry_on {
                                         cache_counters().2.add(1);
                                     }
                                 }
+                                // The FIFO can hold keys whose entry a
+                                // transient forget already removed — dropping
+                                // the stale key is not an eviction.
+                                None => {}
                             }
                         }
                     }
@@ -245,22 +268,40 @@ impl InvocationCache {
             if telemetry_on {
                 cache_counters().1.add(1);
             }
-        } else {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            if telemetry_on {
-                cache_counters().0.add(1);
-            }
         }
         // `get_or_init` runs the invocation at most once per cell; racing
         // readers block here until the winner's outcome is published.
-        let outcome = Arc::clone(cell.get_or_init(|| Arc::new(module.invoke(inputs))));
-        if matches!(outcome.as_ref(), Err(e) if e.is_transient()) {
-            // State-dependent failure: hand it to whoever raced on this
-            // cell, but forget the entry so the next lookup re-invokes.
-            self.forget_transient(module, inputs, &cell);
+        let outcome = Arc::clone(cell.get_or_init(|| {
+            let outcome = Arc::new(module.invoke(inputs));
+            if matches!(outcome.as_ref(), Err(e) if e.is_transient()) {
+                // State-dependent failure: forget the entry *before* the
+                // cell is published, so no concurrent `stats()` can ever
+                // observe a memoized transient — the waiters blocked on
+                // this cell still receive the outcome, but the map never
+                // holds an initialized transient entry.
+                self.forget_transient(module, inputs, &cell);
+            }
+            outcome
+        }));
+        let transient = matches!(outcome.as_ref(), Err(e) if e.is_transient());
+        if transient {
             self.transients.fetch_add(1, Ordering::Relaxed);
             if telemetry_on {
                 cache_counters().3.add(1);
+            }
+        }
+        if !fresh {
+            // Hits are counted only once the outcome is known memoizable: a
+            // waiter that raced onto a cell which resolves transient did
+            // not durably save an invocation (the entry is forgotten and
+            // the next lookup re-invokes), so counting it as a hit would
+            // inflate `hit_rate` under exactly the contention the batched
+            // executor produces.
+            if !transient {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if telemetry_on {
+                    cache_counters().0.add(1);
+                }
             }
         }
         outcome

@@ -141,6 +141,209 @@ fn parallel_executor_is_exactly_once_across_duplicate_heavy_input() {
     assert!(counts.values().all(|&c| c == 1), "{counts:?}");
 }
 
+/// The batched blocked executor's access pattern (ISSUE 6): workers claim
+/// *chunks* of a worklist off an atomic cursor, keys repeat across chunks,
+/// and every key faults transiently on its first attempt. While the run is
+/// in flight, a sampler thread polls `stats()` continuously — the
+/// `memoized_transients == 0` invariant must hold at every instant, not
+/// just at quiescence (transient entries are forgotten *before* their cell
+/// publishes), and the hit/miss/transient ledger must balance exactly.
+#[test]
+fn bucket_chunked_access_keeps_stats_invariants_mid_run() {
+    const KEYS: usize = 12;
+    const CHUNK: usize = 5;
+    let attempts: Arc<Mutex<HashMap<String, usize>>> = Arc::default();
+    let seen = Arc::clone(&attempts);
+    let module = FnModule::new(
+        ModuleDescriptor::new(
+            "op:first-try-faults",
+            "FirstTryFaults",
+            ModuleKind::SoapService,
+            vec![Parameter::required("in", StructuralType::Text, "Document")],
+            vec![Parameter::required("out", StructuralType::Text, "Document")],
+        ),
+        move |inputs| {
+            let text = inputs[0].as_text().unwrap().to_string();
+            let attempt = {
+                let mut seen = seen.lock().unwrap();
+                let n = seen.entry(text.clone()).or_insert(0);
+                *n += 1;
+                *n
+            };
+            std::thread::sleep(std::time::Duration::from_micros(300));
+            if attempt == 1 {
+                return Err(InvocationError::fault("cold start"));
+            }
+            Ok(vec![Value::text(text.to_uppercase())])
+        },
+    );
+
+    // A worklist like the executor's comparable-pair list: every key appears
+    // many times, interleaved so consecutive chunks collide on keys.
+    let worklist: Vec<Vec<Value>> = (0..KEYS * 10)
+        .map(|i| vec![Value::text(format!("k{}", i % KEYS))])
+        .collect();
+    let cache = InvocationCache::new();
+    let retrier = Retrier::new(RetryPolicy::transient(4));
+    let cursor = AtomicUsize::new(0);
+    let done = std::sync::atomic::AtomicBool::new(false);
+    let threads = 6;
+    let barrier = Barrier::new(threads + 1);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let cache = &cache;
+            let retrier = &retrier;
+            let module = &module;
+            let worklist = &worklist;
+            let cursor = &cursor;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                loop {
+                    let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                    if start >= worklist.len() {
+                        break;
+                    }
+                    for vector in &worklist[start..(start + CHUNK).min(worklist.len())] {
+                        let outcome = retrier.invoke_cached(cache, module, vector);
+                        let text = vector[0].as_text().unwrap();
+                        assert_eq!(
+                            outcome.as_ref().as_ref().unwrap(),
+                            &vec![Value::text(text.to_uppercase())]
+                        );
+                    }
+                }
+            });
+        }
+        // The sampler: hammers stats() for the whole run, asserting the
+        // invariant the old code violated in the window between cell
+        // publication and the post-hoc forget.
+        let cache = &cache;
+        let done = &done;
+        let barrier = &barrier;
+        let sampler = scope.spawn(move || {
+            barrier.wait();
+            let mut samples = 0usize;
+            while !done.load(Ordering::Relaxed) {
+                let stats = cache.stats();
+                assert_eq!(
+                    stats.memoized_transients, 0,
+                    "observed a memoized transient mid-run after {samples} clean samples"
+                );
+                samples += 1;
+            }
+            samples
+        });
+        // Scope joins the workers; flag the sampler down afterwards. The
+        // worker handles are anonymous, so park until the cursor drains.
+        while cursor.load(Ordering::Relaxed) < worklist.len() + threads * CHUNK {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        done.store(true, Ordering::Relaxed);
+        assert!(sampler.join().unwrap() > 0, "sampler never ran");
+    });
+
+    let attempts = attempts.lock().unwrap();
+    assert_eq!(attempts.len(), KEYS);
+    for (key, count) in attempts.iter() {
+        // One cold-start fault plus exactly one memoized success per key:
+        // the success cell is created once and never raced into a duplicate.
+        assert_eq!(*count, 2, "key {key} invoked {count} times");
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.memoized_transients, 0);
+    assert_eq!(stats.entries, KEYS, "only successes are memoized");
+    assert_eq!(
+        stats.misses as usize,
+        2 * KEYS,
+        "one fresh cell per fault, one per success"
+    );
+    // Ledger balance: every lookup is a miss, a hit, or a transient
+    // observation — and a fresh-and-transient lookup is counted under both
+    // miss and transient, which happens exactly once per key here. Retries
+    // add one extra lookup per transient observation.
+    let total_lookups = worklist.len() as u64 + stats.transients;
+    assert_eq!(
+        stats.hits + stats.misses + stats.transients,
+        total_lookups + KEYS as u64,
+        "{stats:?}"
+    );
+}
+
+/// A *bounded* cache under the chunked pattern: the capacity sweeper must
+/// never evict a cell whose invocation is still in flight — doing so would
+/// let another worker re-invoke the same vector concurrently. The module
+/// detects overlapping invocations of one key directly.
+#[test]
+fn bounded_cache_never_evicts_in_flight_cells() {
+    let in_flight: Arc<Mutex<HashMap<String, usize>>> = Arc::default();
+    let overlaps = Arc::new(AtomicUsize::new(0));
+    let flight = Arc::clone(&in_flight);
+    let clashes = Arc::clone(&overlaps);
+    let module = FnModule::new(
+        ModuleDescriptor::new(
+            "op:overlap-detect",
+            "OverlapDetect",
+            ModuleKind::SoapService,
+            vec![Parameter::required("in", StructuralType::Text, "Document")],
+            vec![Parameter::required("out", StructuralType::Text, "Document")],
+        ),
+        move |inputs| {
+            let text = inputs[0].as_text().unwrap().to_string();
+            {
+                let mut flying = flight.lock().unwrap();
+                let slot = flying.entry(text.clone()).or_insert(0);
+                if *slot > 0 {
+                    clashes.fetch_add(1, Ordering::SeqCst);
+                }
+                *slot += 1;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(500));
+            *flight.lock().unwrap().get_mut(&text).unwrap() -= 1;
+            Ok(vec![Value::text(text.to_uppercase())])
+        },
+    );
+
+    // Tiny capacity, many distinct keys, heavy duplication: the sweeper
+    // runs constantly while most entries are still initializing.
+    let cache = InvocationCache::with_capacity(16);
+    let worklist: Vec<Vec<Value>> = (0..600)
+        .map(|i| vec![Value::text(format!("e{}", i % 48))])
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let cache = &cache;
+            let module = &module;
+            let worklist = &worklist;
+            let cursor = &cursor;
+            scope.spawn(move || loop {
+                let start = cursor.fetch_add(4, Ordering::Relaxed);
+                if start >= worklist.len() {
+                    break;
+                }
+                for vector in &worklist[start..(start + 4).min(worklist.len())] {
+                    let outcome = cache.invoke(module, vector);
+                    assert!(outcome.is_ok());
+                }
+            });
+        }
+    });
+    assert_eq!(
+        overlaps.load(Ordering::SeqCst),
+        0,
+        "a key was invoked concurrently with itself — an in-flight cell was evicted"
+    );
+    let stats = cache.stats();
+    assert!(stats.evictions > 0, "the capacity bound was exercised");
+    assert!(
+        stats.entries <= 16 + 8,
+        "bound may only be exceeded by in-flight rotation: {}",
+        stats.entries
+    );
+}
+
 /// Two *different* modules with identical input vectors must not collide:
 /// the key is (module id, vector), not the vector alone.
 #[test]

@@ -4,6 +4,7 @@
 
 use dex_core::matching::{
     map_parameters, match_against_examples_retrying, MappingMode, MatchVerdict,
+    PartitionFingerprint,
 };
 use dex_modules::{InvocationCache, ModuleCatalog, ModuleId, Retrier, RetryPolicy, RetryStats};
 use dex_ontology::Ontology;
@@ -104,6 +105,19 @@ pub fn run_matching_study_with(
     // template replay the same candidates on the same reconstructed values.
     let invocations = InvocationCache::new();
     let retrier = Retrier::new(retry);
+    // Fingerprint every available candidate once for the whole study: the
+    // substitute scan below is O(withdrawn × available) and most pairs die
+    // on interface shape alone, without touching the mapping solver.
+    let candidates: Vec<_> = catalog
+        .iter_available()
+        .map(|(id, module)| {
+            (
+                id,
+                module,
+                PartitionFingerprint::of(module.descriptor(), ontology),
+            )
+        })
+        .collect();
 
     for legacy in &withdrawn {
         let descriptor = catalog
@@ -115,15 +129,26 @@ pub fn run_matching_study_with(
         let mut compared = 0usize;
 
         if !examples.is_empty() {
-            for (candidate_id, candidate) in catalog.iter_available() {
+            let legacy_fp = PartitionFingerprint::of(&descriptor, ontology);
+            for (candidate_id, candidate, candidate_fp) in &candidates {
+                // Fingerprint prefilter: an arity mismatch rules out every
+                // mapping mode outright, and a fingerprint mismatch rules
+                // out the strict mode (unequal label multisets admit no
+                // 1-to-1 strict mapping), leaving only the subsuming
+                // fallback to solve. Compatible fingerprints are merely an
+                // admission ticket — the solver still confirms.
+                if !legacy_fp.arity_compatible(candidate_fp) {
+                    continue;
+                }
                 // Prefer strict mapping; fall back to the subsuming mode.
-                let mode = if map_parameters(
-                    &descriptor,
-                    candidate.descriptor(),
-                    ontology,
-                    MappingMode::Strict,
-                )
-                .is_ok()
+                let mode = if legacy_fp.compatible(candidate_fp)
+                    && map_parameters(
+                        &descriptor,
+                        candidate.descriptor(),
+                        ontology,
+                        MappingMode::Strict,
+                    )
+                    .is_ok()
                 {
                     MappingMode::Strict
                 } else if map_parameters(
@@ -150,7 +175,7 @@ pub fn run_matching_study_with(
                     continue;
                 };
                 compared += 1;
-                best = pick_better(best, (candidate_id.clone(), verdict));
+                best = pick_better(best, ((*candidate_id).clone(), verdict));
                 if matches!(best, Some((_, MatchVerdict::Equivalent { .. }))) {
                     // Nothing beats an equivalent; stop scanning.
                     break;

@@ -100,6 +100,144 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Blocked-matching equivalence suite (ISSUE 6): the fingerprint-blocked,
+// batch-parallel matcher must produce a verdict matrix byte-identical to the
+// exhaustive all-pairs oracle under every configuration — serial, parallel,
+// cold cache, warm cache, withdrawn modules, and seeded fault injection.
+// ---------------------------------------------------------------------------
+
+mod blocked_matching {
+    use data_examples::core::matching::MatchSession;
+    use data_examples::core::GenerationConfig;
+    use data_examples::modules::ModuleId;
+    use data_examples::pool::build_synthetic_pool;
+    use dex_experiments::parallel::{
+        match_pairs_blocked, match_pairs_blocked_in, match_pairs_blocked_summary,
+        match_pairs_exhaustive,
+    };
+    use dex_experiments::{BatchConfig, FaultConfig};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The headline property: for randomized pools, catalog slices,
+        /// thread counts, chunk sizes, and run configurations, the blocked
+        /// matcher's full `n·(n−1)` report matrix equals the exhaustive
+        /// oracle's exactly — same keys, same outcomes, same rendered error
+        /// strings, same example counts. Each case exercises one of four
+        /// configurations: blocked-serial, blocked-parallel, warm-cache
+        /// (same session swept twice), or fault-injected parallel.
+        #[test]
+        fn blocked_matrix_is_byte_identical_to_exhaustive_oracle(
+            pool_seed in 1u64..10_000,
+            pool_per in 2usize..5,
+            step in 16usize..45,
+            offset in 0usize..7,
+            threads in 2usize..9,
+            chunk in 1usize..9,
+            withdraw in any::<bool>(),
+            mode in 0usize..4,
+        ) {
+            let mut universe = data_examples::universe::build();
+            let ids: Vec<ModuleId> = universe
+                .available_ids()
+                .into_iter()
+                .skip(offset)
+                .step_by(step)
+                .collect();
+            prop_assert!(ids.len() >= 3);
+            if withdraw {
+                // A module withdrawn after id listing: both sides must
+                // classify its pairs "unavailable" identically.
+                universe.catalog.withdraw(&ids[0]);
+            }
+            let pool = build_synthetic_pool(&universe.ontology, pool_per, pool_seed);
+            let mut config = GenerationConfig::default();
+            if mode == 3 {
+                // Seeded transient faults on ~1–10% of vectors, with the
+                // paired retry policy that provably rides out every burst
+                // (bursts are a pure key hash bounded at 2; retries allow
+                // 4 attempts) — so outcomes stay order-independent.
+                let fault = FaultConfig::injected(1 + (pool_seed % 10) as u32, pool_seed);
+                fault.apply(&mut universe.catalog);
+                config.retry = fault.retry;
+            }
+            let oracle = match_pairs_exhaustive(&universe, &ids, &pool, &config);
+            let batch = BatchConfig {
+                threads: if mode == 0 { 1 } else { threads },
+                // Forced past the crossover guard so every case exercises
+                // the claimed executor path, not just the serial fallback.
+                serial_cutoff: 0,
+                chunk,
+            };
+            if mode == 2 {
+                // Warm cache: one session swept twice; both sweeps must
+                // reproduce the oracle (the second entirely from memo).
+                let session = MatchSession::new(&universe.ontology, &pool, config.clone());
+                let cold = match_pairs_blocked_in(&session, &universe, &ids, &batch);
+                let warm = match_pairs_blocked_in(&session, &universe, &ids, &batch);
+                prop_assert_eq!(&oracle, &cold.reports);
+                prop_assert_eq!(&oracle, &warm.reports);
+                prop_assert_eq!(cold.stats, warm.stats);
+            } else {
+                let blocked = match_pairs_blocked(&universe, &ids, &pool, &config, &batch);
+                prop_assert_eq!(&oracle, &blocked.reports);
+                let s = blocked.stats;
+                prop_assert_eq!(s.pairs_total, ids.len() * (ids.len() - 1));
+                prop_assert_eq!(
+                    s.pairs_compared + s.pairs_pruned + s.pairs_unavailable,
+                    s.pairs_total
+                );
+                if withdraw {
+                    prop_assert_eq!(s.pairs_unavailable, 2 * (ids.len() - 1));
+                }
+            }
+        }
+
+        /// The summary path counts exactly what the dense matrix holds:
+        /// equivalent/overlapping/disjoint/incomparable tallies sum to the
+        /// pair total and match a tally of the oracle's matrix.
+        #[test]
+        fn summary_tallies_match_the_oracle_matrix(
+            pool_seed in 1u64..10_000,
+            step in 16usize..40,
+            threads in 1usize..9,
+        ) {
+            use data_examples::core::{MatchOutcome, MatchVerdict};
+            let universe = data_examples::universe::build();
+            let ids: Vec<ModuleId> =
+                universe.available_ids().into_iter().step_by(step).collect();
+            let pool = build_synthetic_pool(&universe.ontology, 3, pool_seed);
+            let config = GenerationConfig::default();
+            let oracle = match_pairs_exhaustive(&universe, &ids, &pool, &config);
+            let summary = match_pairs_blocked_summary(
+                &universe,
+                &ids,
+                &pool,
+                &config,
+                &BatchConfig { threads, serial_cutoff: 64, chunk: 8 },
+            );
+            let mut want = (0usize, 0usize, 0usize, 0usize);
+            for report in oracle.values() {
+                match &report.outcome {
+                    MatchOutcome::Verdict(MatchVerdict::Equivalent { .. }) => want.0 += 1,
+                    MatchOutcome::Verdict(MatchVerdict::Overlapping { .. }) => want.1 += 1,
+                    MatchOutcome::Verdict(MatchVerdict::Disjoint { .. }) => want.2 += 1,
+                    MatchOutcome::Incomparable(_) => want.3 += 1,
+                }
+            }
+            prop_assert_eq!(summary.tallies(), want);
+            prop_assert_eq!(
+                summary.equivalent
+                    + summary.overlapping
+                    + summary.disjoint
+                    + summary.incomparable,
+                summary.stats.pairs_total
+            );
+        }
+    }
+}
+
 /// Ontology invariants checked exhaustively over the shipped ontology
 /// (quantified tests rather than random ones — the domain is small).
 #[test]
