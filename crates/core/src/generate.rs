@@ -77,7 +77,7 @@ impl Default for GenerationConfig {
 }
 
 /// Everything the generator learned about a module.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GenerationReport {
     /// The constructed data examples, `∆(m)`.
     pub examples: ExampleSet,
@@ -190,6 +190,76 @@ fn resolve_candidates<'p>(
         resolved.push(per_partition);
     }
     (resolved, unvalued)
+}
+
+/// A stable digest of everything generation reads from the ontology and the
+/// pool for one module: the partition plan (concept names per input, in
+/// plan order) and every resolved pool pick per `(input, partition,
+/// attempt)` — i.e. the full output of [`resolve_candidates`], computed by
+/// the very same code path.
+///
+/// Because the report of [`generate_examples`] is a pure function of
+/// (module behavior, plan, resolved picks, config), an unchanged signature
+/// guarantees an unchanged report for an unchanged module — the staleness
+/// check the incremental layer (`crate::delta`) uses to decide whether a
+/// pool or ontology delta actually dirties a module, instead of assuming
+/// every delta touching a referenced concept does. Total: planning errors
+/// are folded into the digest rather than returned, so the signature is
+/// defined for every module.
+pub fn generation_signature(
+    descriptor: &dex_modules::ModuleDescriptor,
+    ontology: &Ontology,
+    pool: &InstancePool,
+    config: &GenerationConfig,
+) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x100_0000_01b3;
+    fn fold(hash: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *hash ^= u64::from(b);
+            *hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        // Length-prefix framing so concatenations cannot collide.
+        *hash ^= bytes.len() as u64;
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+
+    let mut hash = FNV_OFFSET;
+    let plan = match input_partition_plan(descriptor, ontology) {
+        Ok(plan) => plan,
+        Err(e) => {
+            fold(&mut hash, b"plan-error");
+            fold(&mut hash, e.to_string().as_bytes());
+            return hash;
+        }
+    };
+    if plan.combination_count() > config.max_combinations {
+        // Generation would abort before touching the pool; the cap and the
+        // combination count are all it depends on.
+        fold(&mut hash, b"too-many-combinations");
+        fold(&mut hash, &plan.combination_count().to_le_bytes());
+        fold(&mut hash, &config.max_combinations.to_le_bytes());
+        return hash;
+    }
+    let (resolved, unvalued) = resolve_candidates(&plan, descriptor, ontology, pool, config);
+    for per_input in &resolved {
+        fold(&mut hash, b"input");
+        for partition in per_input {
+            fold(&mut hash, partition.concept.as_bytes());
+            for pick in &partition.picks {
+                match pick {
+                    Some(value) => fold(&mut hash, format!("{value:?}").as_bytes()),
+                    None => fold(&mut hash, b"\0none"),
+                }
+            }
+        }
+    }
+    for (input, concept) in &unvalued {
+        fold(&mut hash, b"unvalued");
+        fold(&mut hash, &input.to_le_bytes());
+        fold(&mut hash, concept.as_bytes());
+    }
+    hash
 }
 
 /// One combination's planned invocations: which attempts actually need an

@@ -72,6 +72,7 @@ pub mod baseline;
 pub mod compose;
 pub mod coverage;
 pub mod dedupe;
+pub mod delta;
 pub mod display;
 pub mod error;
 pub mod example;
@@ -84,12 +85,13 @@ pub mod partition;
 pub use compose::{composition_score, suggest_downstream, CompositionScore};
 pub use coverage::{CoverageReport, ValueClassifier};
 pub use dedupe::{detect_redundant, DedupeConfig, DedupeReport};
+pub use delta::{Delta, DeltaReport, DependencyIndex};
 pub use display::to_markdown;
 pub use error::GenerationError;
 pub use example::{Binding, DataExample, ExampleSet};
 pub use generate::{
     generate_examples, generate_examples_cached, generate_examples_retrying,
-    generate_examples_sequential, GenerationConfig, GenerationReport,
+    generate_examples_sequential, generation_signature, GenerationConfig, GenerationReport,
 };
 pub use inverse::{cover_output_partitions, InverseCoverageReport};
 pub use matching::{

@@ -530,14 +530,25 @@ impl BlockingStats {
 /// Fingerprint buckets over a module list: index `i` of the constructed
 /// slice corresponds to the `i`-th descriptor handed to [`build`].
 ///
+/// The index is *incrementally maintainable*: [`insert`] and [`remove`]
+/// update a single slot without re-fingerprinting the rest of the
+/// population, and the resulting bucket map is identical to a fresh
+/// [`build`] over the equivalent descriptor list (property-tested in
+/// `tests/matching_properties.rs`). The canonical bucket order is
+/// ascending-by-smallest-member-index, which coincides with `build`'s
+/// first-seen order because a bucket's first-seen member *is* its smallest
+/// index during the ascending build scan.
+///
 /// [`build`]: FingerprintIndex::build
+/// [`insert`]: FingerprintIndex::insert
+/// [`remove`]: FingerprintIndex::remove
 #[derive(Debug, Clone)]
 pub struct FingerprintIndex {
     /// One fingerprint per module, `None` where no descriptor was available.
     fingerprints: Vec<Option<PartitionFingerprint>>,
-    /// Buckets of module indices sharing a fingerprint, in first-seen order
-    /// (deterministic regardless of hash-map iteration).
-    buckets: Vec<Vec<usize>>,
+    /// Bucket membership per fingerprint, each member list kept sorted
+    /// ascending (the canonical form shared by built and mutated indexes).
+    members: HashMap<PartitionFingerprint, Vec<usize>>,
 }
 
 impl FingerprintIndex {
@@ -552,22 +563,26 @@ impl FingerprintIndex {
             .into_iter()
             .map(|d| d.map(|d| PartitionFingerprint::of(d, ontology)))
             .collect();
-        let mut by_fp: HashMap<PartitionFingerprint, usize> = HashMap::new();
-        let mut buckets: Vec<Vec<usize>> = Vec::new();
+        let mut members: HashMap<PartitionFingerprint, Vec<usize>> = HashMap::new();
         for (idx, fp) in fingerprints.iter().enumerate() {
             let Some(fp) = fp else { continue };
-            match by_fp.entry(*fp) {
-                std::collections::hash_map::Entry::Occupied(slot) => buckets[*slot.get()].push(idx),
-                std::collections::hash_map::Entry::Vacant(slot) => {
-                    slot.insert(buckets.len());
-                    buckets.push(vec![idx]);
-                }
-            }
+            // Ascending scan: pushes keep every member list sorted.
+            members.entry(*fp).or_default().push(idx);
         }
         FingerprintIndex {
             fingerprints,
-            buckets,
+            members,
         }
+    }
+
+    /// Number of module slots the index spans (bucketed or not).
+    pub fn len(&self) -> usize {
+        self.fingerprints.len()
+    }
+
+    /// Whether the index spans no module slots.
+    pub fn is_empty(&self) -> bool {
+        self.fingerprints.is_empty()
     }
 
     /// The fingerprint of module `idx`, if it had a descriptor.
@@ -575,20 +590,81 @@ impl FingerprintIndex {
         self.fingerprints.get(idx).and_then(|fp| fp.as_ref())
     }
 
+    /// Sets slot `idx` to `descriptor`'s fingerprint, moving it between
+    /// buckets as needed (growing the index when `idx` is past the end).
+    /// This is the single-slot analogue of rebuilding with the descriptor
+    /// list changed at `idx` — a provider re-registering a module, or an
+    /// ontology edit changing one module's partition sets.
+    pub fn insert(&mut self, idx: usize, descriptor: &ModuleDescriptor, ontology: &Ontology) {
+        self.set(idx, Some(PartitionFingerprint::of(descriptor, ontology)));
+    }
+
+    /// Clears slot `idx` (a withdrawn module): it leaves its bucket and
+    /// compares with nothing until re-inserted. No-op past the end.
+    pub fn remove(&mut self, idx: usize) {
+        if idx < self.fingerprints.len() {
+            self.set(idx, None);
+        }
+    }
+
+    fn set(&mut self, idx: usize, fp: Option<PartitionFingerprint>) {
+        if idx >= self.fingerprints.len() {
+            self.fingerprints.resize(idx + 1, None);
+        }
+        let old = self.fingerprints[idx];
+        if old == fp {
+            return;
+        }
+        if let Some(old) = old {
+            if let Some(bucket) = self.members.get_mut(&old) {
+                if let Ok(pos) = bucket.binary_search(&idx) {
+                    bucket.remove(pos);
+                }
+                if bucket.is_empty() {
+                    self.members.remove(&old);
+                }
+            }
+        }
+        if let Some(new) = fp {
+            let bucket = self.members.entry(new).or_default();
+            if let Err(pos) = bucket.binary_search(&idx) {
+                bucket.insert(pos, idx);
+            }
+        }
+        self.fingerprints[idx] = fp;
+    }
+
+    /// The member lists in canonical order: ascending by smallest member
+    /// index (== first-seen order for a freshly built index).
+    fn ordered_buckets(&self) -> Vec<&[usize]> {
+        let mut buckets: Vec<&[usize]> = self.members.values().map(Vec::as_slice).collect();
+        buckets.sort_unstable_by_key(|b| b[0]);
+        buckets
+    }
+
     /// The fingerprint buckets, each a set of mutually comparable module
-    /// indices, in first-seen order.
+    /// indices, in canonical (first-seen) order.
     pub fn buckets(&self) -> impl Iterator<Item = &[usize]> {
-        self.buckets.iter().map(Vec::as_slice)
+        self.ordered_buckets().into_iter()
+    }
+
+    /// The bucket containing `idx` — every module it is mutually comparable
+    /// with (including `idx` itself). Empty when the slot is vacant.
+    pub fn peers(&self, idx: usize) -> &[usize] {
+        self.fingerprint(idx)
+            .and_then(|fp| self.members.get(fp))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Number of distinct fingerprints observed.
     pub fn bucket_count(&self) -> usize {
-        self.buckets.len()
+        self.members.len()
     }
 
     /// Size of the largest bucket (`0` for an empty index).
     pub fn largest_bucket(&self) -> usize {
-        self.buckets.iter().map(Vec::len).max().unwrap_or(0)
+        self.members.values().map(Vec::len).max().unwrap_or(0)
     }
 
     /// Every ordered pair `(t, c)`, `t ≠ c`, whose fingerprints are
@@ -596,12 +672,46 @@ impl FingerprintIndex {
     /// deterministic bucket-major order.
     pub fn comparable_pairs(&self) -> Vec<(usize, usize)> {
         let mut pairs = Vec::new();
-        for bucket in &self.buckets {
+        for bucket in self.ordered_buckets() {
             for &t in bucket {
                 for &c in bucket {
                     if t != c {
                         pairs.push((t, c));
                     }
+                }
+            }
+        }
+        pairs
+    }
+
+    /// [`comparable_pairs`](FingerprintIndex::comparable_pairs) interleaved
+    /// round-robin across buckets: consecutive pairs come from *different*
+    /// buckets wherever possible, so a fixed-size chunk of the worklist
+    /// spans many buckets instead of sitting inside one giant one. The pair
+    /// *set* is identical to `comparable_pairs` — only the order differs —
+    /// and the order is deterministic.
+    ///
+    /// This is the worklist order the batched executor wants: with
+    /// bucket-major order, one oversized bucket (the 25k sweep has a
+    /// 391-module bucket, ~152k consecutive pairs) occupies a long run of
+    /// consecutive chunks whose claims all replay the same few memoized
+    /// targets, while interleaving spreads every bucket's pairs evenly
+    /// across the sweep.
+    pub fn comparable_pairs_interleaved(&self) -> Vec<(usize, usize)> {
+        let buckets = self.ordered_buckets();
+        let mut per_bucket: Vec<std::iter::Peekable<PairIter>> = buckets
+            .iter()
+            .map(|b| PairIter::new(b).peekable())
+            .collect();
+        let total: usize = buckets
+            .iter()
+            .map(|b| b.len() * b.len().saturating_sub(1))
+            .sum();
+        let mut pairs = Vec::with_capacity(total);
+        while pairs.len() < total {
+            for it in &mut per_bucket {
+                if let Some(pair) = it.next() {
+                    pairs.push(pair);
                 }
             }
         }
@@ -615,6 +725,40 @@ impl FingerprintIndex {
             (Some(a), Some(b)) => a.compatible(b),
             _ => false,
         }
+    }
+}
+
+/// Ordered `(t, c)` pairs of one bucket, `t ≠ c`, in the same nested order
+/// `comparable_pairs` emits them.
+struct PairIter<'b> {
+    bucket: &'b [usize],
+    t: usize,
+    c: usize,
+}
+
+impl<'b> PairIter<'b> {
+    fn new(bucket: &'b [usize]) -> PairIter<'b> {
+        PairIter { bucket, t: 0, c: 0 }
+    }
+}
+
+impl Iterator for PairIter<'_> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        while self.t < self.bucket.len() {
+            if self.c >= self.bucket.len() {
+                self.t += 1;
+                self.c = 0;
+                continue;
+            }
+            let (t, c) = (self.bucket[self.t], self.bucket[self.c]);
+            self.c += 1;
+            if t != c {
+                return Some((t, c));
+            }
+        }
+        None
     }
 }
 

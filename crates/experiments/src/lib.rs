@@ -28,10 +28,12 @@ pub mod ablations;
 pub mod experiments;
 pub mod faults;
 pub mod format;
+pub mod incremental;
 pub mod parallel;
 pub mod telemetry;
 
 pub use faults::FaultConfig;
+pub use incremental::IncrementalPipeline;
 pub use parallel::{BatchConfig, BlockedMatchMatrix, BlockedMatchSummary};
 pub use telemetry::TelemetryRun;
 

@@ -150,12 +150,19 @@ impl BatchConfig {
     /// sub-512-pair sweep finishes in well under a millisecond warm, which
     /// is the same order as spawning and joining the workers, so the guard
     /// keeps those batches on the calling thread. `bench_blocking`'s
-    /// crossover sweep re-measures this per host and records it in
-    /// BENCH_blocking.json (`measured_crossover_pairs`; `null` on a
-    /// single-core host, where the batched path never beats serial and
-    /// this guard plus the `threads == 1` fallback keep it from losing —
-    /// unlike the per-pair channel executor it replaced, which lost at
-    /// every size, see the `perpair_parallel_ms` column).
+    /// crossover sweep re-measures this per host and records a **non-null**
+    /// `measured_crossover_pairs` in BENCH_blocking.json: the first sweep
+    /// size where batched actually beat serial when one exists, otherwise a
+    /// spawn-overhead model (`crossover_basis: "overhead_model"`) — measured
+    /// scope-spawn/join cost divided by the warm per-pair cost, scaled by
+    /// the fraction of work the extra workers take over. On a single-core
+    /// host an observed crossover is physically impossible (the batched
+    /// path degenerates to the `threads == 1` serial fallback), which is
+    /// exactly when the model applies. The bench asserts this shipped
+    /// constant is at or above the derived value, so the serial guard can
+    /// only ever err on the safe (serial) side; the per-pair channel
+    /// executor this replaced lost at every size, see the
+    /// `perpair_parallel_ms` column.
     pub const SERIAL_CUTOFF_PAIRS: usize = 512;
     /// Claim granularity: 64 pairs ≈ tens of microseconds of warm-cache
     /// work per claim, three orders of magnitude over the atomic itself.
@@ -224,6 +231,13 @@ impl BlockedMatchSummary {
 /// Builds the blocking plan for `ids`: fingerprint index, the compared-pair
 /// worklist, and the stats ledger. Withdrawn ids get no fingerprint and
 /// land in the `pairs_unavailable` bucket.
+///
+/// The worklist is interleaved round-robin across buckets (same pair set,
+/// bucket-aware order): a `CHUNK_PAIRS` claim spans many buckets instead of
+/// sitting inside one oversized bucket — at 25k modules the largest bucket
+/// holds 391 descriptors (~152k consecutive bucket-major pairs, ~2.4k
+/// consecutive chunks of near-identical work), and interleaving spreads
+/// that bucket evenly across the sweep so chunk runtimes stay uniform.
 fn blocked_plan(
     universe: &Universe,
     ids: &[ModuleId],
@@ -233,7 +247,7 @@ fn blocked_plan(
             .map(|id| universe.catalog.get(id).map(|m| m.descriptor())),
         &universe.ontology,
     );
-    let pairs = index.comparable_pairs();
+    let pairs = index.comparable_pairs_interleaved();
     let n = ids.len();
     let available = (0..n).filter(|&i| index.fingerprint(i).is_some()).count();
     let pairs_total = n * n.saturating_sub(1);

@@ -1,0 +1,58 @@
+//! The `dex.delta.*` counter family (ISSUE 7 satellite): every
+//! `IncrementalPipeline::apply` publishes its accounting to the global
+//! subscriber, and `RunReport::collect` surfaces the counters like any
+//! other family — no special-casing in the report layer.
+//!
+//! Lives in its own integration-test binary: the subscriber is
+//! process-global, and this test owns enable/reset/disable for the
+//! process.
+
+use dex_core::delta::Delta;
+use dex_core::GenerationConfig;
+use dex_experiments::IncrementalPipeline;
+use dex_pool::{build_synthetic_pool, AnnotatedInstance};
+use dex_values::Value;
+
+#[test]
+fn delta_counters_surface_in_run_report() {
+    dex_telemetry::enable();
+    dex_telemetry::reset();
+
+    let universe = dex_universe::build();
+    let pool = build_synthetic_pool(&universe.ontology, 3, 42);
+    let mut engine = IncrementalPipeline::bootstrap(universe, pool, GenerationConfig::default());
+
+    let withdrawn = engine.tracked_ids()[0].clone();
+    let report = engine.apply(&[
+        Delta::PoolInsert {
+            instance: AnnotatedInstance::synthetic(Value::text("ACGT-telemetry"), "DNASequence"),
+        },
+        Delta::ModuleWithdraw {
+            id: withdrawn.clone(),
+        },
+    ]);
+    assert_eq!(report.events, 2);
+
+    let run = dex_telemetry::collect("delta-telemetry");
+    dex_telemetry::disable();
+
+    // Zero-valued counters are pruned from reports (reset zeroes in
+    // place), so read with a zero default instead of indexing.
+    let counter = |name: &str| run.counters.get(name).copied().unwrap_or(0);
+    assert_eq!(counter("dex.delta.events"), report.events as u64);
+    assert_eq!(counter("dex.delta.dirty_cells"), report.cells_dirty as u64);
+    assert_eq!(
+        counter("dex.delta.carried_forward"),
+        report.carried_forward as u64
+    );
+    assert_eq!(
+        counter("dex.delta.recomputed_pairs"),
+        report.recomputed_pairs as u64
+    );
+    assert_eq!(
+        counter("dex.delta.recomputed_modules"),
+        report.regenerated_modules as u64
+    );
+    // The withdrawal really left a carried-forward substitute behind.
+    assert!(engine.matching_study().matches.contains_key(&withdrawn));
+}

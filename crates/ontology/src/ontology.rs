@@ -316,6 +316,31 @@ impl Ontology {
         self.last = last;
         self.preorder = preorder;
     }
+
+    /// Appends a new *concrete* leaf concept named `name` under `parent` —
+    /// the `OntologyEdgeAdd` mutation of the incremental layer's delta
+    /// model. The arena is append-only, so every existing [`ConceptId`]
+    /// stays valid; only the derived indexes are recomputed. Errors on a
+    /// duplicate name or an unknown parent, leaving the ontology untouched.
+    pub fn add_child(
+        &mut self,
+        name: impl Into<String>,
+        parent: &str,
+    ) -> Result<ConceptId, OntologyError> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(OntologyError::DuplicateConcept(name));
+        }
+        let parent_id = self.require(parent)?;
+        let id = ConceptId::from_index(self.concepts.len());
+        self.concepts.push(Concept::named(name, Some(parent_id)));
+        self.children.push(Vec::new());
+        self.children[parent_id.index()].push(id);
+        self.abstract_flags.push(false);
+        self.depths.push(self.depths[parent_id.index()] + 1);
+        self.rebuild_index();
+        Ok(id)
+    }
 }
 
 /// Labels every concept with its DFS entry time and the largest entry time in
@@ -568,6 +593,57 @@ mod tests {
         assert_eq!(d[0], root);
         // Every descendant is subsumed by the root.
         assert!(d.iter().all(|&c| o.subsumes(root, c)));
+    }
+
+    #[test]
+    fn add_child_matches_builder_built_ontology() {
+        // Growing the sample with a live edge must be observationally
+        // identical to having built the larger ontology from scratch.
+        let mut grown = sample();
+        let id = grown
+            .add_child("XNASequence", "NucleotideSequence")
+            .unwrap();
+        assert_eq!(grown.concept_name(id), "XNASequence");
+
+        let mut b = Ontology::builder("test");
+        b.root("BioData").unwrap();
+        b.child("BiologicalSequence", "BioData").unwrap();
+        b.abstract_child("NucleotideSequence", "BiologicalSequence")
+            .unwrap();
+        b.child("DNASequence", "NucleotideSequence").unwrap();
+        b.child("RNASequence", "NucleotideSequence").unwrap();
+        b.child("ProteinSequence", "BiologicalSequence").unwrap();
+        b.child("Accession", "BioData").unwrap();
+        b.child("XNASequence", "NucleotideSequence").unwrap();
+        let fresh = b.build().unwrap();
+
+        assert_eq!(grown.len(), fresh.len());
+        for a in grown.iter() {
+            let fa = fresh.id(grown.concept_name(a)).unwrap();
+            assert_eq!(grown.depth(a), fresh.depth(fa));
+            let gp: Vec<&str> = grown
+                .partitions_of(a)
+                .into_iter()
+                .map(|c| grown.concept_name(c))
+                .collect();
+            let fp: Vec<&str> = fresh
+                .partitions_of(fa)
+                .into_iter()
+                .map(|c| fresh.concept_name(c))
+                .collect();
+            assert_eq!(gp, fp);
+            for b in grown.iter() {
+                let fb = fresh.id(grown.concept_name(b)).unwrap();
+                assert_eq!(grown.subsumes(a, b), fresh.subsumes(fa, fb));
+            }
+        }
+
+        // Error paths: duplicate names and unknown parents are rejected.
+        assert!(matches!(
+            grown.add_child("DNASequence", "BioData"),
+            Err(OntologyError::DuplicateConcept(_))
+        ));
+        assert!(grown.add_child("YNASequence", "Nope").is_err());
     }
 
     #[test]

@@ -301,6 +301,30 @@ impl InstancePool {
         self.instances.retain(predicate);
         self.rebuild_index();
     }
+
+    /// Removes the `occurrence`-th instance annotated exactly `concept`
+    /// (in insertion order, the order [`realizations_of`] iterates) and
+    /// returns it; `None` — and no change — when the concept has fewer
+    /// occurrences. The single-instance mutation behind the incremental
+    /// layer's `Delta::PoolRemove` event; rebuilds the index.
+    ///
+    /// [`realizations_of`]: InstancePool::realizations_of
+    pub fn remove_realization(
+        &mut self,
+        concept: &str,
+        occurrence: usize,
+    ) -> Option<AnnotatedInstance> {
+        let pos = self
+            .instances
+            .iter()
+            .enumerate()
+            .filter(|(_, inst)| inst.concept == concept)
+            .nth(occurrence)
+            .map(|(pos, _)| pos)?;
+        let removed = self.instances.remove(pos);
+        self.rebuild_index();
+        Some(removed)
+    }
 }
 
 /// An ontology-bound view of an [`InstancePool`]: every lookup is keyed by
@@ -470,6 +494,28 @@ mod tests {
         assert_eq!(p.len(), 3);
         assert_eq!(p.realizations_of("DNA").count(), 0);
         assert_eq!(p.realizations_of("Protein").count(), 1);
+    }
+
+    #[test]
+    fn remove_realization_targets_nth_occurrence() {
+        let mut p = pool();
+        // Occurrence index counts within the concept, not the whole pool.
+        let removed = p.remove_realization("DNA", 1).unwrap();
+        assert_eq!(removed.value, Value::text("TTTT"));
+        assert_eq!(p.len(), 4);
+        let dna: Vec<String> = p
+            .realizations_of("DNA")
+            .map(|i| i.value.to_string())
+            .collect();
+        assert_eq!(dna, vec!["ACGT"]);
+        // Other buckets keep their order after the index rebuild.
+        assert!(p
+            .get_instance("Accession", &StructuralType::Integer, 0)
+            .is_some());
+        // Out-of-range occurrence and unknown concept are no-ops.
+        assert!(p.remove_realization("DNA", 1).is_none());
+        assert!(p.remove_realization("Nope", 0).is_none());
+        assert_eq!(p.len(), 4);
     }
 
     #[test]

@@ -25,5 +25,7 @@ pub use corpus::{build_corpus, build_corpus_with, CorpusBuildReport};
 pub use engine::{
     repair_repository, repair_repository_with, RepairOutcome, RepairStatus, RepairSummary,
 };
-pub use matching::{run_matching_study, run_matching_study_with, LegacyMatch, MatchingStudy};
+pub use matching::{
+    pick_better_substitute, run_matching_study, run_matching_study_with, LegacyMatch, MatchingStudy,
+};
 pub use repository::{generate_repository, RepositoryPlan, StoredWorkflow, WorkflowRepository};

@@ -70,6 +70,18 @@ impl MatchingStudy {
     pub fn substitute_for(&self, legacy: &ModuleId) -> Option<&(ModuleId, MatchVerdict)> {
         self.matches.get(legacy).and_then(|m| m.best.as_ref())
     }
+
+    /// Assembles a study from per-legacy outcomes computed elsewhere —
+    /// the incremental layer feeds this with verdicts *carried forward*
+    /// from its maintained matching matrix at withdrawal time, so the
+    /// substitute search costs zero replay invocations. Retry accounting
+    /// stays zero: no invocations happened on this path.
+    pub fn from_carried(matches: impl IntoIterator<Item = LegacyMatch>) -> MatchingStudy {
+        MatchingStudy {
+            matches: matches.into_iter().map(|m| (m.module.clone(), m)).collect(),
+            retry: RetryStats::default(),
+        }
+    }
 }
 
 /// Runs the study: for every withdrawn module of `catalog`, reconstruct its
@@ -175,7 +187,7 @@ pub fn run_matching_study_with(
                     continue;
                 };
                 compared += 1;
-                best = pick_better(best, ((*candidate_id).clone(), verdict));
+                best = pick_better_substitute(best, ((*candidate_id).clone(), verdict));
                 if matches!(best, Some((_, MatchVerdict::Equivalent { .. }))) {
                     // Nothing beats an equivalent; stop scanning.
                     break;
@@ -198,7 +210,13 @@ pub fn run_matching_study_with(
     study
 }
 
-fn pick_better(
+/// The study's candidate ranking, exposed for callers that rank verdicts
+/// they already hold (the incremental layer's carried-forward substitute
+/// capture): an `Equivalent` verdict wins outright, then the `Overlapping`
+/// candidate with the highest agreement ratio; `Disjoint` never wins, and
+/// on equal rank the incumbent is kept (first-found wins, matching the
+/// study's early-exit scan order).
+pub fn pick_better_substitute(
     current: Option<(ModuleId, MatchVerdict)>,
     challenger: (ModuleId, MatchVerdict),
 ) -> Option<(ModuleId, MatchVerdict)> {
