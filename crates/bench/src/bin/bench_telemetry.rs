@@ -1,13 +1,17 @@
 //! Measures the overhead of the `dex-telemetry` subscriber on the two
-//! parallel hot paths, and emits a machine-readable `BENCH_telemetry.json`.
+//! parallel hot paths — plus per-call microcosts of the span guard and the
+//! flight recorder — and emits a machine-readable `BENCH_telemetry.json`.
 //!
 //! Usage: `cargo run --release -p dex-bench --bin bench_telemetry [OUT.json]`
 //! (default output path: `BENCH_telemetry.json` in the working directory).
 //!
 //! Each workload runs several interleaved repetitions with the subscriber
-//! off and on; the reported overhead compares the medians. The ISSUE budget
-//! is ~5% when enabled — when *disabled* the instrumentation is a single
-//! relaxed atomic load per site and should be unmeasurable.
+//! off and on; the reported overhead compares the medians. Release builds
+//! **gate** the results: enabled tracing must cost at most
+//! [`OVERHEAD_BUDGET_PCT`] on the workload medians, and a *disabled* span
+//! site — one relaxed atomic load and an early return, no allocation — must
+//! stay under [`DISABLED_SPAN_BUDGET_NS`] per call. Breaching either budget
+//! exits nonzero so CI treats instrumentation creep as a regression.
 
 use dex_core::GenerationConfig;
 use dex_experiments::parallel::{generate_all_parallel, match_pairs_parallel};
@@ -15,6 +19,15 @@ use dex_modules::ModuleId;
 use dex_pool::build_synthetic_pool;
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Maximum median slowdown tracing may inflict on an instrumented workload.
+const OVERHEAD_BUDGET_PCT: f64 = 10.0;
+
+/// Ceiling for a disabled span site, per call. The guard is a single
+/// relaxed load (~1 ns on current hardware); the budget leaves headroom for
+/// noisy CI hosts while still catching an accidental allocation or clock
+/// read on the disabled path, which would cost 20–60 ns.
+const DISABLED_SPAN_BUDGET_NS: f64 = 20.0;
 
 /// Per-call milliseconds for one timed batch of `batch` calls.
 fn batch_ms(batch: usize, f: &mut impl FnMut()) -> f64 {
@@ -28,6 +41,19 @@ fn batch_ms(batch: usize, f: &mut impl FnMut()) -> f64 {
 fn median(mut samples: Vec<f64>) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
     samples[samples.len() / 2]
+}
+
+/// Median nanoseconds per call of `f` over `reps` batches of `calls`.
+fn ns_per_call(reps: usize, calls: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..calls {
+            f();
+        }
+        samples.push(start.elapsed().as_secs_f64() * 1e9 / calls as f64);
+    }
+    median(samples)
 }
 
 fn main() {
@@ -56,6 +82,7 @@ fn main() {
     let mut json = String::from("{\n");
     writeln!(json, "  \"profile\": \"{profile}\",").unwrap();
     writeln!(json, "  \"threads\": {threads},").unwrap();
+    writeln!(json, "  \"overhead_budget_pct\": {OVERHEAD_BUDGET_PCT},").unwrap();
 
     // Off and on batches alternate so slow machine drift (frequency
     // scaling, background load) hits both sides equally instead of biasing
@@ -91,20 +118,119 @@ fn main() {
         }),
     );
 
+    // Microcosts. Disabled sites must be inert: the span guard is a relaxed
+    // load + None, the flight gate a pair of relaxed loads — no clock read,
+    // no allocation, no formatting (call sites gate on `flight_on()` before
+    // building the detail string).
+    let micro_calls = if cfg!(debug_assertions) {
+        10_000
+    } else {
+        1_000_000
+    };
+    dex_telemetry::disable();
+    let span_off_ns = ns_per_call(reps, micro_calls, || {
+        drop(std::hint::black_box(dex_telemetry::span("bench.micro")));
+    });
+    let flight_off_ns = ns_per_call(reps, micro_calls, || {
+        if std::hint::black_box(dex_telemetry::flight_on()) {
+            dex_telemetry::flight(
+                dex_telemetry::FlightKind::Invocation,
+                "bench.micro",
+                "never reached while disabled".to_string(),
+                0,
+            );
+        }
+    });
+    dex_telemetry::enable();
+    // Enabled spans fold into the root list; keep batches modest and reset
+    // between them so the forest doesn't grow monotonically.
+    let span_calls = micro_calls / 10;
+    let span_on_ns = ns_per_call(reps, span_calls.max(1), || {
+        drop(std::hint::black_box(dex_telemetry::span("bench.micro")));
+    });
+    dex_telemetry::reset();
+    // The flight ring overwrites in place, so volume is free; each recorded
+    // event costs one format + one boxed slot swap.
+    let flight_on_ns = ns_per_call(reps, span_calls.max(1), || {
+        if dex_telemetry::flight_on() {
+            dex_telemetry::flight(
+                dex_telemetry::FlightKind::Invocation,
+                "bench.micro",
+                "ok (1 outputs)".to_string(),
+                1,
+            );
+        }
+    });
+    dex_telemetry::disable();
+    dex_telemetry::reset();
+    eprintln!(
+        "span: disabled {span_off_ns:.1} ns/call, enabled {span_on_ns:.1} ns/call; \
+         flight: disabled {flight_off_ns:.1} ns/call, enabled {flight_on_ns:.1} ns/call"
+    );
+
     let pct = |off: f64, on: f64| (on - off) / off * 100.0;
+    let gen_pct = pct(gen_off, gen_on);
+    let match_pct = pct(match_off, match_on);
     writeln!(
         json,
         "  \"generate_all\": {{\"off_ms\": {gen_off:.2}, \"on_ms\": {gen_on:.2}, \
-         \"overhead_pct\": {:.2}}},",
-        pct(gen_off, gen_on)
+         \"overhead_pct\": {gen_pct:.2}}},",
     )
     .unwrap();
     writeln!(
         json,
         "  \"match_pairs\": {{\"modules\": {}, \"off_ms\": {match_off:.2}, \
-         \"on_ms\": {match_on:.2}, \"overhead_pct\": {:.2}}}",
+         \"on_ms\": {match_on:.2}, \"overhead_pct\": {match_pct:.2}}},",
         match_ids.len(),
-        pct(match_off, match_on)
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"span_call\": {{\"disabled_ns\": {span_off_ns:.1}, \"enabled_ns\": {span_on_ns:.1}, \
+         \"disabled_budget_ns\": {DISABLED_SPAN_BUDGET_NS}}},"
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"flight_event\": {{\"disabled_ns\": {flight_off_ns:.1}, \
+         \"enabled_ns\": {flight_on_ns:.1}}},"
+    )
+    .unwrap();
+
+    // Gate only in release: debug medians measure the lack of optimization,
+    // not the instrumentation.
+    let mut violations: Vec<String> = Vec::new();
+    if !cfg!(debug_assertions) {
+        if gen_pct > OVERHEAD_BUDGET_PCT {
+            violations.push(format!(
+                "generate_all enabled overhead {gen_pct:.2}% > {OVERHEAD_BUDGET_PCT}%"
+            ));
+        }
+        if match_pct > OVERHEAD_BUDGET_PCT {
+            violations.push(format!(
+                "match_pairs enabled overhead {match_pct:.2}% > {OVERHEAD_BUDGET_PCT}%"
+            ));
+        }
+        if span_off_ns > DISABLED_SPAN_BUDGET_NS {
+            violations.push(format!(
+                "disabled span site costs {span_off_ns:.1} ns/call > {DISABLED_SPAN_BUDGET_NS} ns"
+            ));
+        }
+        if flight_off_ns > DISABLED_SPAN_BUDGET_NS {
+            violations.push(format!(
+                "disabled flight site costs {flight_off_ns:.1} ns/call > \
+                 {DISABLED_SPAN_BUDGET_NS} ns"
+            ));
+        }
+    }
+    writeln!(
+        json,
+        "  \"gate\": \"{}\"",
+        if violations.is_empty() {
+            "pass"
+        } else {
+            "fail"
+        }
     )
     .unwrap();
     json.push_str("}\n");
@@ -112,4 +238,10 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write summary");
     print!("{json}");
     eprintln!("wrote {out_path}");
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("bench_telemetry: BUDGET VIOLATION: {v}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -405,6 +405,7 @@ fn generate_with(
             .get_or_init(|| dex_telemetry::histogram("dex.generate.module_ns"))
             .start()
     };
+    let _span = dex_telemetry::span("generate.module");
     let descriptor = module.descriptor();
     let plan = input_partition_plan(descriptor, ontology)?;
 

@@ -1,0 +1,95 @@
+//! CI validator for telemetry artifacts.
+//!
+//! ```text
+//! trace_check <trace.json> [FLIGHT.json]
+//! ```
+//!
+//! Parses a Chrome trace export, checks its causal invariants (every parent
+//! id resolves, ids are unique, timestamps are monotonic per track), and —
+//! when a flight-recorder dump is given — verifies the post-mortem is
+//! non-empty and `seq`-ordered. Exits nonzero with a defect listing on any
+//! violation, so the CI smoke run fails loudly instead of uploading a trace
+//! Perfetto cannot stitch.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(trace_path) = args.first() else {
+        eprintln!("usage: trace_check <trace.json> [FLIGHT.json]");
+        return ExitCode::FAILURE;
+    };
+
+    let json = match std::fs::read_to_string(trace_path) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = match dex_telemetry::chrome_trace_from_json(&json) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("trace_check: {trace_path} is not a Chrome trace array: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if events.is_empty() {
+        eprintln!("trace_check: {trace_path} contains no trace events");
+        return ExitCode::FAILURE;
+    }
+    let defects = dex_telemetry::validate_chrome_trace(&events);
+    if !defects.is_empty() {
+        eprintln!("trace_check: {trace_path} has {} defect(s):", defects.len());
+        for defect in &defects {
+            eprintln!("  - {defect}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let tracks = {
+        let mut tids: Vec<u64> = events.iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        tids.len()
+    };
+    let roots = events.iter().filter(|e| e.args.parent == 0).count();
+    println!(
+        "trace_check: {trace_path} ok ({} events, {tracks} tracks, {roots} roots)",
+        events.len()
+    );
+
+    if let Some(flight_path) = args.get(1) {
+        let json = match std::fs::read_to_string(flight_path) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("trace_check: cannot read {flight_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let dump = match dex_telemetry::FlightDump::from_json(&json) {
+            Ok(dump) => dump,
+            Err(e) => {
+                eprintln!("trace_check: {flight_path} is not a flight dump: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if dump.events.is_empty() {
+            eprintln!(
+                "trace_check: {flight_path} post-mortem is empty (reason: {})",
+                dump.reason
+            );
+            return ExitCode::FAILURE;
+        }
+        if dump.events.windows(2).any(|w| w[0].seq >= w[1].seq) {
+            eprintln!("trace_check: {flight_path} events are not in seq order");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "trace_check: {flight_path} ok (reason \"{}\", {} events of {} recorded)",
+            dump.reason,
+            dump.events.len(),
+            dump.total_recorded
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -320,6 +320,20 @@ pub fn decay_experiments_with(plan: &RepositoryPlan, faults: &FaultConfig) -> De
         );
     }
     universe.decay();
+    if dex_telemetry::flight_on() {
+        // The decay wave is the run's mass withdrawal: capture the flight
+        // window (injected faults, retries, exhaustion leading up to it)
+        // as the post-mortem artifact.
+        for id in universe.catalog.withdrawn_ids() {
+            dex_telemetry::flight(
+                dex_telemetry::FlightKind::ModuleWithdrawn,
+                id.as_str(),
+                "withdrawn from catalog (decay)".to_string(),
+                0,
+            );
+        }
+        dex_telemetry::dump_flight("module withdrawn");
+    }
     let study =
         run_matching_study_with(&universe.catalog, &corpus, &universe.ontology, faults.retry);
     let (eq, ov, none) = study.counts();

@@ -168,6 +168,23 @@ impl IncrementalPipeline {
         let mut dirty_candidates: BTreeSet<usize> = BTreeSet::new();
         let mut plan_dirty: BTreeSet<usize> = BTreeSet::new();
         for delta in deltas {
+            if dex_telemetry::flight_on() {
+                let (target, detail) = match delta {
+                    Delta::PoolInsert { instance } => {
+                        (instance.concept.as_str(), "pool insert".to_string())
+                    }
+                    Delta::PoolRemove {
+                        concept,
+                        occurrence,
+                    } => (concept.as_str(), format!("pool remove #{occurrence}")),
+                    Delta::ModuleWithdraw { id } => (id.as_str(), "module withdraw".to_string()),
+                    Delta::ModuleRestore { id } => (id.as_str(), "module restore".to_string()),
+                    Delta::OntologyEdgeAdd { parent, child } => {
+                        (child.as_str(), format!("ontology edge under {parent}"))
+                    }
+                };
+                dex_telemetry::flight(dex_telemetry::FlightKind::DeltaApplied, target, detail, 0);
+            }
             match delta {
                 Delta::PoolInsert { instance } => {
                     let concept = instance.concept.clone();

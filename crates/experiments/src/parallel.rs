@@ -74,10 +74,12 @@ pub fn generate_fleet(
     // key, but repeated experiment phases over the same universe do, and the
     // cache's stats land in TELEMETRY.json for every instrumented run.
     let invocations = InvocationCache::new();
+    let ctx = dex_telemetry::current_context();
     std::thread::scope(|scope| {
         for (id_chunk, out_chunk) in ids.chunks(chunk).zip(results.chunks_mut(chunk)) {
             let invocations = &invocations;
             scope.spawn(move || {
+                let _worker = ctx.span("parallel.generate_worker");
                 for (id, slot) in id_chunk.iter().zip(out_chunk) {
                     let Some(module) = universe.catalog.get(id) else {
                         if fail_fast {
@@ -117,9 +119,22 @@ pub fn generate_fleet(
                 if dex_telemetry::is_enabled() {
                     dex_telemetry::counter_add("dex.parallel.generation_failures", 1);
                 }
+                if dex_telemetry::flight_on() {
+                    dex_telemetry::flight(
+                        dex_telemetry::FlightKind::ModuleWithdrawn,
+                        id.as_str(),
+                        error.clone(),
+                        0,
+                    );
+                }
                 fleet.failures.push((id, error));
             }
         }
+    }
+    if !fleet.failures.is_empty() {
+        // Graceful degradation just withdrew module(s): capture the flight
+        // window (fault injections, retries, exhaustion) as a post-mortem.
+        dex_telemetry::dump_flight("module withdrawn");
     }
     fleet
 }
@@ -290,6 +305,7 @@ where
     let workers = threads.min(pairs.len().div_ceil(chunk));
     dex_telemetry::gauge_set("dex.parallel.threads", workers as i64);
     let cursor = AtomicUsize::new(0);
+    let ctx = dex_telemetry::current_context();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -297,6 +313,7 @@ where
                 let make = &make;
                 let step = &step;
                 scope.spawn(move || {
+                    let _worker = ctx.span("parallel.match_worker");
                     let mut acc = make();
                     loop {
                         let start = cursor.fetch_add(chunk, Ordering::Relaxed);

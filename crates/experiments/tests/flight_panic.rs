@@ -1,0 +1,80 @@
+//! Panic post-mortem: the chained panic hook must dump the flight-recorder
+//! window — with every pre-panic event intact and in order — before the
+//! unwind proceeds.
+
+use dex_telemetry::FlightKind;
+
+// Panic hooks are process-global; this binary's single test owns them.
+#[test]
+fn panic_dump_preserves_pre_panic_events_in_order() {
+    let dir = std::env::temp_dir().join(format!("dex-flight-panic-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("FLIGHT.json");
+
+    dex_telemetry::enable();
+    dex_telemetry::reset();
+    dex_telemetry::set_flight_path(Some(path.clone()));
+    dex_experiments::telemetry::install_flight_panic_hook();
+
+    // A recognizable pre-panic history.
+    for attempt in 1..=3u64 {
+        dex_telemetry::flight(
+            FlightKind::Retry,
+            "mod.flaky",
+            format!("transient failure; attempt {attempt}"),
+            attempt,
+        );
+    }
+    dex_telemetry::flight(
+        FlightKind::FaultInjected,
+        "mod.flaky",
+        "injected transient fault".to_string(),
+        7,
+    );
+
+    let unwound = std::panic::catch_unwind(|| {
+        panic!("synthetic mid-run crash");
+    });
+    assert!(unwound.is_err(), "the section must actually panic");
+    dex_telemetry::disable();
+
+    let dump =
+        dex_telemetry::FlightDump::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+
+    assert_eq!(dump.reason, "panic");
+    // All four pre-panic events survive, in seq order, before the panic
+    // event itself.
+    assert!(
+        dump.events.windows(2).all(|w| w[0].seq < w[1].seq),
+        "events must be in seq order"
+    );
+    let kinds: Vec<&FlightKind> = dump.events.iter().map(|e| &e.kind).collect();
+    let panic_at = kinds
+        .iter()
+        .position(|k| matches!(k, FlightKind::Panic))
+        .expect("the panic itself is recorded");
+    let retries = kinds[..panic_at]
+        .iter()
+        .filter(|k| matches!(k, FlightKind::Retry))
+        .count();
+    let faults = kinds[..panic_at]
+        .iter()
+        .filter(|k| matches!(k, FlightKind::FaultInjected))
+        .count();
+    assert_eq!(retries, 3, "all retry events precede the panic");
+    assert_eq!(faults, 1, "the injected fault precedes the panic");
+    assert!(
+        dump.events[panic_at]
+            .detail
+            .contains("synthetic mid-run crash"),
+        "panic message captured: {}",
+        dump.events[panic_at].detail
+    );
+
+    // A later run-end fallback must not clobber the post-mortem.
+    assert!(!dex_telemetry::dump_flight_fallback("run end"));
+    let after =
+        dex_telemetry::FlightDump::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(after.reason, "panic");
+    std::fs::remove_dir_all(&dir).ok();
+}

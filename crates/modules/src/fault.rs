@@ -265,6 +265,14 @@ impl BlackBox for FaultyModule {
             if dex_telemetry::is_enabled() {
                 fault_counters().1.add(1);
             }
+            if dex_telemetry::flight_on() {
+                dex_telemetry::flight(
+                    dex_telemetry::FlightKind::FaultInjected,
+                    self.inner.descriptor().id.as_str(),
+                    "injected unavailable (flap window)".to_string(),
+                    tick,
+                );
+            }
             return Err(InvocationError::Unavailable);
         }
         let key = self.fault_key(inputs);
@@ -279,6 +287,14 @@ impl BlackBox for FaultyModule {
                 self.stats.injected_faults.fetch_add(1, Ordering::Relaxed);
                 if dex_telemetry::is_enabled() {
                     fault_counters().0.add(1);
+                }
+                if dex_telemetry::flight_on() {
+                    dex_telemetry::flight(
+                        dex_telemetry::FlightKind::FaultInjected,
+                        self.inner.descriptor().id.as_str(),
+                        format!("injected transient fault ({nth}/{planned})"),
+                        tick,
+                    );
                 }
                 return Err(InvocationError::fault(format!(
                     "injected transient fault ({nth}/{planned})"

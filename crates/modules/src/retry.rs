@@ -234,19 +234,72 @@ impl Retrier {
         Some(ticks)
     }
 
+    /// Books the causal record of one scheduled retry: lazily opens the
+    /// invocation-level span (so the healthy path never allocates one) and
+    /// records a flight event. Subsequent attempts then open `retry.attempt`
+    /// spans that nest under `invoke.retrying`.
+    fn note_retry(
+        &self,
+        module: &dyn BlackBox,
+        invoke_span: &mut Option<dex_telemetry::SpanGuard>,
+        retry_idx: u32,
+        ticks: u64,
+    ) {
+        if !dex_telemetry::is_enabled() {
+            return;
+        }
+        if invoke_span.is_none() {
+            *invoke_span = Some(dex_telemetry::span("invoke.retrying"));
+        }
+        if dex_telemetry::flight_on() {
+            dex_telemetry::flight(
+                dex_telemetry::FlightKind::Retry,
+                module.descriptor().id.as_str(),
+                format!("transient failure; backing off {ticks} ticks"),
+                (retry_idx + 1) as u64,
+            );
+        }
+    }
+
+    /// Records the flight post-mortem entry for a transient error that
+    /// survived every attempt (or was denied by the budget).
+    fn note_exhausted(&self, module: &dyn BlackBox, outcome: &InvocationOutcome) {
+        let Err(error) = outcome else { return };
+        if error.is_transient() && dex_telemetry::flight_on() {
+            dex_telemetry::flight(
+                dex_telemetry::FlightKind::RetryExhausted,
+                module.descriptor().id.as_str(),
+                format!("{error:?}"),
+                0,
+            );
+        }
+    }
+
     /// Invokes `module` directly, retrying transient failures per the
     /// policy. The final outcome (success, permanent error, or the transient
     /// error that survived every attempt) is returned.
     pub fn invoke(&self, module: &dyn BlackBox, inputs: &[Value]) -> InvocationOutcome {
         let mut retry_idx = 0u32;
+        let mut invoke_span = None;
         loop {
-            let outcome = module.invoke(inputs);
+            let outcome = {
+                let _attempt = invoke_span
+                    .as_ref()
+                    .map(|_| dex_telemetry::span("retry.attempt"));
+                module.invoke(inputs)
+            };
             match self.plan_retry(&outcome, retry_idx) {
                 Some(ticks) => {
+                    self.note_retry(module, &mut invoke_span, retry_idx, ticks);
                     module.advance_ticks(ticks);
                     retry_idx += 1;
                 }
-                None => return outcome,
+                None => {
+                    if retry_idx > 0 {
+                        self.note_exhausted(module, &outcome);
+                    }
+                    return outcome;
+                }
             }
         }
     }
@@ -263,14 +316,26 @@ impl Retrier {
         inputs: &[Value],
     ) -> Arc<InvocationOutcome> {
         let mut retry_idx = 0u32;
+        let mut invoke_span = None;
         loop {
-            let outcome = cache.invoke(module, inputs);
+            let outcome = {
+                let _attempt = invoke_span
+                    .as_ref()
+                    .map(|_| dex_telemetry::span("retry.attempt"));
+                cache.invoke(module, inputs)
+            };
             match self.plan_retry(&outcome, retry_idx) {
                 Some(ticks) => {
+                    self.note_retry(module, &mut invoke_span, retry_idx, ticks);
                     module.advance_ticks(ticks);
                     retry_idx += 1;
                 }
-                None => return outcome,
+                None => {
+                    if retry_idx > 0 {
+                        self.note_exhausted(module, &outcome);
+                    }
+                    return outcome;
+                }
             }
         }
     }
@@ -297,12 +362,14 @@ pub fn invoke_all_retrying(
     }
     let mut results: Vec<Option<Arc<InvocationOutcome>>> = vec![None; vectors.len()];
     let chunk = vectors.len().div_ceil(threads);
+    let ctx = dex_telemetry::current_context();
     std::thread::scope(|scope| {
         // Input and output chunks are paired *before* spawning — each worker
         // owns a disjoint &mut result chunk and exactly its input range.
         for (vec_chunk, out_chunk) in vectors.chunks(chunk).zip(results.chunks_mut(chunk)) {
             let one = &one;
             scope.spawn(move || {
+                let _worker = ctx.span("invoke.wave_worker");
                 for (vector, slot) in vec_chunk.iter().zip(out_chunk) {
                     *slot = Some(one(vector));
                 }

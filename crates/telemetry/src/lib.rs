@@ -11,8 +11,17 @@
 //!
 //! * [`span`] pushes onto a thread-local span stack and, on RAII-guard drop,
 //!   folds the timed [`SpanRecord`] into its parent (or the global root list
-//!   when the stack empties). Spans opened on worker threads become separate
-//!   roots — there is no cross-thread parent inference.
+//!   when the stack empties). Spans carry stable ids, parent ids, and
+//!   monotonic start offsets; spawn sites capture a [`TraceContext`] with
+//!   [`current_context`] and hand it to workers so their spans stitch under
+//!   the spawning span instead of becoming orphan roots.
+//! * [`flight`] records structured moments (invocation outcomes, retries,
+//!   evictions, fault injections, deltas) into a fixed-capacity lock-free
+//!   ring; [`dump_flight`] writes the recent window to `FLIGHT.json` as a
+//!   post-mortem on panic or module withdrawal.
+//! * [`trace::chrome_trace_json`] exports the stitched span forest as
+//!   Perfetto-loadable Chrome trace JSON; [`RunReport`] additionally carries
+//!   flamegraph folded stacks and p50/p95/p99 histogram percentiles.
 //! * [`counter_add`] / [`gauge_set`] / [`observe_ns`] update atomics inside
 //!   a read-mostly registry, so concurrent increments from scoped threads
 //!   never lose updates.
@@ -26,19 +35,26 @@
 //! matching the offline build constraint.
 
 mod event;
+mod flight;
 mod metrics;
 mod report;
 mod span;
+pub mod trace;
 
 pub use event::{
     emit, event_enabled, set_stderr_echo, set_verbosity, verbosity, EventRecord, Level,
+};
+pub use flight::{
+    dump_flight, dump_flight_fallback, flight, flight_on, flight_snapshot, flight_total,
+    set_flight_enabled, set_flight_path, FlightDump, FlightEvent, FlightKind, FLIGHT_CAPACITY,
 };
 pub use metrics::{
     counter, counter_add, counter_value, gauge_set, gauge_value, histogram, observe_ns, timed,
     Counter, Histo, HistogramSnapshot, TimedGuard, BUCKET_BOUNDS_NS,
 };
 pub use report::{collect, RunReport};
-pub use span::{span, SpanGuard, SpanRecord};
+pub use span::{current_context, span, thread_track, SpanGuard, SpanRecord, TraceContext};
+pub use trace::{chrome_trace, chrome_trace_from_json, chrome_trace_json, validate_chrome_trace};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -77,6 +93,7 @@ pub fn reset() {
     metrics::reset();
     span::reset();
     event::reset();
+    flight::reset();
     *lock(&STARTED_AT) = Some(Instant::now());
 }
 

@@ -60,7 +60,11 @@ impl Histogram {
                 .iter()
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect(),
+            p50_ns: 0,
+            p95_ns: 0,
+            p99_ns: 0,
         }
+        .with_percentiles()
     }
 
     fn zero(&self) {
@@ -82,6 +86,12 @@ pub struct HistogramSnapshot {
     /// Per-bucket counts; index `i` counts observations `<=
     /// BUCKET_BOUNDS_NS[i]`, the final entry is the overflow bucket.
     pub buckets: Vec<u64>,
+    /// Median estimate, rounded nanoseconds (see [`percentile`](Self::percentile)).
+    pub p50_ns: u64,
+    /// 95th-percentile estimate, rounded nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile estimate, rounded nanoseconds.
+    pub p99_ns: u64,
 }
 
 impl HistogramSnapshot {
@@ -92,6 +102,47 @@ impl HistogramSnapshot {
         } else {
             self.sum_ns as f64 / self.count as f64
         }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`, clamped) by walking the
+    /// cumulative bucket counts and interpolating linearly inside the
+    /// log-spaced bucket the rank lands in — the standard
+    /// `histogram_quantile` scheme. The first bucket interpolates from 0;
+    /// the overflow bucket continues the geometric progression (its upper
+    /// edge is 4× the last finite bound), so extreme quantiles stay finite
+    /// but are only as precise as the bucketing. Returns `0.0` when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &in_bucket) in self.buckets.iter().enumerate() {
+            if in_bucket == 0 {
+                continue;
+            }
+            if (cum + in_bucket) as f64 >= rank {
+                let lo = if i == 0 { 0 } else { BUCKET_BOUNDS_NS[i - 1] };
+                let hi = if i < BUCKET_BOUNDS_NS.len() {
+                    BUCKET_BOUNDS_NS[i]
+                } else {
+                    BUCKET_BOUNDS_NS[BUCKET_BOUNDS_NS.len() - 1] * 4
+                };
+                let frac = (rank - cum as f64) / in_bucket as f64;
+                return lo as f64 + frac * (hi - lo) as f64;
+            }
+            cum += in_bucket;
+        }
+        // Unreachable when count matches the bucket sums; degrade gracefully
+        // if a racy snapshot undercounted a bucket.
+        BUCKET_BOUNDS_NS[BUCKET_BOUNDS_NS.len() - 1] as f64 * 4.0
+    }
+
+    fn with_percentiles(mut self) -> Self {
+        self.p50_ns = self.percentile(0.50).round() as u64;
+        self.p95_ns = self.percentile(0.95).round() as u64;
+        self.p99_ns = self.percentile(0.99).round() as u64;
+        self
     }
 }
 
@@ -394,6 +445,95 @@ mod tests {
         assert_eq!(snap.buckets.len(), BUCKET_BOUNDS_NS.len() + 1);
         assert!(snap.buckets.iter().all(|&b| b == 1), "{:?}", snap.buckets);
         assert!(snap.mean_ns() > 0.0);
+        crate::disable();
+    }
+
+    /// A snapshot with `per_bucket` observations in every bucket (including
+    /// overflow), for pinning interpolation arithmetic exactly.
+    fn synthetic_snapshot(per_bucket: u64) -> HistogramSnapshot {
+        let buckets = vec![per_bucket; BUCKET_BOUNDS_NS.len() + 1];
+        HistogramSnapshot {
+            count: per_bucket * buckets.len() as u64,
+            sum_ns: 0,
+            buckets,
+            p50_ns: 0,
+            p95_ns: 0,
+            p99_ns: 0,
+        }
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_zero() {
+        let snap = HistogramSnapshot {
+            count: 0,
+            sum_ns: 0,
+            buckets: vec![0; BUCKET_BOUNDS_NS.len() + 1],
+            p50_ns: 0,
+            p95_ns: 0,
+            p99_ns: 0,
+        };
+        assert_eq!(snap.percentile(0.5), 0.0);
+        assert_eq!(snap.percentile(0.99), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates_and_pins_bucket_edges() {
+        // All mass in one bucket (4_000, 16_000]: quantiles sweep linearly
+        // across exactly that bucket, pinning both edges.
+        let mut snap = synthetic_snapshot(0);
+        snap.buckets[3] = 8;
+        snap.count = 8;
+        assert_eq!(snap.percentile(0.0), 4_000.0, "q=0 pins the lower edge");
+        assert_eq!(snap.percentile(1.0), 16_000.0, "q=1 pins the upper edge");
+        assert_eq!(snap.percentile(0.5), 10_000.0, "midpoint of the bucket");
+
+        // One observation per bucket across the first two buckets: the
+        // boundary rank lands exactly on the shared edge.
+        let mut snap = synthetic_snapshot(0);
+        snap.buckets[0] = 1;
+        snap.buckets[1] = 1;
+        snap.count = 2;
+        assert_eq!(snap.percentile(0.5), 250.0, "rank on the bucket boundary");
+        assert_eq!(snap.percentile(0.25), 125.0);
+        assert_eq!(snap.percentile(0.75), 625.0);
+
+        // Quantiles are clamped and monotonic in q.
+        assert_eq!(snap.percentile(-1.0), snap.percentile(0.0));
+        assert_eq!(snap.percentile(2.0), snap.percentile(1.0));
+    }
+
+    #[test]
+    fn percentile_overflow_bucket_continues_geometric() {
+        let last = BUCKET_BOUNDS_NS[BUCKET_BOUNDS_NS.len() - 1];
+        let mut snap = synthetic_snapshot(0);
+        *snap.buckets.last_mut().unwrap() = 4;
+        snap.count = 4;
+        assert_eq!(snap.percentile(0.0), last as f64);
+        assert_eq!(
+            snap.percentile(1.0),
+            (last * 4) as f64,
+            "overflow upper edge extends the ×4 progression"
+        );
+        assert_eq!(snap.percentile(0.5), (last * 2) as f64 + last as f64 / 2.0);
+    }
+
+    #[test]
+    fn snapshot_populates_percentile_fields() {
+        let _g = testing::guard();
+        crate::enable();
+        crate::reset();
+        for _ in 0..100 {
+            observe_ns("m.test.pct", 500); // bucket (250, 1_000]
+        }
+        let snap = snapshot_histograms().remove("m.test.pct").unwrap();
+        assert_eq!(snap.p50_ns, 625, "250 + 0.5 * 750");
+        assert_eq!(
+            snap.p95_ns,
+            (250.0 + 0.95 * 750.0f64).round() as u64,
+            "interpolated within the occupied bucket"
+        );
+        assert!(snap.p99_ns > snap.p95_ns);
+        assert_eq!(snap.p50_ns as f64, snap.percentile(0.5).round());
         crate::disable();
     }
 

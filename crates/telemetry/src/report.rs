@@ -22,8 +22,12 @@ pub struct RunReport {
     pub gauges: BTreeMap<String, i64>,
     /// Fixed-bucket histograms, name → snapshot.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
-    /// Completed root spans across all threads, each with nested children.
+    /// Completed root spans across all threads, each with nested children;
+    /// cross-thread subtrees are stitched under their spawning span.
     pub spans: Vec<SpanRecord>,
+    /// Flamegraph folded stacks over `spans`:
+    /// `"root;child;leaf" -> exclusive nanoseconds`.
+    pub folded: BTreeMap<String, u64>,
     /// Recorded events in emission order.
     pub events: Vec<EventRecord>,
     /// Events discarded after the buffer cap was hit.
@@ -50,13 +54,16 @@ impl RunReport {
 /// Snapshots the current telemetry state into a [`RunReport`]. Non-
 /// destructive: recording continues and a later `collect` sees a superset.
 pub fn collect(label: &str) -> RunReport {
+    let spans = snapshot_roots();
+    let folded = crate::trace::folded_stacks(&spans);
     RunReport {
         label: label.to_string(),
         wall_ms: crate::wall_ms(),
         counters: snapshot_counters(),
         gauges: snapshot_gauges(),
         histograms: snapshot_histograms(),
-        spans: snapshot_roots(),
+        spans,
+        folded,
         events: snapshot_events(),
         events_dropped: dropped_events(),
     }
@@ -89,6 +96,8 @@ mod tests {
         assert_eq!(report.gauges["r.test.threads"], 8);
         assert_eq!(report.histograms["r.test.pair_ns"].count, 2);
         assert_eq!(report.span_count(), 2);
+        assert!(report.folded.contains_key("r.outer;r.inner"));
+        assert!(report.histograms["r.test.pair_ns"].p50_ns > 0);
 
         let json = report.to_json().unwrap();
         let back = RunReport::from_json(&json).unwrap();

@@ -1,32 +1,49 @@
-//! Lightweight spans over a thread-local stack.
+//! Causal spans over a thread-local stack.
 //!
 //! [`span`] opens a span and returns an RAII [`SpanGuard`]; dropping the
-//! guard closes the span, attaching its timed [`SpanRecord`] to the
-//! enclosing span (or to the process-global root list when the stack
-//! empties). The guard remembers the stack depth it opened at, so spans
-//! close correctly even when a panic unwinds through several guards or an
-//! inner guard is leaked with `mem::forget` — descendants still on the
-//! stack above the closing guard are folded in as its children.
+//! guard closes the span. Every span carries a process-unique id, its
+//! parent's id, a monotonic start offset from the process trace origin, and
+//! the id of the thread that opened it. The guard remembers the stack depth
+//! it opened at, so spans close correctly even when a panic unwinds through
+//! several guards or an inner guard is leaked with `mem::forget` —
+//! descendants still on the stack above the closing guard are folded in as
+//! its children.
 //!
-//! Each thread owns its own stack: spans opened on a worker thread become
-//! independent roots rather than children of whatever the spawning thread
-//! had open. Cross-thread parenting would need ids plumbed through spawn
-//! sites, which the embarrassingly parallel workloads here don't justify.
+//! Each thread owns its own stack. Spans opened on a worker thread become
+//! independent roots *unless* the spawn site hands the worker a
+//! [`TraceContext`] captured with [`current_context`]: a context remembers
+//! the spawning span's id, and [`TraceContext::span`] opens the worker's
+//! outermost span with that id as its parent. Completed cross-thread
+//! subtrees are stitched under their remote parents at snapshot time, so
+//! the exported forest shows worker spans nested under the sweep span that
+//! spawned them instead of as orphan roots.
 
 use crate::{is_enabled, lock};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
-/// One completed span: a name, a monotonic duration, and nested children.
+/// One completed span: identity, timing, and nested children.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SpanRecord {
+    /// Process-unique span id, allocated at open time from a monotonic
+    /// counter (so `id` order is open order, and a parent's id is always
+    /// smaller than any descendant's).
+    pub id: u64,
+    /// Id of the enclosing span (local stack parent, or the remote parent
+    /// captured in a [`TraceContext`]); `0` for a true root.
+    pub parent_id: u64,
     /// The name given to [`span`].
     pub name: String,
+    /// Nanoseconds from the process trace origin to this span's open.
+    pub start_ns: u64,
     /// Wall-clock duration, nanoseconds (monotonic clock).
     pub duration_ns: u64,
-    /// Spans opened and closed while this one was open, in completion order.
+    /// Small dense id of the thread that opened the span (trace track).
+    pub thread: u64,
+    /// Spans that closed while this one was open, in open (= id) order.
     pub children: Vec<SpanRecord>,
 }
 
@@ -41,17 +58,51 @@ impl SpanRecord {
     }
 }
 
+/// The instant all `start_ns` offsets are measured from. Process-wide and
+/// never rebased: offsets stay mutually comparable across [`crate::reset`]
+/// (the exporter normalizes to the earliest span when writing a trace).
+fn origin() -> Instant {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    *ORIGIN.get_or_init(Instant::now)
+}
+
+fn origin_ns() -> u64 {
+    origin().elapsed().as_nanos() as u64
+}
+
+/// Span ids start at 1; 0 is the "no parent" sentinel.
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Dense per-thread id used as the trace track. Stable for the thread's
+/// lifetime; scoped worker threads each get a fresh one.
+pub fn thread_track() -> u64 {
+    THREAD_ID.with(|t| *t)
+}
+
 struct OpenSpan {
+    id: u64,
+    parent_id: u64,
     name: String,
     start: Instant,
+    start_ns: u64,
     children: Vec<SpanRecord>,
 }
 
 impl OpenSpan {
     fn finish(self) -> SpanRecord {
         SpanRecord {
+            id: self.id,
+            parent_id: self.parent_id,
             name: self.name,
+            start_ns: self.start_ns,
             duration_ns: self.start.elapsed().as_nanos() as u64,
+            thread: thread_track(),
             children: self.children,
         }
     }
@@ -61,6 +112,8 @@ thread_local! {
     static STACK: RefCell<Vec<OpenSpan>> = const { RefCell::new(Vec::new()) };
 }
 
+/// Completed thread-root subtrees, possibly carrying a remote `parent_id`;
+/// stitched into a single forest by [`snapshot_roots`].
 static ROOTS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
 
 /// Closes the span opened by the matching [`span`] call when dropped.
@@ -71,16 +124,80 @@ pub struct SpanGuard {
     depth: Option<usize>,
 }
 
+impl SpanGuard {
+    /// The id of this guard's span, `0` for an inert guard.
+    pub fn id(&self) -> u64 {
+        self.depth
+            .map(|depth| STACK.with(|stack| stack.borrow()[depth].id))
+            .unwrap_or(0)
+    }
+}
+
+/// A cheap `Copy` handle carrying the id of the span that was open when the
+/// context was captured. Spawn sites capture one with [`current_context`]
+/// and hand it to workers; [`TraceContext::span`] then parents the worker's
+/// outermost span under the spawning span instead of leaving it an orphan
+/// root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    parent: u64,
+}
+
+impl TraceContext {
+    /// A context with no parent: spans opened through it behave exactly
+    /// like plain [`span`] calls.
+    pub const fn none() -> TraceContext {
+        TraceContext { parent: 0 }
+    }
+
+    /// A context adopting an explicit parent span id — for callers that
+    /// carry ids across process boundaries (e.g. a request id minted by a
+    /// service front-end) rather than capturing a live span.
+    pub const fn with_parent(parent: u64) -> TraceContext {
+        TraceContext { parent }
+    }
+
+    /// The captured parent span id (`0` when none).
+    pub fn parent_id(&self) -> u64 {
+        self.parent
+    }
+
+    /// Opens a span parented under this context when the calling thread has
+    /// no span of its own open; nested calls parent locally as usual.
+    /// Returns an inert guard while telemetry is disabled.
+    pub fn span(&self, name: impl Into<String>) -> SpanGuard {
+        open_span(name, self.parent)
+    }
+}
+
+/// Captures the innermost open span on this thread as a [`TraceContext`]
+/// to hand to spawned workers. Cheap (one relaxed load) while disabled.
+pub fn current_context() -> TraceContext {
+    if !is_enabled() {
+        return TraceContext::none();
+    }
+    let parent = STACK.with(|stack| stack.borrow().last().map(|s| s.id).unwrap_or(0));
+    TraceContext { parent }
+}
+
 /// Opens a span. Returns an inert guard while telemetry is disabled.
 pub fn span(name: impl Into<String>) -> SpanGuard {
+    open_span(name, 0)
+}
+
+fn open_span(name: impl Into<String>, remote_parent: u64) -> SpanGuard {
     if !is_enabled() {
         return SpanGuard { depth: None };
     }
     let depth = STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
+        let parent_id = stack.last().map(|s| s.id).unwrap_or(remote_parent);
         stack.push(OpenSpan {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            parent_id,
             name: name.into(),
             start: Instant::now(),
+            start_ns: origin_ns(),
             children: Vec::new(),
         });
         stack.len() - 1
@@ -116,15 +233,56 @@ impl Drop for SpanGuard {
     }
 }
 
-/// Clones the completed root spans recorded so far (completed = their
-/// guards were dropped and their thread's stack emptied back to them).
+/// Depth-first search for the node with `id` across a forest.
+fn find_mut(forest: &mut [SpanRecord], id: u64) -> Option<&mut SpanRecord> {
+    for tree in forest {
+        if tree.id == id {
+            return Some(tree);
+        }
+        if let Some(found) = find_mut(&mut tree.children, id) {
+            return Some(found);
+        }
+    }
+    None
+}
+
+fn sort_children_by_id(forest: &mut [SpanRecord]) {
+    for tree in forest {
+        tree.children.sort_by_key(|c| c.id);
+        sort_children_by_id(&mut tree.children);
+    }
+}
+
+/// Clones the completed root subtrees recorded so far and stitches
+/// cross-thread parents: a subtree whose root carries a remote `parent_id`
+/// is attached under that node when it exists in the forest (ids are
+/// monotonic, so sorting roots by id places every parent before its remote
+/// children). Subtrees whose parent never completed stay roots. Children
+/// end up in id (= open) order, which for same-thread siblings coincides
+/// with the old completion order.
 pub(crate) fn snapshot_roots() -> Vec<SpanRecord> {
-    lock(&ROOTS).clone()
+    let mut pending = lock(&ROOTS).clone();
+    pending.sort_by_key(|r| r.id);
+    let mut forest: Vec<SpanRecord> = Vec::new();
+    for tree in pending {
+        if tree.parent_id != 0 {
+            if let Some(parent) = find_mut(&mut forest, tree.parent_id) {
+                parent.children.push(tree);
+                continue;
+            }
+        }
+        forest.push(tree);
+    }
+    sort_children_by_id(&mut forest);
+    forest
 }
 
 pub(crate) fn reset() {
     lock(&ROOTS).clear();
     STACK.with(|stack| stack.borrow_mut().clear());
+    // Restart ids for readable traces. Spans still open across a reset
+    // would alias new ids; the experiment harness resets only between runs.
+    NEXT_ID.store(1, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -154,6 +312,27 @@ mod tests {
         assert_eq!(outer.children[0].children.len(), 1);
         assert_eq!(outer.children[0].children[0].name, "deep");
         assert_eq!(outer.tree_size(), 4);
+        crate::disable();
+    }
+
+    #[test]
+    fn ids_parents_and_offsets_are_causal() {
+        let _g = testing::guard();
+        crate::enable();
+        crate::reset();
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        let roots = snapshot_roots();
+        let outer = &roots[0];
+        let inner = &outer.children[0];
+        assert!(outer.id >= 1);
+        assert_eq!(outer.parent_id, 0);
+        assert_eq!(inner.parent_id, outer.id);
+        assert!(inner.id > outer.id, "ids are allocated in open order");
+        assert!(inner.start_ns >= outer.start_ns, "children start later");
+        assert_eq!(outer.thread, inner.thread);
         crate::disable();
     }
 
@@ -220,10 +399,11 @@ mod tests {
             let _s = span("never-recorded");
         }
         assert!(snapshot_roots().is_empty());
+        assert_eq!(current_context(), TraceContext::none());
     }
 
     #[test]
-    fn worker_thread_spans_become_roots() {
+    fn worker_thread_spans_become_roots_without_context() {
         let _g = testing::guard();
         crate::enable();
         crate::reset();
@@ -238,6 +418,70 @@ mod tests {
         let mut names: Vec<String> = snapshot_roots().into_iter().map(|r| r.name).collect();
         names.sort();
         assert_eq!(names, ["main-span", "worker-span"]);
+        crate::disable();
+    }
+
+    #[test]
+    fn trace_context_parents_worker_spans_under_spawner() {
+        let _g = testing::guard();
+        crate::enable();
+        crate::reset();
+        {
+            let _sweep = span("sweep");
+            let ctx = current_context();
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    scope.spawn(move || {
+                        let _w = ctx.span("worker");
+                        let _inner = span("worker-inner");
+                    });
+                }
+            });
+        }
+        let roots = snapshot_roots();
+        assert_eq!(roots.len(), 1, "workers stitched under sweep: {roots:?}");
+        let sweep = &roots[0];
+        assert_eq!(sweep.name, "sweep");
+        assert_eq!(sweep.children.len(), 2);
+        for worker in &sweep.children {
+            assert_eq!(worker.name, "worker");
+            assert_eq!(worker.parent_id, sweep.id);
+            assert_ne!(worker.thread, sweep.thread);
+            assert_eq!(worker.children[0].name, "worker-inner");
+            assert_eq!(worker.children[0].parent_id, worker.id);
+        }
+        // Children are stitched in open order.
+        assert!(sweep.children[0].id < sweep.children[1].id);
+        crate::disable();
+    }
+
+    #[test]
+    fn orphaned_context_child_stays_a_root() {
+        let _g = testing::guard();
+        crate::enable();
+        crate::reset();
+        let ctx = {
+            let _parent = span("short-lived");
+            current_context()
+        };
+        // Parent already closed and its subtree is in the forest; a late
+        // worker still stitches under it.
+        {
+            let _late = ctx.span("late-worker");
+        }
+        let roots = snapshot_roots();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].children[0].name, "late-worker");
+        // A context whose parent was never recorded (e.g. pruned by reset)
+        // leaves the child a root instead of losing it.
+        crate::reset();
+        let stale = TraceContext::with_parent(987_654);
+        {
+            let _orphan = stale.span("orphan");
+        }
+        let roots = snapshot_roots();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "orphan");
         crate::disable();
     }
 }

@@ -1,0 +1,277 @@
+//! Chrome trace-event export and folded-stack aggregation over the span
+//! forest.
+//!
+//! [`chrome_trace`] flattens a [`RunReport`]'s stitched span forest into
+//! the Chrome trace-event *JSON array format* (a bare array of `ph:"X"`
+//! complete events), which Perfetto and `chrome://tracing` both load
+//! directly. Timestamps are microseconds, normalized so the earliest span
+//! starts at 0; each thread's dense track id becomes the `tid`, and the
+//! span/parent ids ride along in `args` so external tools (and the CI
+//! validator) can rebuild causality without re-parsing nesting.
+//!
+//! [`folded_stacks`] aggregates the same forest into flamegraph folded
+//! form: `"root;child;leaf" -> exclusive (self) nanoseconds`, directly
+//! consumable by `inferno`/`flamegraph.pl`-style renderers.
+
+use crate::span::SpanRecord;
+use crate::RunReport;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One Chrome trace-event, always a `ph:"X"` complete event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Span name.
+    pub name: String,
+    /// Event category (always `"span"`).
+    pub cat: String,
+    /// Phase: `"X"` (complete event with inline duration).
+    pub ph: String,
+    /// Start, microseconds from the trace origin.
+    pub ts: f64,
+    /// Duration, microseconds.
+    pub dur: f64,
+    /// Process id (always 1: the pipeline is single-process).
+    pub pid: u64,
+    /// Track: the dense thread id the span was opened on.
+    pub tid: u64,
+    /// Causal identity, for tools that want edges rather than nesting.
+    pub args: TraceArgs,
+}
+
+/// The `args` payload carrying span identity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceArgs {
+    /// Span id (process-unique, monotonic in open order).
+    pub id: u64,
+    /// Parent span id, `0` for roots.
+    pub parent: u64,
+}
+
+fn min_start_ns(spans: &[SpanRecord]) -> u64 {
+    // Roots are the earliest spans of their subtrees (children open later),
+    // so scanning roots suffices.
+    spans.iter().map(|s| s.start_ns).min().unwrap_or(0)
+}
+
+fn push_events(spans: &[SpanRecord], origin_ns: u64, out: &mut Vec<TraceEvent>) {
+    for span in spans {
+        out.push(TraceEvent {
+            name: span.name.clone(),
+            cat: "span".to_string(),
+            ph: "X".to_string(),
+            ts: (span.start_ns - origin_ns) as f64 / 1_000.0,
+            dur: span.duration_ns as f64 / 1_000.0,
+            pid: 1,
+            tid: span.thread,
+            args: TraceArgs {
+                id: span.id,
+                parent: span.parent_id,
+            },
+        });
+        push_events(&span.children, origin_ns, out);
+    }
+}
+
+/// Flattens a report's span forest into Chrome trace events (pre-order, so
+/// every track's timestamps are non-decreasing in file order).
+pub fn chrome_trace(report: &RunReport) -> Vec<TraceEvent> {
+    let origin = min_start_ns(&report.spans);
+    let mut out = Vec::with_capacity(report.span_count());
+    push_events(&report.spans, origin, &mut out);
+    out
+}
+
+/// Serializes a report's span forest as Chrome trace JSON (array format),
+/// loadable in Perfetto.
+pub fn chrome_trace_json(report: &RunReport) -> serde_json::Result<String> {
+    serde_json::to_string_pretty(&chrome_trace(report))
+}
+
+/// Parses trace events back from [`chrome_trace_json`] output.
+pub fn chrome_trace_from_json(json: &str) -> serde_json::Result<Vec<TraceEvent>> {
+    serde_json::from_str(json)
+}
+
+/// A structural defect found by [`validate_chrome_trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceDefect {
+    /// An event references a parent id that exists nowhere in the trace.
+    UnresolvedParent { id: u64, parent: u64 },
+    /// Two events claim the same span id.
+    DuplicateId { id: u64 },
+    /// A track's timestamps go backwards in file order.
+    NonMonotonicTrack { tid: u64, at_id: u64 },
+}
+
+impl std::fmt::Display for TraceDefect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceDefect::UnresolvedParent { id, parent } => {
+                write!(f, "span {id} references missing parent {parent}")
+            }
+            TraceDefect::DuplicateId { id } => write!(f, "span id {id} appears twice"),
+            TraceDefect::NonMonotonicTrack { tid, at_id } => {
+                write!(f, "track {tid} timestamps regress at span {at_id}")
+            }
+        }
+    }
+}
+
+/// Checks the causal invariants the exporter guarantees: unique span ids,
+/// every non-zero parent resolving to some event, and per-track timestamps
+/// non-decreasing in file order. Returns every defect found.
+pub fn validate_chrome_trace(events: &[TraceEvent]) -> Vec<TraceDefect> {
+    let mut defects = Vec::new();
+    let mut ids = std::collections::BTreeSet::new();
+    for event in events {
+        if !ids.insert(event.args.id) {
+            defects.push(TraceDefect::DuplicateId { id: event.args.id });
+        }
+    }
+    let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
+    for event in events {
+        if event.args.parent != 0 && !ids.contains(&event.args.parent) {
+            defects.push(TraceDefect::UnresolvedParent {
+                id: event.args.id,
+                parent: event.args.parent,
+            });
+        }
+        if let Some(&prev) = last_ts.get(&event.tid) {
+            if event.ts < prev {
+                defects.push(TraceDefect::NonMonotonicTrack {
+                    tid: event.tid,
+                    at_id: event.args.id,
+                });
+            }
+        }
+        last_ts.insert(event.tid, event.ts);
+    }
+    defects
+}
+
+fn fold_into(spans: &[SpanRecord], prefix: &str, out: &mut BTreeMap<String, u64>) {
+    for span in spans {
+        let path = if prefix.is_empty() {
+            span.name.clone()
+        } else {
+            format!("{prefix};{}", span.name)
+        };
+        let child_ns: u64 = span.children.iter().map(|c| c.duration_ns).sum();
+        // Exclusive (self) time; clamped because a cross-thread child's
+        // wall time can exceed the portion its parent spent waiting.
+        let self_ns = span.duration_ns.saturating_sub(child_ns);
+        *out.entry(path.clone()).or_insert(0) += self_ns;
+        fold_into(&span.children, &path, out);
+    }
+}
+
+/// Aggregates a span forest into flamegraph folded-stack form:
+/// `"root;child;leaf" -> summed exclusive nanoseconds`.
+pub fn folded_stacks(spans: &[SpanRecord]) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    fold_into(spans, "", &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing;
+
+    fn leaf(id: u64, parent: u64, name: &str, start: u64, dur: u64, thread: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent_id: parent,
+            name: name.to_string(),
+            start_ns: start,
+            duration_ns: dur,
+            thread,
+            children: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn chrome_trace_flattens_normalizes_and_round_trips() {
+        let _g = testing::guard();
+        let mut root = leaf(1, 0, "sweep", 5_000, 10_000, 1);
+        root.children.push(leaf(2, 1, "worker", 6_000, 3_000, 2));
+        let report = RunReport {
+            spans: vec![root],
+            ..crate::collect("trace-test")
+        };
+        let events = chrome_trace(&report);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "sweep");
+        assert_eq!(events[0].ts, 0.0, "earliest span normalized to origin");
+        assert_eq!(events[0].dur, 10.0);
+        assert_eq!(events[1].ts, 1.0);
+        assert_eq!(events[1].tid, 2);
+        assert_eq!(events[1].args.parent, 1);
+        assert!(events.iter().all(|e| e.ph == "X" && e.pid == 1));
+
+        let json = chrome_trace_json(&report).unwrap();
+        let back = chrome_trace_from_json(&json).unwrap();
+        assert_eq!(back, events);
+        assert!(validate_chrome_trace(&back).is_empty());
+    }
+
+    #[test]
+    fn validator_flags_broken_traces() {
+        let orphan = TraceEvent {
+            name: "x".into(),
+            cat: "span".into(),
+            ph: "X".into(),
+            ts: 10.0,
+            dur: 1.0,
+            pid: 1,
+            tid: 1,
+            args: TraceArgs { id: 2, parent: 99 },
+        };
+        let regressed = TraceEvent {
+            ts: 5.0,
+            args: TraceArgs { id: 2, parent: 0 },
+            ..orphan.clone()
+        };
+        let defects = validate_chrome_trace(std::slice::from_ref(&orphan));
+        assert_eq!(
+            defects,
+            vec![TraceDefect::UnresolvedParent { id: 2, parent: 99 }]
+        );
+        let defects = validate_chrome_trace(&[
+            TraceEvent {
+                args: TraceArgs { id: 1, parent: 0 },
+                ..orphan.clone()
+            },
+            regressed,
+        ]);
+        assert!(defects.contains(&TraceDefect::NonMonotonicTrack { tid: 1, at_id: 2 }));
+        let defects = validate_chrome_trace(&[orphan.clone(), orphan]);
+        assert!(defects.contains(&TraceDefect::DuplicateId { id: 2 }));
+    }
+
+    #[test]
+    fn folded_stacks_sum_exclusive_time() {
+        let mut root = leaf(1, 0, "outer", 0, 10_000, 1);
+        let mut mid = leaf(2, 1, "mid", 1_000, 6_000, 1);
+        mid.children.push(leaf(3, 2, "leaf", 2_000, 2_000, 1));
+        root.children.push(mid);
+        // A second root with the same path accumulates.
+        let other = leaf(4, 0, "outer", 20_000, 3_000, 1);
+        let folded = folded_stacks(&[root, other]);
+        assert_eq!(folded["outer"], 4_000 + 3_000);
+        assert_eq!(folded["outer;mid"], 4_000);
+        assert_eq!(folded["outer;mid;leaf"], 2_000);
+    }
+
+    #[test]
+    fn folded_stacks_clamp_overcommitted_parents() {
+        let mut root = leaf(1, 0, "sweep", 0, 1_000, 1);
+        // Two parallel workers whose summed wall time exceeds the parent's.
+        root.children.push(leaf(2, 1, "w", 100, 800, 2));
+        root.children.push(leaf(3, 1, "w", 100, 800, 3));
+        let folded = folded_stacks(&[root]);
+        assert_eq!(folded["sweep"], 0, "clamped, not underflowed");
+        assert_eq!(folded["sweep;w"], 1_600);
+    }
+}
