@@ -1,0 +1,172 @@
+//! Emits `BENCH_repair.json`: the continuous decay-and-repair numbers of
+//! ISSUE 9 — scaled universes decay wave by wave through the incremental
+//! delta pipeline while the repair engine substitutes matched modules into
+//! every workflow each wave breaks.
+//!
+//! Usage:
+//!   cargo run --release -p dex-bench --bin bench_repair [--ci] [OUT.json]
+//!
+//! `--ci` runs only the 10k scale so the smoke step stays within CI budget;
+//! the default output path is `BENCH_repair.json` in the working directory.
+//!
+//! Each scale runs [`dex_experiments::run_continuous`]: build a heavy-tailed
+//! `build_scaled` universe, bootstrap the `IncrementalPipeline`, stream the
+//! pre-decay provenance harvest through a `HarvestSink`, then withdraw 10%
+//! of the surviving modules per wave (3 waves) as `Delta::ModuleWithdraw`
+//! batches and repair the broken workflows. Reported per wave: throughput
+//! (repairs/s) and p50/p95/p99 per-workflow repair latency from the
+//! telemetry histogram buckets.
+//!
+//! SLO self-gates (checked at the CI scale, 10k modules):
+//! - every wave must report **zero** cold regenerations (the withdraw-only
+//!   contract of the incremental engine — decay never re-runs modules);
+//! - per-wave repair throughput must stay >= 500 repairs/s;
+//! - overall p99 per-workflow repair latency must stay <= 50 ms;
+//! - every affected workflow must be accounted full/partial/unrepaired.
+
+use dex_experiments::{run_continuous, ContinuousConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Decay waves per scale.
+const WAVES: usize = 3;
+/// Percentage of surviving modules withdrawn per wave.
+const FAULT_PCT: u32 = 10;
+/// Gate floor: per-wave repair throughput (repairs/s).
+const MIN_REPAIRS_PER_SEC: f64 = 500.0;
+/// Gate ceiling: overall p99 per-workflow repair latency (ms).
+const MAX_P99_MS: f64 = 50.0;
+
+fn main() {
+    let mut ci = false;
+    let mut out_path = "BENCH_repair.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--ci" {
+            ci = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    let sizes: &[usize] = if ci {
+        &[10_000]
+    } else {
+        &[10_000, 50_000, 100_000]
+    };
+
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"profile\": \"{profile}\",").unwrap();
+    writeln!(json, "  \"threads\": {threads},").unwrap();
+    writeln!(json, "  \"waves\": {WAVES},").unwrap();
+    writeln!(json, "  \"fault_pct\": {FAULT_PCT},").unwrap();
+    writeln!(json, "  \"repair_by_scale\": [").unwrap();
+
+    let mut gate_failures: Vec<String> = Vec::new();
+    for (row, &n) in sizes.iter().enumerate() {
+        let cfg = ContinuousConfig::at_scale(n, WAVES, 42);
+        let start = Instant::now();
+        let report = run_continuous(&cfg);
+        let total_ms = start.elapsed().as_secs_f64() * 1_000.0;
+
+        let p = &report.prepare;
+        let mut wave_rows: Vec<String> = Vec::new();
+        for w in &report.waves {
+            // Withdraw-only decay must never trigger a cold re-run; the
+            // driver asserts this too, but the gate keeps the guarantee
+            // visible in the artifact.
+            if w.delta.regenerated_modules != 0 {
+                gate_failures.push(format!(
+                    "scale {n} wave {}: {} cold regenerations (expected 0)",
+                    w.wave, w.delta.regenerated_modules
+                ));
+            }
+            if w.affected_workflows != w.fully_repaired + w.partially_repaired + w.unrepaired {
+                gate_failures.push(format!(
+                    "scale {n} wave {}: affected {} != full {} + partial {} + none {}",
+                    w.wave,
+                    w.affected_workflows,
+                    w.fully_repaired,
+                    w.partially_repaired,
+                    w.unrepaired
+                ));
+            }
+            if n == 10_000 && w.repairs_per_sec < MIN_REPAIRS_PER_SEC {
+                gate_failures.push(format!(
+                    "scale {n} wave {}: {:.1} repairs/s < {MIN_REPAIRS_PER_SEC} floor",
+                    w.wave, w.repairs_per_sec
+                ));
+            }
+            wave_rows.push(format!(
+                "      {{\"wave\": {}, \"withdrawals\": {}, \"affected_workflows\": {}, \
+                 \"fully_repaired\": {}, \"partially_repaired\": {}, \"unrepaired\": {}, \
+                 \"substitutions\": {}, \"broken_after\": {}, \"regenerated_modules\": {}, \
+                 \"repair_ms\": {:.2}, \"repairs_per_sec\": {:.1}, \
+                 \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}}}",
+                w.wave,
+                w.withdrawals,
+                w.affected_workflows,
+                w.fully_repaired,
+                w.partially_repaired,
+                w.unrepaired,
+                w.substitutions,
+                w.broken_after,
+                w.delta.regenerated_modules,
+                w.repair_ms,
+                w.repairs_per_sec,
+                w.latency.p50_ns as f64 / 1e6,
+                w.latency.p95_ns as f64 / 1e6,
+                w.latency.p99_ns as f64 / 1e6,
+            ));
+        }
+        let overall_p99_ms = report.latency_overall.p99_ns as f64 / 1e6;
+        if n == 10_000 && overall_p99_ms > MAX_P99_MS {
+            gate_failures.push(format!(
+                "scale {n}: overall p99 {overall_p99_ms:.3} ms > {MAX_P99_MS} ms ceiling"
+            ));
+        }
+
+        let comma = if row + 1 < sizes.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{\"modules\": {n}, \"families\": {}, \"concepts\": {}, \
+             \"workflows\": {}, \"build_ms\": {:.2}, \"bootstrap_ms\": {:.2}, \
+             \"harvest_ms\": {:.2}, \"harvested_instances\": {}, \"total_ms\": {total_ms:.2}, \
+             \"total_substitutions\": {}, \"min_repairs_per_sec\": {:.1}, \
+             \"overall_p50_ms\": {:.4}, \"overall_p95_ms\": {:.4}, \"overall_p99_ms\": {:.4}, \
+             \"waves\": [\n{}\n    ]}}{comma}",
+            p.families,
+            p.concepts,
+            p.workflows,
+            p.build_ms,
+            p.bootstrap_ms,
+            p.harvest_ms,
+            p.harvested_instances,
+            report.total_substitutions(),
+            report.min_repairs_per_sec(),
+            report.latency_overall.p50_ns as f64 / 1e6,
+            report.latency_overall.p95_ns as f64 / 1e6,
+            overall_p99_ms,
+            wave_rows.join(",\n"),
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    json.push_str("}\n");
+
+    if !gate_failures.is_empty() {
+        print!("{json}");
+        for failure in &gate_failures {
+            eprintln!("bench_repair gate failed: {failure}");
+        }
+        std::process::exit(1);
+    }
+
+    std::fs::write(&out_path, &json).expect("write summary");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -763,7 +763,10 @@ impl Iterator for PairIter<'_> {
 }
 
 /// A memoized generation result, shared between all readers of a session.
-type CachedGeneration = Arc<Result<GenerationReport, GenerationError>>;
+/// Public so executors can resolve a target's report once and hand it to
+/// [`MatchSession::compare_report_prepared`] for every candidate, keeping
+/// the per-pair hot path free of the session's memo lock.
+pub type CachedGeneration = Arc<Result<GenerationReport, GenerationError>>;
 
 /// A snapshot of a [`MatchSession`]'s memoization behavior — the cache used
 /// to be a mutex-guarded black box; this is its flight recorder.
@@ -1007,19 +1010,45 @@ impl<'a> MatchSession<'a> {
     /// [`MatchReport`] — incomparability becomes data instead of an error,
     /// which is what an all-pairs sweep wants.
     pub fn compare_report(&self, target: &dyn BlackBox, candidate: &dyn BlackBox) -> MatchReport {
+        let report = self.report_for(target);
+        self.compare_report_prepared(target, &report, candidate)
+    }
+
+    /// [`compare_report`](MatchSession::compare_report) with the target's
+    /// memoized report already in hand. The per-pair cost drops to the
+    /// candidate replay itself: no memo-lock acquisition, no key clone, no
+    /// second `report_for` — which is what lets an all-pairs executor resolve
+    /// each target's report once per bucket and then fan candidates out
+    /// across threads without serializing on the session cache.
+    pub fn compare_report_prepared(
+        &self,
+        target: &dyn BlackBox,
+        report: &CachedGeneration,
+        candidate: &dyn BlackBox,
+    ) -> MatchReport {
         let _timer = {
             static PAIR_NS: std::sync::OnceLock<dex_telemetry::Histo> = std::sync::OnceLock::new();
             PAIR_NS
                 .get_or_init(|| dex_telemetry::histogram("dex.match.pair_ns"))
                 .start()
         };
-        let examples = match self.report_for(target).as_ref() {
-            Ok(report) => report.examples.len(),
-            Err(_) => 0,
-        };
-        let outcome = match self.compare(target, candidate) {
-            Ok(verdict) => MatchOutcome::Verdict(verdict),
-            Err(e) => MatchOutcome::Incomparable(e.to_string()),
+        let (examples, outcome) = match report.as_ref() {
+            Ok(report) => {
+                let outcome = match match_against_examples_retrying(
+                    target.descriptor(),
+                    &report.examples,
+                    candidate,
+                    self.ontology,
+                    MappingMode::Strict,
+                    &self.invocations,
+                    &self.retrier,
+                ) {
+                    Ok(verdict) => MatchOutcome::Verdict(verdict),
+                    Err(e) => MatchOutcome::Incomparable(e.to_string()),
+                };
+                (report.examples.len(), outcome)
+            }
+            Err(e) => (0, MatchOutcome::Incomparable(e.to_string())),
         };
         if dex_telemetry::is_enabled() {
             let counters = match_counters();
@@ -1054,6 +1083,18 @@ impl<'a> MatchSession<'a> {
     /// incomparability.
     pub fn pruned_report(&self, target: &dyn BlackBox, candidate: &dyn BlackBox) -> MatchReport {
         let report = self.report_for(target);
+        self.pruned_report_prepared(target, &report, candidate)
+    }
+
+    /// [`pruned_report`](MatchSession::pruned_report) with the target's
+    /// memoized report already in hand — the lock-free counterpart used by
+    /// the prepared executor.
+    pub fn pruned_report_prepared(
+        &self,
+        target: &dyn BlackBox,
+        report: &CachedGeneration,
+        candidate: &dyn BlackBox,
+    ) -> MatchReport {
         let examples = match report.as_ref() {
             Ok(report) => report.examples.len(),
             Err(_) => 0,
@@ -1074,7 +1115,7 @@ impl<'a> MatchSession<'a> {
                         target.descriptor().id,
                         candidate.descriptor().id
                     );
-                    return self.compare_report(target, candidate);
+                    return self.compare_report_prepared(target, report, candidate);
                 }
             },
         };

@@ -1,8 +1,103 @@
-//! Regenerates the §6 repair numbers.
+//! Regenerates the §6 repair numbers — and, with `--scale`, drives the
+//! continuous decay-and-repair workload over a scaled universe.
+//!
+//! ```text
+//! exp_repair                                  # paper profile (§6 table)
+//! exp_repair --scale 10000 --waves 3          # continuous workload
+//!            [--workflows N] [--fault-rate PCT] [--seed S]
+//! ```
+//!
+//! In `--scale` mode each wave withdraws `--fault-rate`% of the available
+//! modules through the incremental delta pipeline (no cold re-runs), repairs
+//! every workflow the wave broke, and prints throughput (repairs/s) plus
+//! p50/p95/p99 per-workflow repair latency.
+
+use dex_experiments::{run_continuous, ContinuousConfig};
 use dex_repair::RepositoryPlan;
+
+fn arg_value(args: &[String], flag: &str) -> Option<u64> {
+    let eq = format!("{flag}=");
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&eq) {
+            return v.parse().ok();
+        }
+        if a == flag {
+            return args.get(i + 1).and_then(|v| v.parse().ok());
+        }
+    }
+    None
+}
+
 fn main() {
     let telemetry = dex_experiments::TelemetryRun::from_env();
-    let results = dex_experiments::experiments::decay_experiments(&RepositoryPlan::default());
-    print!("{}", results.repair);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    match arg_value(&args, "--scale") {
+        None => {
+            let results =
+                dex_experiments::experiments::decay_experiments(&RepositoryPlan::default());
+            print!("{}", results.repair);
+        }
+        Some(scale) => {
+            let waves = arg_value(&args, "--waves").unwrap_or(3) as usize;
+            let seed = arg_value(&args, "--seed").unwrap_or(42);
+            let mut cfg = ContinuousConfig::at_scale(scale as usize, waves, seed);
+            if let Some(w) = arg_value(&args, "--workflows") {
+                cfg.workflows = w as usize;
+            }
+            if let Some(r) = arg_value(&args, "--fault-rate") {
+                cfg.fault_pct = r as u32;
+            }
+            let report = run_continuous(&cfg);
+
+            let p = &report.prepare;
+            println!(
+                "continuous decay-and-repair: {} modules, {} families, {} concepts, {} workflows",
+                p.modules, p.families, p.concepts, p.workflows
+            );
+            println!(
+                "  build {:.0} ms | bootstrap {:.0} ms | streaming harvest {:.0} ms ({} instances)",
+                p.build_ms, p.bootstrap_ms, p.harvest_ms, p.harvested_instances
+            );
+            println!(
+                "{:<5} {:>9} {:>9} {:>7} {:>7} {:>7} {:>6} {:>10} {:>9} {:>9} {:>9}",
+                "wave",
+                "withdrawn",
+                "affected",
+                "full",
+                "partial",
+                "none",
+                "subst",
+                "repairs/s",
+                "p50 ms",
+                "p95 ms",
+                "p99 ms"
+            );
+            for w in &report.waves {
+                println!(
+                    "{:<5} {:>9} {:>9} {:>7} {:>7} {:>7} {:>6} {:>10.1} {:>9.3} {:>9.3} {:>9.3}",
+                    w.wave,
+                    w.withdrawals,
+                    w.affected_workflows,
+                    w.fully_repaired,
+                    w.partially_repaired,
+                    w.unrepaired,
+                    w.substitutions,
+                    w.repairs_per_sec,
+                    w.latency.p50_ns as f64 / 1e6,
+                    w.latency.p95_ns as f64 / 1e6,
+                    w.latency.p99_ns as f64 / 1e6,
+                );
+            }
+            println!(
+                "total: {} substitutions across {} waves | overall p50 {:.3} ms p95 {:.3} ms p99 {:.3} ms",
+                report.total_substitutions(),
+                report.waves.len(),
+                report.latency_overall.p50_ns as f64 / 1e6,
+                report.latency_overall.p95_ns as f64 / 1e6,
+                report.latency_overall.p99_ns as f64 / 1e6,
+            );
+        }
+    }
     telemetry.finish("exp_repair");
 }

@@ -25,6 +25,7 @@ use dex_universe::Universe;
 use std::collections::BTreeMap;
 
 pub mod ablations;
+pub mod continuous;
 pub mod experiments;
 pub mod faults;
 pub mod format;
@@ -32,6 +33,7 @@ pub mod incremental;
 pub mod parallel;
 pub mod telemetry;
 
+pub use continuous::{run_continuous, ContinuousConfig, ContinuousReport, WaveReport};
 pub use faults::FaultConfig;
 pub use incremental::IncrementalPipeline;
 pub use parallel::{BatchConfig, BlockedMatchMatrix, BlockedMatchSummary};

@@ -7,14 +7,15 @@
 //! scheduling.
 
 use dex_core::{
-    generate_examples_retrying, BlockingStats, FingerprintIndex, GenerationConfig,
-    GenerationReport, MatchOutcome, MatchReport, MatchSession, MatchVerdict,
+    generate_examples_retrying, BlockingStats, CachedGeneration, FingerprintIndex,
+    GenerationConfig, GenerationReport, MatchOutcome, MatchReport, MatchSession, MatchVerdict,
 };
-use dex_modules::{InvocationCache, ModuleId, Retrier};
+use dex_modules::{InvocationCache, ModuleId, Retrier, SharedModule};
 use dex_pool::InstancePool;
 use dex_universe::Universe;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// The outcome of a degradation-tolerant fleet generation: per-module
 /// reports for everything that generated, failure records for everything
@@ -351,6 +352,45 @@ fn unavailable_report(universe: &Universe, ids: &[ModuleId], t: usize, c: usize)
     }
 }
 
+/// Per-id state resolved once per sweep for the prepared executor.
+///
+/// The old step closures paid two catalog `BTreeMap` lookups and two
+/// memo-lock acquisitions (each cloning the target's `ModuleId` `String`
+/// for the key) on *every* pair. On a multi-core run all workers serialize
+/// on that one session mutex — the `blocked_parallel_ms == blocked_serial_ms`
+/// collapse — and even serially the lock+hash+clone traffic is a large
+/// constant share of the ~µs warm per-pair cost. Resolving the catalog
+/// handle once per id and parking each target's memoized report in a
+/// `OnceLock` cell makes the per-pair hot path lock-free after the cell's
+/// first touch: workers read a shared `&CachedGeneration` and run only the
+/// candidate replay.
+struct PreparedIds<'u> {
+    handles: Vec<Option<&'u SharedModule>>,
+    reports: Vec<OnceLock<CachedGeneration>>,
+}
+
+impl<'u> PreparedIds<'u> {
+    fn resolve(universe: &'u Universe, ids: &[ModuleId]) -> Self {
+        let handles: Vec<Option<&'u SharedModule>> =
+            ids.iter().map(|id| universe.catalog.get(id)).collect();
+        let mut reports = Vec::with_capacity(ids.len());
+        reports.resize_with(ids.len(), OnceLock::new);
+        PreparedIds { handles, reports }
+    }
+
+    /// The catalog handle for a planned (therefore available) pair member.
+    fn handle(&self, i: usize) -> &'u SharedModule {
+        self.handles[i].expect("planned pair available")
+    }
+
+    /// The target's memoized report, generated on first touch (through the
+    /// session memo, so it still lands in — or comes from — the shared
+    /// cache) and lock-free afterwards.
+    fn target_report(&self, session: &MatchSession, t: usize) -> &CachedGeneration {
+        self.reports[t].get_or_init(|| session.report_for(self.handle(t).as_ref()))
+    }
+}
+
 fn publish_session_telemetry(session: &MatchSession) {
     if dex_telemetry::is_enabled() {
         let stats = session.cache_stats();
@@ -382,22 +422,20 @@ pub fn match_pairs_blocked_in(
 ) -> BlockedMatchMatrix {
     let _span = dex_telemetry::span("parallel.match_pairs");
     let (index, pairs, stats) = blocked_plan(universe, ids);
+    let prepared = PreparedIds::resolve(universe, ids);
     let compared = run_batched(
         &pairs,
         batch,
         Vec::new,
         |acc: &mut Vec<(usize, MatchReport)>, i, (t, c)| {
-            let target = universe
-                .catalog
-                .get(&ids[t])
-                .expect("planned pair available");
-            let candidate = universe
-                .catalog
-                .get(&ids[c])
-                .expect("planned pair available");
+            let report = prepared.target_report(session, t);
             acc.push((
                 i,
-                session.compare_report(target.as_ref(), candidate.as_ref()),
+                session.compare_report_prepared(
+                    prepared.handle(t).as_ref(),
+                    report,
+                    prepared.handle(c).as_ref(),
+                ),
             ));
         },
     );
@@ -413,9 +451,10 @@ pub fn match_pairs_blocked_in(
             if t == c || index.is_comparable(t, c) {
                 continue;
             }
-            let report = match (universe.catalog.get(&ids[t]), universe.catalog.get(&ids[c])) {
+            let report = match (prepared.handles[t], prepared.handles[c]) {
                 (Some(target), Some(candidate)) => {
-                    session.pruned_report(target.as_ref(), candidate.as_ref())
+                    let cell = prepared.target_report(session, t);
+                    session.pruned_report_prepared(target.as_ref(), cell, candidate.as_ref())
                 }
                 _ => unavailable_report(universe, ids, t, c),
             };
@@ -455,6 +494,41 @@ pub fn match_pairs_blocked_summary(
     let _span = dex_telemetry::span("parallel.match_pairs_summary");
     let (_index, pairs, stats) = blocked_plan(universe, ids);
     let session = MatchSession::new(&universe.ontology, pool, config.clone());
+    let prepared = PreparedIds::resolve(universe, ids);
+    let tallies = run_batched(
+        &pairs,
+        batch,
+        <[usize; 4]>::default,
+        |acc: &mut [usize; 4], _i, (t, c)| {
+            let report = prepared.target_report(&session, t);
+            let report = session.compare_report_prepared(
+                prepared.handle(t).as_ref(),
+                report,
+                prepared.handle(c).as_ref(),
+            );
+            acc[verdict_slot(&report.outcome)] += 1;
+        },
+    );
+    finish_summary(tallies, stats, &session)
+}
+
+/// The pre-PR summary path, kept callable as `bench_blocking`'s baseline
+/// column (the same precedent as the retired per-pair channel executor's
+/// `perpair_parallel_ms`): per-pair catalog lookups and a session memo-lock
+/// acquisition on every pair, no pre-resolved handles, no report cells.
+/// Byte-identical tallies to [`match_pairs_blocked_summary`]; only the
+/// constant per-pair overhead — and its cross-thread serialization on the
+/// memo lock — differs.
+pub fn match_pairs_blocked_summary_unprepared(
+    universe: &Universe,
+    ids: &[ModuleId],
+    pool: &InstancePool,
+    config: &GenerationConfig,
+    batch: &BatchConfig,
+) -> BlockedMatchSummary {
+    let _span = dex_telemetry::span("parallel.match_pairs_summary");
+    let (_index, pairs, stats) = blocked_plan(universe, ids);
+    let session = MatchSession::new(&universe.ontology, pool, config.clone());
     let tallies = run_batched(
         &pairs,
         batch,
@@ -469,15 +543,26 @@ pub fn match_pairs_blocked_summary(
                 .get(&ids[c])
                 .expect("planned pair available");
             let report = session.compare_report(target.as_ref(), candidate.as_ref());
-            let slot = match &report.outcome {
-                MatchOutcome::Verdict(MatchVerdict::Equivalent { .. }) => 0,
-                MatchOutcome::Verdict(MatchVerdict::Overlapping { .. }) => 1,
-                MatchOutcome::Verdict(MatchVerdict::Disjoint { .. }) => 2,
-                MatchOutcome::Incomparable(_) => 3,
-            };
-            acc[slot] += 1;
+            acc[verdict_slot(&report.outcome)] += 1;
         },
     );
+    finish_summary(tallies, stats, &session)
+}
+
+fn verdict_slot(outcome: &MatchOutcome) -> usize {
+    match outcome {
+        MatchOutcome::Verdict(MatchVerdict::Equivalent { .. }) => 0,
+        MatchOutcome::Verdict(MatchVerdict::Overlapping { .. }) => 1,
+        MatchOutcome::Verdict(MatchVerdict::Disjoint { .. }) => 2,
+        MatchOutcome::Incomparable(_) => 3,
+    }
+}
+
+fn finish_summary(
+    tallies: Vec<[usize; 4]>,
+    stats: BlockingStats,
+    session: &MatchSession,
+) -> BlockedMatchSummary {
     let mut summary = BlockedMatchSummary {
         stats,
         ..BlockedMatchSummary::default()
@@ -497,7 +582,7 @@ pub fn match_pairs_blocked_summary(
         dex_telemetry::counter_add("dex.match.verdict.incomparable", skipped);
         dex_telemetry::counter_add("dex.match.pairs_pruned", stats.pairs_pruned as u64);
     }
-    publish_session_telemetry(&session);
+    publish_session_telemetry(session);
     summary
 }
 
@@ -766,6 +851,21 @@ mod tests {
         }
         assert_eq!(summary.tallies(), want);
         assert_eq!(summary.stats, dense.stats);
+    }
+
+    #[test]
+    fn unprepared_baseline_agrees_with_the_prepared_summary() {
+        let universe = dex_universe::build();
+        let pool = build_synthetic_pool(&universe.ontology, 3, 13);
+        let config = GenerationConfig::default();
+        let ids: Vec<ModuleId> = universe.available_ids().into_iter().step_by(19).collect();
+        for batch in [BatchConfig::with_threads(1), BatchConfig::with_threads(4)] {
+            let prepared = match_pairs_blocked_summary(&universe, &ids, &pool, &config, &batch);
+            let baseline =
+                match_pairs_blocked_summary_unprepared(&universe, &ids, &pool, &config, &batch);
+            assert_eq!(prepared.tallies(), baseline.tallies());
+            assert_eq!(prepared.stats, baseline.stats);
+        }
     }
 
     #[test]

@@ -25,10 +25,12 @@ fn pipeline_slice_populates_run_report() {
         let module = universe.catalog.get(id).expect("available");
         generate_examples(module.as_ref(), &universe.ontology, &pool, &config).unwrap();
     }
-    // …and run one memoized comparison twice to force a cache hit.
+    // …and run one memoized comparison twice to force a cache hit (the
+    // second comparison of the same target reuses its memoized report).
     let session = MatchSession::new(&universe.ontology, &pool, config);
     let target = universe.catalog.get(&ids[0]).unwrap();
     let candidate = universe.catalog.get(&ids[1]).unwrap();
+    session.compare_report(target.as_ref(), candidate.as_ref());
     session.compare_report(target.as_ref(), candidate.as_ref());
     session.compare_report(candidate.as_ref(), target.as_ref());
 
@@ -48,7 +50,7 @@ fn pipeline_slice_populates_run_report() {
     // the two generated reports).
     assert!(report.counters["dex.match.cache_misses"] > 0);
     assert!(report.counters["dex.match.cache_hits"] > 0);
-    assert_eq!(report.counters["dex.match.pairs"], 2);
+    assert_eq!(report.counters["dex.match.pairs"], 3);
     // Pool lookups fired and the generation histogram sampled something.
     assert!(report.counters["dex.pool.lookups"] > 0);
     assert!(report.histograms["dex.generate.module_ns"].count > 0);

@@ -37,6 +37,6 @@ pub mod synthetic;
 pub use instance::{AnnotatedInstance, InstanceSource};
 pub use pool::{ConceptIndex, InstancePool};
 pub use stats::PoolStats;
-pub use synthetic::build_synthetic_pool;
+pub use synthetic::{build_synthetic_pool, build_text_pool, text_instance};
 
 pub use dex_values::Value;

@@ -31,6 +31,53 @@ pub fn build_synthetic_pool(ontology: &Ontology, per_concept: usize, seed: u64) 
     pool
 }
 
+/// The canonical text of the `k`-th pool instance of `concept` under `seed`,
+/// as produced by [`build_text_pool`]: `ec:{concept}:{k:04}:{salt:08x}`.
+///
+/// The concept name sits between fixed `:` delimiters, so a value's
+/// partition is recoverable from its text alone — the contract the scaled
+/// universe's overlapping-module cores key their divergence on
+/// (`dex_universe::scale`), pinned by that crate's tests.
+pub fn text_instance(concept: &str, k: usize, seed: u64) -> dex_values::Value {
+    // FNV-1a over (concept, k, seed): cheap, stable, dependency-free.
+    let mut salt = 0xcbf2_9ce4_8422_2325u64;
+    for byte in concept
+        .bytes()
+        .chain(k.to_le_bytes())
+        .chain(seed.to_le_bytes())
+    {
+        salt ^= u64::from(byte);
+        salt = salt.wrapping_mul(0x1000_0000_01b3);
+    }
+    dex_values::Value::text(format!("ec:{concept}:{k:04}:{:08x}", salt as u32))
+}
+
+/// Builds a pool holding `per_concept` deterministic *text* realizations of
+/// every realizable concept of `ontology` — no synthesizer involved, so it
+/// works for ontologies whose concepts the hard-coded myGrid synthesizer
+/// has never heard of (the scaled EDAM-shaped ontologies of
+/// `dex_universe::scale`, where `build_synthetic_pool` would silently skip
+/// every concept and yield an empty pool).
+///
+/// Deterministic in `seed`; concepts are visited in ontology insertion
+/// order and every realizable concept is covered by construction.
+pub fn build_text_pool(ontology: &Ontology, per_concept: usize, seed: u64) -> InstancePool {
+    let mut pool = InstancePool::new(format!("text-{seed}"));
+    for concept in ontology.iter() {
+        if !ontology.can_be_realized(concept) {
+            continue;
+        }
+        let name = ontology.concept_name(concept);
+        for k in 0..per_concept {
+            pool.add(AnnotatedInstance::synthetic(
+                text_instance(name, k, seed),
+                name,
+            ));
+        }
+    }
+    pool
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,6 +111,47 @@ mod tests {
         let va: Vec<_> = a.iter().map(|i| i.value.clone()).collect();
         let vb: Vec<_> = b.iter().map(|i| i.value.clone()).collect();
         assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn text_pool_covers_every_realizable_concept_of_any_ontology() {
+        let mut builder = Ontology::builder("alien");
+        builder.root("Thing").unwrap();
+        builder.abstract_child("Abstract", "Thing").unwrap();
+        builder.child("ConcreteA", "Abstract").unwrap();
+        builder.child("ConcreteB", "Abstract").unwrap();
+        let onto = builder.build().unwrap();
+        // The synthesizer knows none of these names…
+        assert_eq!(build_synthetic_pool(&onto, 2, 1).len(), 0);
+        // …but the text pool covers all three realizable concepts.
+        let pool = build_text_pool(&onto, 2, 1);
+        assert_eq!(pool.len(), 6);
+        for concept in ["Thing", "ConcreteA", "ConcreteB"] {
+            let inst = pool
+                .get_instance(concept, &StructuralType::Text, 0)
+                .unwrap_or_else(|| panic!("no realization for {concept}"));
+            let text = inst.value.as_text().unwrap();
+            assert!(
+                text.starts_with(&format!("ec:{concept}:")),
+                "value text {text} must carry its partition tag"
+            );
+        }
+        assert!(pool
+            .get_instance("Abstract", &StructuralType::Text, 0)
+            .is_none());
+    }
+
+    #[test]
+    fn text_pool_is_deterministic_and_seed_sensitive() {
+        let onto = mygrid::ontology();
+        let a: Vec<_> = build_text_pool(&onto, 2, 9).iter().cloned().collect();
+        let b: Vec<_> = build_text_pool(&onto, 2, 9).iter().cloned().collect();
+        let c: Vec<_> = build_text_pool(&onto, 2, 10).iter().cloned().collect();
+        assert_eq!(a, b);
+        assert_ne!(
+            a.iter().map(|i| i.value.clone()).collect::<Vec<_>>(),
+            c.iter().map(|i| i.value.clone()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

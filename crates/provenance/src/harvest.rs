@@ -5,7 +5,129 @@ use dex_core::ValueClassifier;
 use dex_modules::ModuleCatalog;
 use dex_pool::{AnnotatedInstance, InstancePool};
 use dex_values::Value;
+use dex_workflow::EnactmentTrace;
 use std::collections::HashSet;
+
+/// Incremental harvest: absorbs enactment traces one at a time into a
+/// concept-indexed pool, so a caller can enact → absorb → drop each trace
+/// without ever materializing a corpus. Memory is bounded by *distinct*
+/// harvested data, not by trace volume — the property the repository-scale
+/// pipelines rely on.
+///
+/// [`harvest_pool`] is implemented on top of this sink, so the streaming and
+/// materialized paths produce byte-identical pools by construction (pinned
+/// by property tests in `dex-repair`).
+pub struct HarvestSink<'c> {
+    pool: InstancePool,
+    seen: HashSet<(Value, String)>,
+    catalog: &'c ModuleCatalog,
+    classifier: ValueClassifier,
+    values_seen: u64,
+    skipped: u64,
+    duplicates: u64,
+}
+
+impl<'c> HarvestSink<'c> {
+    /// A fresh sink producing a pool named `name`. The annotation rules are
+    /// those of [`harvest_pool`]: classifier first, declared parameter
+    /// concept (via `catalog`) as fallback, skip when neither applies.
+    pub fn new(
+        name: impl Into<String>,
+        catalog: &'c ModuleCatalog,
+        classifier: ValueClassifier,
+    ) -> Self {
+        HarvestSink {
+            pool: InstancePool::new(name),
+            seen: HashSet::new(),
+            catalog,
+            classifier,
+            values_seen: 0,
+            skipped: 0,
+            duplicates: 0,
+        }
+    }
+
+    /// Streams one trace into the pool; the trace can be dropped afterwards.
+    pub fn absorb(&mut self, trace: &EnactmentTrace) {
+        for record in &trace.steps {
+            let descriptor = self.catalog.descriptor(&record.module);
+            let sides: [(&[Value], bool); 2] = [(&record.inputs, false), (&record.outputs, true)];
+            for (values, is_output) in sides {
+                for (idx, value) in values.iter().enumerate() {
+                    if value.is_null() {
+                        continue;
+                    }
+                    self.values_seen += 1;
+                    let declared = descriptor.and_then(|d| {
+                        let params = if is_output { &d.outputs } else { &d.inputs };
+                        params.get(idx).map(|p| p.semantic.as_str())
+                    });
+                    let concept = match (self.classifier)(value) {
+                        Some(c) => c.to_string(),
+                        None => match declared {
+                            Some(c) => c.to_string(),
+                            None => {
+                                self.skipped += 1;
+                                continue;
+                            }
+                        },
+                    };
+                    if self.seen.insert((value.clone(), concept.clone())) {
+                        let parameter = declared
+                            .map(|_| {
+                                let d = descriptor.expect("declared implies descriptor");
+                                let params = if is_output { &d.outputs } else { &d.inputs };
+                                params[idx].name.clone()
+                            })
+                            .unwrap_or_else(|| format!("arg{idx}"));
+                        self.pool.add(AnnotatedInstance::from_provenance(
+                            value.clone(),
+                            concept,
+                            trace.workflow.clone(),
+                            record.module.to_string(),
+                            parameter,
+                        ));
+                    } else {
+                        self.duplicates += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Instances harvested so far.
+    pub fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// True when nothing has been harvested yet.
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+
+    /// Publishes the harvest counters and yields the finished pool.
+    pub fn finish(self) -> InstancePool {
+        if dex_telemetry::is_enabled() {
+            dex_telemetry::counter_add("dex.provenance.values_seen", self.values_seen);
+            dex_telemetry::counter_add(
+                "dex.provenance.instances_harvested",
+                self.pool.len() as u64,
+            );
+            dex_telemetry::counter_add("dex.provenance.values_skipped", self.skipped);
+            dex_telemetry::counter_add("dex.provenance.duplicates_collapsed", self.duplicates);
+            dex_telemetry::event!(
+                dex_telemetry::Level::Info,
+                "provenance",
+                "harvested {} instances from {} values ({} duplicates, {} skipped)",
+                self.pool.len(),
+                self.values_seen,
+                self.duplicates,
+                self.skipped
+            );
+        }
+        self.pool
+    }
+}
 
 /// Harvests a pool of annotated instances from a corpus.
 ///
@@ -18,80 +140,21 @@ use std::collections::HashSet;
 /// unclassifiable are skipped. Duplicate `(value, concept)` pairs are kept
 /// only once, so the pool size is bounded by distinct data, not by trace
 /// volume.
+///
+/// This is the materialized-corpus convenience over [`HarvestSink`]; callers
+/// that produce traces on the fly should feed a sink directly and skip the
+/// corpus.
 pub fn harvest_pool(
     corpus: &ProvenanceCorpus,
     catalog: &ModuleCatalog,
     classifier: ValueClassifier,
 ) -> InstancePool {
     let _span = dex_telemetry::span("provenance.harvest");
-    let mut pool = InstancePool::new(format!("harvest-{}", corpus.name));
-    let mut seen: HashSet<(Value, String)> = HashSet::new();
-    let mut values_seen: u64 = 0;
-    let mut skipped: u64 = 0;
-    let mut duplicates: u64 = 0;
-
+    let mut sink = HarvestSink::new(format!("harvest-{}", corpus.name), catalog, classifier);
     for trace in corpus.traces() {
-        for record in &trace.steps {
-            let descriptor = catalog.descriptor(&record.module);
-            let sides: [(&[Value], bool); 2] = [(&record.inputs, false), (&record.outputs, true)];
-            for (values, is_output) in sides {
-                for (idx, value) in values.iter().enumerate() {
-                    if value.is_null() {
-                        continue;
-                    }
-                    values_seen += 1;
-                    let declared = descriptor.and_then(|d| {
-                        let params = if is_output { &d.outputs } else { &d.inputs };
-                        params.get(idx).map(|p| p.semantic.as_str())
-                    });
-                    let concept = match classifier(value) {
-                        Some(c) => c.to_string(),
-                        None => match declared {
-                            Some(c) => c.to_string(),
-                            None => {
-                                skipped += 1;
-                                continue;
-                            }
-                        },
-                    };
-                    if seen.insert((value.clone(), concept.clone())) {
-                        let parameter = declared
-                            .map(|_| {
-                                let d = descriptor.expect("declared implies descriptor");
-                                let params = if is_output { &d.outputs } else { &d.inputs };
-                                params[idx].name.clone()
-                            })
-                            .unwrap_or_else(|| format!("arg{idx}"));
-                        pool.add(AnnotatedInstance::from_provenance(
-                            value.clone(),
-                            concept,
-                            trace.workflow.clone(),
-                            record.module.to_string(),
-                            parameter,
-                        ));
-                    } else {
-                        duplicates += 1;
-                    }
-                }
-            }
-        }
+        sink.absorb(trace);
     }
-    if dex_telemetry::is_enabled() {
-        dex_telemetry::counter_add("dex.provenance.values_seen", values_seen);
-        dex_telemetry::counter_add("dex.provenance.instances_harvested", pool.len() as u64);
-        dex_telemetry::counter_add("dex.provenance.values_skipped", skipped);
-        dex_telemetry::counter_add("dex.provenance.duplicates_collapsed", duplicates);
-        dex_telemetry::event!(
-            dex_telemetry::Level::Info,
-            "provenance",
-            "harvested {} instances from {} values ({} duplicates, {} skipped)",
-            pool.len(),
-            values_seen,
-            duplicates,
-            skipped
-        );
-    }
-    pool
+    sink.finish()
 }
 
 #[cfg(test)]

@@ -22,5 +22,5 @@ pub mod harvest;
 pub mod reconstruct;
 
 pub use corpus::ProvenanceCorpus;
-pub use harvest::harvest_pool;
+pub use harvest::{harvest_pool, HarvestSink};
 pub use reconstruct::reconstruct_examples;

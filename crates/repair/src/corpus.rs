@@ -1,9 +1,10 @@
 //! Provenance corpus construction: repository enactments + archive traces.
 
 use crate::repository::WorkflowRepository;
+use dex_core::ValueClassifier;
 use dex_modules::{InvocationCache, ModuleId, Retrier, RetryPolicy, RetryStats};
 use dex_pool::InstancePool;
-use dex_provenance::ProvenanceCorpus;
+use dex_provenance::{HarvestSink, ProvenanceCorpus};
 use dex_universe::Universe;
 use dex_values::Value;
 use dex_workflow::{enact_retrying, EnactmentTrace, StepRecord};
@@ -143,6 +144,94 @@ pub fn build_corpus_with(
 
     report.retry = retrier.stats();
     (corpus, report)
+}
+
+/// Streams the corpus build straight into a harvested pool: every workflow
+/// is enacted and its trace absorbed into a [`HarvestSink`] immediately, so
+/// at no point does more than the one in-flight trace exist. Memory is
+/// bounded by distinct harvested data, not by enactment volume — this is
+/// what lets a 100k-module repository build its pool without materializing
+/// a [`ProvenanceCorpus`] first.
+///
+/// The trace *sources* are exactly those of [`build_corpus_with`] in the
+/// tolerant (non-`fail_fast`) mode — repository enactments first, then the
+/// legacy archive invocations — and the annotation rules are those of
+/// [`dex_provenance::harvest_pool`], so the resulting pool is byte-identical
+/// to `harvest_pool(&build_corpus_with(..).0, ..)` (pinned by property
+/// tests below). `invocations` is caller-owned so a warm cache can be
+/// shared across the build and everything downstream of it.
+pub fn stream_harvested_pool(
+    universe: &Universe,
+    repository: &WorkflowRepository,
+    pool: &InstancePool,
+    classifier: ValueClassifier,
+    retry: RetryPolicy,
+    invocations: &InvocationCache,
+) -> (InstancePool, CorpusBuildReport) {
+    let _span = dex_telemetry::span("corpus.stream_harvest");
+    let mut sink = HarvestSink::new("harvest-simulated-taverna", &universe.catalog, classifier);
+    let mut report = CorpusBuildReport::default();
+    let retrier = Retrier::new(retry);
+
+    for stored in &repository.workflows {
+        match enact_retrying(
+            &stored.workflow,
+            &universe.catalog,
+            &stored.sample_inputs,
+            invocations,
+            &retrier,
+        ) {
+            Ok(trace) => sink.absorb(&trace),
+            Err(e) => {
+                if dex_telemetry::is_enabled() {
+                    dex_telemetry::counter_add("dex.corpus.enact_failures", 1);
+                }
+                report
+                    .failed_enactments
+                    .push((stored.workflow.id.clone(), e.to_string()));
+            }
+        }
+    }
+
+    for legacy in &universe.legacy {
+        for (k, inputs) in archive_inputs(universe, pool, legacy)
+            .into_iter()
+            .enumerate()
+        {
+            let Some(module) = universe.catalog.get(legacy) else {
+                report
+                    .failed_archive_invocations
+                    .push((legacy.clone(), "module unavailable".to_string()));
+                continue;
+            };
+            match retrier.invoke(module.as_ref(), &inputs) {
+                Ok(outputs) => sink.absorb(&EnactmentTrace {
+                    workflow: format!("ispider:{legacy}:{k}"),
+                    inputs: inputs.clone(),
+                    steps: vec![StepRecord {
+                        step: 0,
+                        step_name: "invoke".to_string(),
+                        module: legacy.clone(),
+                        inputs,
+                        outputs: outputs.clone(),
+                    }],
+                    outputs,
+                }),
+                Err(e) if e.is_transient() => {
+                    if dex_telemetry::is_enabled() {
+                        dex_telemetry::counter_add("dex.corpus.archive_failures", 1);
+                    }
+                    report
+                        .failed_archive_invocations
+                        .push((legacy.clone(), e.to_string()));
+                }
+                Err(_) => continue,
+            }
+        }
+    }
+
+    report.retry = retrier.stats();
+    (sink.finish(), report)
 }
 
 /// Picks archive inputs for one legacy module: up to six distinct pool

@@ -21,7 +21,7 @@ pub mod keys;
 pub mod matching;
 pub mod repository;
 
-pub use corpus::{build_corpus, build_corpus_with, CorpusBuildReport};
+pub use corpus::{build_corpus, build_corpus_with, stream_harvested_pool, CorpusBuildReport};
 pub use engine::{
     repair_repository, repair_repository_with, RepairOutcome, RepairStatus, RepairSummary,
 };

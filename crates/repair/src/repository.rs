@@ -2,6 +2,7 @@
 
 use crate::keys::diverges_on;
 use dex_modules::{ModuleCatalog, ModuleDescriptor, ModuleId, Parameter};
+use dex_ontology::ConceptId;
 use dex_pool::InstancePool;
 use dex_universe::{ExpectedMatch, Universe};
 use dex_values::Value;
@@ -277,6 +278,30 @@ impl<'a> Generator<'a> {
         let ontology = &universe.ontology;
         let mut downstream = std::collections::BTreeMap::new();
         let available = universe.available_ids();
+        // Invert the compatibility check: bucket the candidates by their
+        // first input's semantic concept, then for each module walk the
+        // ancestor chain of its output concept and merge the buckets along
+        // it. `t subsumes s` iff `t` is an ancestor-or-self of `s`, so the
+        // walk visits exactly the concepts whose candidates pass the
+        // semantic test — O(modules × depth) instead of the all-pairs scan.
+        // A final sort restores `available` order (BTreeMap keys), keeping
+        // the candidate lists identical to the quadratic formulation.
+        let mut by_input: std::collections::BTreeMap<ConceptId, Vec<(&ModuleId, &Parameter)>> =
+            std::collections::BTreeMap::new();
+        for cand in &available {
+            let cin = &universe
+                .catalog
+                .descriptor(cand)
+                .unwrap_or_else(|| {
+                    panic!("candidate {cand} vanished from the catalog it came from")
+                })
+                .inputs[0];
+            // Candidates annotated outside the ontology can never subsume
+            // anything, matching the `(None, _)` arm of the pairwise check.
+            if let Some(t) = ontology.id(&cin.semantic) {
+                by_input.entry(t).or_default().push((cand, cin));
+            }
+        }
         // Index every module (legacy ones included: their outputs feed
         // downstream steps too).
         let all_ids: Vec<ModuleId> = universe.catalog.available_ids().into_iter().collect();
@@ -290,25 +315,16 @@ impl<'a> Generator<'a> {
                 .unwrap_or_else(|| panic!("module {id} vanished from the catalog it came from"))
                 .outputs[0];
             let mut compatible = Vec::new();
-            for cand in &available {
-                if cand == id {
-                    continue;
-                }
-                let cin = &universe
-                    .catalog
-                    .descriptor(cand)
-                    .unwrap_or_else(|| {
-                        panic!("candidate {cand} vanished from the catalog it came from")
-                    })
-                    .inputs[0];
-                let semantic_ok = match (ontology.id(&cin.semantic), ontology.id(&out.semantic)) {
-                    (Some(t), Some(s)) => ontology.subsumes(t, s),
-                    _ => false,
-                };
-                if semantic_ok && cin.structural.accepts(&out.structural) {
-                    compatible.push(cand.clone());
+            if let Some(s) = ontology.id(&out.semantic) {
+                for t in ontology.ancestors(s) {
+                    for (cand, cin) in by_input.get(&t).into_iter().flatten() {
+                        if *cand != id && cin.structural.accepts(&out.structural) {
+                            compatible.push((*cand).clone());
+                        }
+                    }
                 }
             }
+            compatible.sort();
             downstream.insert(id.clone(), compatible);
         }
         Generator {

@@ -1,0 +1,118 @@
+//! Streaming harvest correctness contract: feeding enactment traces into a
+//! `HarvestSink` one at a time — dropping each trace immediately — yields a
+//! pool byte-identical to materializing the whole `ProvenanceCorpus` first
+//! and running `harvest_pool` over it. Holds with a cold or warm shared
+//! `InvocationCache` and with seeded transient faults injected into every
+//! module (the two sides see identical fault-clock phases because they make
+//! identical invocation sequences).
+
+use dex_modules::{FaultInjector, FaultPlan, InvocationCache, RetryPolicy};
+use dex_pool::build_text_pool;
+use dex_provenance::harvest_pool;
+use dex_repair::{
+    build_corpus_with, generate_repository, stream_harvested_pool, RepositoryPlan,
+    WorkflowRepository,
+};
+use dex_universe::scale::{build_scaled, ScalePlan};
+use dex_universe::Universe;
+use dex_values::classify::classify_concept;
+use proptest::prelude::*;
+
+fn scale_plan(seed: u64) -> ScalePlan {
+    ScalePlan {
+        modules: 24 + (seed % 40) as usize,
+        seed,
+        depth: 4,
+        max_family: 8,
+        shared_shape_every: 5,
+        shared_shapes: 3,
+    }
+}
+
+fn world(seed: u64, fault: Option<(u64, u32)>) -> Universe {
+    let mut world = build_scaled(&scale_plan(seed)).universe;
+    if let Some((fault_seed, rate_pct)) = fault {
+        let injector = FaultInjector::new(FaultPlan::rate_pct(fault_seed, rate_pct));
+        world
+            .catalog
+            .wrap_modules(|_, module| injector.wrap(module));
+    }
+    world
+}
+
+fn repository(universe: &Universe, seed: u64) -> WorkflowRepository {
+    let pool = build_text_pool(&universe.ontology, 6, seed);
+    let plan = RepositoryPlan {
+        healthy: 25,
+        equivalent_full: 0,
+        equivalent_partial: 0,
+        overlap_full: 0,
+        overlap_partial: 0,
+        overlap_odd: 0,
+        none_only: 0,
+        seed,
+    };
+    generate_repository(universe, &pool, &plan)
+}
+
+fn check_equivalence(seed: u64, fault: Option<(u64, u32)>) {
+    // The repository is composed against a fault-free world so its structure
+    // is a pure function of the seed; both harvest sides then run it against
+    // their own identically-faulted universe instance.
+    let base = world(seed, None);
+    let pool = build_text_pool(&base.ontology, 6, seed);
+    let repo = repository(&base, seed);
+    let retry = RetryPolicy::transient(3);
+
+    let materialized = world(seed, fault);
+    let (corpus, report_m) = build_corpus_with(&materialized, &repo, &pool, retry, false);
+    let pool_m = harvest_pool(&corpus, &materialized.catalog, classify_concept);
+
+    let streaming = world(seed, fault);
+    let cache = InvocationCache::new();
+    let (pool_s, report_s) =
+        stream_harvested_pool(&streaming, &repo, &pool, classify_concept, retry, &cache);
+
+    let bytes_m = serde_json::to_string(&pool_m).expect("pool serializes");
+    let bytes_s = serde_json::to_string(&pool_s).expect("pool serializes");
+    assert_eq!(bytes_m, bytes_s, "streaming pool must be byte-identical");
+    assert_eq!(
+        report_m.failed_enactments, report_s.failed_enactments,
+        "both sides must skip the same enactments"
+    );
+
+    // Warm-cache pass: re-streaming over the already-warm shared cache must
+    // reproduce the same pool (deterministic modules make cache state
+    // unobservable; under faults the cache changes fault-clock phase, so the
+    // warm contract is only pinned fault-free).
+    if fault.is_none() {
+        let (pool_w, _) = stream_harvested_pool(
+            &streaming,
+            &repo,
+            &pool,
+            classify_concept,
+            RetryPolicy::none(),
+            &cache,
+        );
+        let bytes_w = serde_json::to_string(&pool_w).expect("pool serializes");
+        assert_eq!(bytes_s, bytes_w, "warm-cache streaming must agree");
+    }
+}
+
+proptest! {
+    /// Streaming == materialized, cold and warm cache, fault-free.
+    #[test]
+    fn streaming_harvest_matches_materialized(seed in any::<u64>()) {
+        check_equivalence(seed, None);
+    }
+
+    /// Same contract with seeded transient faults in every module.
+    #[test]
+    fn streaming_harvest_matches_materialized_under_faults(
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        fault_rate_pct in 1u32..26,
+    ) {
+        check_equivalence(seed, Some((fault_seed, fault_rate_pct)));
+    }
+}

@@ -28,7 +28,9 @@ pub mod behavior;
 pub mod build;
 pub mod category;
 pub mod db;
+pub mod scale;
 
 pub use behavior::{BehaviorClass, BehaviorSpec, Pred, SpecOracle};
 pub use build::{build, legacy_divergent, ExpectedMatch, Universe};
 pub use category::Category;
+pub use scale::{build_scaled, FamilyInfo, MemberRole, ScalePlan, ScaledWorld};
