@@ -13,9 +13,11 @@
 //! `build_scaled` universe, bootstrap the `IncrementalPipeline`, stream the
 //! pre-decay provenance harvest through a `HarvestSink`, then withdraw 10%
 //! of the surviving modules per wave (3 waves) as `Delta::ModuleWithdraw`
-//! batches and repair the broken workflows. Reported per wave: throughput
-//! (repairs/s) and p50/p95/p99 per-workflow repair latency from the
-//! telemetry histogram buckets.
+//! batches and repair every currently broken workflow — the wave's own
+//! victims plus the carried-forward broken set from earlier waves (so
+//! `re_repaired` tracks recoveries the old per-wave driver missed).
+//! Reported per wave: throughput (repairs/s) and p50/p95/p99 per-workflow
+//! repair latency from the telemetry histogram buckets.
 //!
 //! SLO self-gates (checked at the CI scale, 10k modules):
 //! - every wave must report **zero** cold regenerations (the withdraw-only
@@ -103,6 +105,7 @@ fn main() {
             }
             wave_rows.push(format!(
                 "      {{\"wave\": {}, \"withdrawals\": {}, \"affected_workflows\": {}, \
+                 \"carried_broken\": {}, \"re_repaired\": {}, \
                  \"fully_repaired\": {}, \"partially_repaired\": {}, \"unrepaired\": {}, \
                  \"substitutions\": {}, \"broken_after\": {}, \"regenerated_modules\": {}, \
                  \"repair_ms\": {:.2}, \"repairs_per_sec\": {:.1}, \
@@ -110,6 +113,8 @@ fn main() {
                 w.wave,
                 w.withdrawals,
                 w.affected_workflows,
+                w.carried_broken,
+                w.re_repaired,
                 w.fully_repaired,
                 w.partially_repaired,
                 w.unrepaired,
@@ -136,7 +141,7 @@ fn main() {
             "    {{\"modules\": {n}, \"families\": {}, \"concepts\": {}, \
              \"workflows\": {}, \"build_ms\": {:.2}, \"bootstrap_ms\": {:.2}, \
              \"harvest_ms\": {:.2}, \"harvested_instances\": {}, \"total_ms\": {total_ms:.2}, \
-             \"total_substitutions\": {}, \"min_repairs_per_sec\": {:.1}, \
+             \"total_substitutions\": {}, \"total_re_repaired\": {}, \"min_repairs_per_sec\": {:.1}, \
              \"overall_p50_ms\": {:.4}, \"overall_p95_ms\": {:.4}, \"overall_p99_ms\": {:.4}, \
              \"waves\": [\n{}\n    ]}}{comma}",
             p.families,
@@ -147,6 +152,7 @@ fn main() {
             p.harvest_ms,
             p.harvested_instances,
             report.total_substitutions(),
+            report.total_re_repaired(),
             report.min_repairs_per_sec(),
             report.latency_overall.p50_ns as f64 / 1e6,
             report.latency_overall.p95_ns as f64 / 1e6,

@@ -29,6 +29,7 @@ use crate::partition::input_partition_plan;
 use dex_modules::{ModuleDescriptor, ModuleId};
 use dex_ontology::Ontology;
 use dex_pool::AnnotatedInstance;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 
 /// One registry change, as observed by the incremental layer.
@@ -37,7 +38,7 @@ use std::collections::{BTreeSet, HashMap};
 /// exhibits: the curated instance pool (§4.1), module availability
 /// (§6's withdrawn services, the fault model's flapping ones), and the
 /// annotation ontology itself.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Delta {
     /// A curator contributed a new annotated instance to the pool.
     PoolInsert {
@@ -75,7 +76,7 @@ pub enum Delta {
 }
 
 /// What one batch of deltas cost, against what a cold run would have.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeltaReport {
     /// Delta events applied.
     pub events: usize,

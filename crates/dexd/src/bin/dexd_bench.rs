@@ -1,0 +1,581 @@
+//! Emits `BENCH_dexd.json`: the resident-service numbers of ISSUE 10 —
+//! what a registry query costs when the operating state is built once and
+//! kept warm, versus the batch-pipeline cost of rebuilding everything for
+//! a single answer.
+//!
+//! Usage:
+//!   cargo run --release -p dexd --bin dexd_bench -- \
+//!     [--ci] [--smoke] [--scale N] [--seed N] [--threads N] [--requests N] \
+//!     [OUT.json] [--trace-out PATH] [--telemetry[=OUT]]
+//!
+//! Phases:
+//!
+//! 1. **Cold baseline** — build the scaled world and pool, bootstrap the
+//!    pipeline inside [`Dexd::launch_with`], and answer one
+//!    `FindSubstitutes`. The summed wall time is what a batch run pays for
+//!    a single query (`cold_single_query_ms`).
+//! 2. **Steady state** — client threads drive a mixed workload (60%
+//!    substitute lookups, 25% annotations, 10% workflow validations, 5%
+//!    stats) through the in-process [`Client`] while the main thread
+//!    interleaves `ApplyDelta` waves (withdraw + restore batches) through
+//!    the write lock. Per-endpoint p50/p95/p99 come from the merged
+//!    per-thread samples; `amortization_ratio` is the cold single-query
+//!    cost over the steady-state substitute-lookup p50.
+//! 3. **Socket smoke** (`--smoke`) — a second, small service behind
+//!    [`serve_unix`]: ~100 mixed requests through [`SocketClient`]
+//!    including an `ApplyDelta`, then a `Stats` check (nonzero cache hit
+//!    rate, the delta counted) and a clean `Shutdown`. When tracing was
+//!    requested, only this phase records spans — the 10k phase would swamp
+//!    the trace buffer — so the exported trace is the smoke's.
+//!
+//! Self-gate (release builds, `--ci`, scale >= 10000): the steady-state
+//! `FindSubstitutes` p50 must be at least **100x** faster than the cold
+//! batch-pipeline single query.
+
+use dex_core::delta::Delta;
+use dex_experiments::telemetry::TelemetryRun;
+use dex_pool::build_text_pool;
+use dex_repair::{generate_repository, RepositoryPlan};
+use dex_universe::scale::{build_scaled, ScalePlan};
+use dex_workflow::Workflow;
+use dexd::{serve_unix, Client, Dexd, Request, Response, ServiceConfig, SocketClient};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Gate floor: cold single query over steady-state substitutes p50.
+const MIN_AMORTIZATION: f64 = 100.0;
+/// `ApplyDelta` waves interleaved with the read workload.
+const DELTA_WAVES: usize = 4;
+/// Modules withdrawn (then restored) per wave.
+const DELTA_BATCH: usize = 8;
+/// Unrecorded warm-up lookups before sampling starts.
+const WARMUP: usize = 256;
+
+/// Request kinds, as sample labels.
+const KIND_SUBSTITUTES: u8 = 0;
+const KIND_ANNOTATE: u8 = 1;
+const KIND_VALIDATE: u8 = 2;
+const KIND_STATS: u8 = 3;
+const KIND_DELTA: u8 = 4;
+const KIND_NAMES: [&str; 5] = ["substitutes", "annotate", "validate", "stats", "delta"];
+
+fn is_telemetry_flag(arg: &str) -> bool {
+    [
+        "--telemetry",
+        "--telemetry-out",
+        "--trace-out",
+        "--flight-out",
+    ]
+    .iter()
+    .any(|f| arg == *f || arg.starts_with(&format!("{f}=")))
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+struct SmokeReport {
+    requests: u64,
+    cache_hit_rate: f64,
+    deltas_applied: u64,
+    clean_shutdown: bool,
+}
+
+fn main() {
+    let run = TelemetryRun::from_env();
+    // The steady-state phase at CI scale would record hundreds of
+    // thousands of spans; keep tracing for the smoke phase only.
+    let tracing_requested = dex_telemetry::is_enabled();
+    if tracing_requested {
+        dex_telemetry::disable();
+    }
+
+    let mut ci = false;
+    let mut smoke = false;
+    let mut scale: Option<usize> = None;
+    let mut seed = 42u64;
+    let mut threads = 4usize;
+    let mut per_thread = 1_200usize;
+    let mut out_path = "BENCH_dexd.json".to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].clone();
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| {
+                    eprintln!("dexd_bench: {arg} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match args[i].as_str() {
+            "--ci" => ci = true,
+            "--smoke" => smoke = true,
+            "--scale" => scale = Some(take(&mut i).parse().expect("--scale: integer")),
+            "--seed" => seed = take(&mut i).parse().expect("--seed: integer"),
+            "--threads" => threads = take(&mut i).parse().expect("--threads: integer"),
+            "--requests" => per_thread = take(&mut i).parse().expect("--requests: integer"),
+            other if is_telemetry_flag(other) => {
+                if !other.contains('=')
+                    && args.get(i + 1).is_some_and(|next| !next.starts_with("--"))
+                {
+                    i += 1;
+                }
+            }
+            other if !other.starts_with("--") => out_path = other.to_string(),
+            other => {
+                eprintln!("dexd_bench: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let scale = scale.unwrap_or(if ci { 10_000 } else { 2_500 });
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+
+    // ---- Phase 1: cold baseline. ---------------------------------------
+    // What a batch run pays to answer one substitute lookup: build the
+    // world, bootstrap the pipeline, ask the question.
+    eprintln!("dexd_bench: cold build at scale {scale} (seed {seed})...");
+    let t = Instant::now();
+    let world = build_scaled(&ScalePlan::new(scale, seed));
+    let cfg = ServiceConfig {
+        scale,
+        seed,
+        queue_capacity: 256,
+        ..ServiceConfig::default()
+    };
+    let pool = build_text_pool(&world.universe.ontology, cfg.pool_depth, seed);
+    let build_ms = t.elapsed().as_secs_f64() * 1000.0;
+    let anchor = world.families[0].members[0].clone();
+
+    let plan = RepositoryPlan {
+        healthy: 40,
+        equivalent_full: 0,
+        equivalent_partial: 0,
+        overlap_full: 0,
+        overlap_partial: 0,
+        overlap_odd: 0,
+        none_only: 0,
+        seed,
+    };
+    let repo = generate_repository(&world.universe, &pool, &plan);
+
+    let t = Instant::now();
+    let svc = Dexd::launch_with(world.universe, pool, &cfg);
+    let client = Client::new(Arc::clone(&svc));
+    let first = Instant::now();
+    let resp = client.call(Request::FindSubstitutes {
+        id: anchor.0.clone(),
+    });
+    assert!(
+        matches!(resp, Response::Substitutes(_)),
+        "anchor lookup failed: {resp:?}"
+    );
+    let cold_first_lookup_ms = first.elapsed().as_secs_f64() * 1000.0;
+    let launch_ms = t.elapsed().as_secs_f64() * 1000.0;
+    let bootstrap_ms = svc.bootstrap_ms();
+    let cold_single_query_ms = build_ms + launch_ms;
+    eprintln!(
+        "dexd_bench: cold single query {cold_single_query_ms:.0} ms \
+         (build {build_ms:.0}, bootstrap {bootstrap_ms:.0})"
+    );
+
+    // ---- Phase 2: steady state. ----------------------------------------
+    let ids: Arc<Vec<String>> = Arc::new(svc.tracked_ids().into_iter().map(|m| m.0).collect());
+    let workflows: Arc<Vec<Workflow>> =
+        Arc::new(repo.workflows.iter().map(|s| s.workflow.clone()).collect());
+    for w in 0..WARMUP {
+        client.call(Request::FindSubstitutes {
+            id: ids[w % ids.len()].clone(),
+        });
+    }
+
+    eprintln!(
+        "dexd_bench: steady state — {threads} client thread(s) x {per_thread} requests \
+         + {DELTA_WAVES} delta waves..."
+    );
+    let t_steady = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|tid| {
+            let client = client.clone();
+            let ids = Arc::clone(&ids);
+            let workflows = Arc::clone(&workflows);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ ((tid as u64 + 1) * 0x9E37_79B9));
+                let mut samples: Vec<(u8, u64)> = Vec::with_capacity(per_thread);
+                let mut busy_retries = 0u64;
+                for _ in 0..per_thread {
+                    let roll = rng.gen_range(0..100u32);
+                    let (kind, req) = if roll < 60 {
+                        (
+                            KIND_SUBSTITUTES,
+                            Request::FindSubstitutes {
+                                id: ids[rng.gen_range(0..ids.len())].clone(),
+                            },
+                        )
+                    } else if roll < 85 {
+                        (
+                            KIND_ANNOTATE,
+                            Request::AnnotateModule {
+                                id: ids[rng.gen_range(0..ids.len())].clone(),
+                            },
+                        )
+                    } else if roll < 95 {
+                        (
+                            KIND_VALIDATE,
+                            Request::ValidateWorkflow {
+                                workflow: workflows[rng.gen_range(0..workflows.len())].clone(),
+                            },
+                        )
+                    } else {
+                        (KIND_STATS, Request::Stats)
+                    };
+                    let t0 = Instant::now();
+                    let mut resp = client.call(req.clone());
+                    while matches!(resp, Response::Busy) {
+                        busy_retries += 1;
+                        std::thread::yield_now();
+                        resp = client.call(req.clone());
+                    }
+                    assert!(
+                        !matches!(resp, Response::Error { .. }),
+                        "steady-state request failed: {resp:?}"
+                    );
+                    samples.push((kind, t0.elapsed().as_nanos() as u64));
+                }
+                (samples, busy_retries)
+            })
+        })
+        .collect();
+
+    // Interleave write traffic from the main thread: withdraw a batch,
+    // restore it, let the readers run between waves.
+    let mut delta_samples: Vec<(u8, u64)> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD311A);
+    for _ in 0..DELTA_WAVES {
+        std::thread::sleep(Duration::from_millis(25));
+        let victims: Vec<String> = (0..DELTA_BATCH)
+            .map(|_| ids[rng.gen_range(0..ids.len())].clone())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        for mk in [
+            |id: &String| Delta::ModuleWithdraw {
+                id: id.as_str().into(),
+            },
+            |id: &String| Delta::ModuleRestore {
+                id: id.as_str().into(),
+            },
+        ] {
+            let deltas: Vec<Delta> = victims.iter().map(mk).collect();
+            let t0 = Instant::now();
+            let resp = client.call(Request::ApplyDelta { deltas });
+            assert!(
+                matches!(resp, Response::DeltaApplied(_)),
+                "delta wave failed: {resp:?}"
+            );
+            delta_samples.push((KIND_DELTA, t0.elapsed().as_nanos() as u64));
+        }
+    }
+
+    let mut samples: Vec<(u8, u64)> = delta_samples;
+    let mut busy_retries = 0u64;
+    for h in handles {
+        let (s, b) = h.join().expect("client thread");
+        samples.extend(s);
+        busy_retries += b;
+    }
+    let steady_ms = t_steady.elapsed().as_secs_f64() * 1000.0;
+
+    let final_stats = match client.call(Request::Stats) {
+        Response::Stats(s) => s,
+        other => panic!("final stats failed: {other:?}"),
+    };
+    svc.shutdown();
+    svc.join();
+
+    // ---- Percentiles per endpoint. -------------------------------------
+    let mut by_kind: Vec<Vec<u64>> = vec![Vec::new(); KIND_NAMES.len()];
+    for (kind, ns) in &samples {
+        by_kind[*kind as usize].push(*ns);
+    }
+    for v in &mut by_kind {
+        v.sort_unstable();
+    }
+    let sub_p50_us = percentile_us(&by_kind[KIND_SUBSTITUTES as usize], 0.50);
+    let amortization_ratio = if sub_p50_us > 0.0 {
+        (cold_single_query_ms * 1000.0) / sub_p50_us
+    } else {
+        f64::INFINITY
+    };
+    eprintln!(
+        "dexd_bench: substitutes p50 {sub_p50_us:.1} us steady-state — \
+         amortization {amortization_ratio:.0}x over cold"
+    );
+
+    // ---- Phase 3: socket smoke (traced when tracing was requested). ----
+    let smoke_report = if smoke {
+        if tracing_requested {
+            dex_telemetry::enable();
+        }
+        Some(run_smoke(seed ^ 0x5107))
+    } else {
+        None
+    };
+
+    // ---- Gates. ---------------------------------------------------------
+    let mut gate_failures: Vec<String> = Vec::new();
+    if ci && profile == "release" && scale >= 10_000 && amortization_ratio < MIN_AMORTIZATION {
+        gate_failures.push(format!(
+            "amortization {amortization_ratio:.1}x below the {MIN_AMORTIZATION}x floor at scale {scale}"
+        ));
+    }
+
+    // ---- Report. ---------------------------------------------------------
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"profile\": \"{profile}\",").unwrap();
+    writeln!(json, "  \"scale\": {scale},").unwrap();
+    writeln!(json, "  \"seed\": {seed},").unwrap();
+    writeln!(json, "  \"client_threads\": {threads},").unwrap();
+    writeln!(json, "  \"service_workers\": {},", cfg.workers).unwrap();
+    writeln!(json, "  \"queue_capacity\": {},", cfg.queue_capacity).unwrap();
+    writeln!(json, "  \"build_ms\": {build_ms:.1},").unwrap();
+    writeln!(json, "  \"bootstrap_ms\": {bootstrap_ms:.1},").unwrap();
+    writeln!(
+        json,
+        "  \"cold_first_lookup_ms\": {cold_first_lookup_ms:.3},"
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"cold_single_query_ms\": {cold_single_query_ms:.1},"
+    )
+    .unwrap();
+    writeln!(json, "  \"steady_ms\": {steady_ms:.1},").unwrap();
+    writeln!(json, "  \"amortization_ratio\": {amortization_ratio:.1},").unwrap();
+    writeln!(json, "  \"busy_retries\": {busy_retries},").unwrap();
+    writeln!(json, "  \"endpoints\": [").unwrap();
+    let rows: Vec<String> = KIND_NAMES
+        .iter()
+        .enumerate()
+        .map(|(k, name)| {
+            let v = &by_kind[k];
+            format!(
+                "    {{\"endpoint\": \"{name}\", \"count\": {}, \"p50_us\": {:.1}, \
+                 \"p95_us\": {:.1}, \"p99_us\": {:.1}}}",
+                v.len(),
+                percentile_us(v, 0.50),
+                percentile_us(v, 0.95),
+                percentile_us(v, 0.99),
+            )
+        })
+        .collect();
+    writeln!(json, "{}", rows.join(",\n")).unwrap();
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"service\": {{").unwrap();
+    writeln!(
+        json,
+        "    \"requests_served\": {},",
+        final_stats.requests_served
+    )
+    .unwrap();
+    writeln!(json, "    \"batch_passes\": {},", final_stats.batch_passes).unwrap();
+    writeln!(
+        json,
+        "    \"coalesced_lookups\": {},",
+        final_stats.coalesced_lookups
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"deltas_applied\": {},",
+        final_stats.deltas_applied
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"handler_panics\": {},",
+        final_stats.handler_panics
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"busy_rejections\": {},",
+        final_stats.busy_rejections
+    )
+    .unwrap();
+    writeln!(json, "    \"cache_hits\": {},", final_stats.cache_hits).unwrap();
+    writeln!(json, "    \"cache_misses\": {},", final_stats.cache_misses).unwrap();
+    writeln!(
+        json,
+        "    \"cache_hit_rate\": {:.4}",
+        final_stats.cache_hit_rate
+    )
+    .unwrap();
+    writeln!(json, "  }},").unwrap();
+    match &smoke_report {
+        Some(s) => {
+            writeln!(json, "  \"smoke\": {{").unwrap();
+            writeln!(json, "    \"requests\": {},", s.requests).unwrap();
+            writeln!(json, "    \"cache_hit_rate\": {:.4},", s.cache_hit_rate).unwrap();
+            writeln!(json, "    \"deltas_applied\": {},", s.deltas_applied).unwrap();
+            writeln!(json, "    \"clean_shutdown\": {}", s.clean_shutdown).unwrap();
+            writeln!(json, "  }}").unwrap();
+        }
+        None => writeln!(json, "  \"smoke\": null").unwrap(),
+    }
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write summary");
+    print!("{json}");
+    run.finish("dexd_bench");
+
+    if !gate_failures.is_empty() {
+        for f in &gate_failures {
+            eprintln!("dexd_bench: GATE FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// The socket smoke: a small service behind `serve_unix`, ~100 mixed
+/// requests over a real `SocketClient`, one `ApplyDelta`, a `Stats` check,
+/// and a clean `Shutdown`. Panics on any protocol-level surprise.
+fn run_smoke(seed: u64) -> SmokeReport {
+    eprintln!("dexd_bench: socket smoke...");
+    let scale = 300;
+    let cfg = ServiceConfig {
+        scale,
+        seed,
+        pool_depth: 3,
+        workers: 2,
+        queue_capacity: 32,
+        ..ServiceConfig::default()
+    };
+    let world = build_scaled(&ScalePlan::new(scale, seed));
+    let pool = build_text_pool(&world.universe.ontology, cfg.pool_depth, seed);
+    let plan = RepositoryPlan {
+        healthy: 6,
+        equivalent_full: 0,
+        equivalent_partial: 0,
+        overlap_full: 0,
+        overlap_partial: 0,
+        overlap_odd: 0,
+        none_only: 0,
+        seed,
+    };
+    let repo = generate_repository(&world.universe, &pool, &plan);
+    let svc = Dexd::launch_with(world.universe, pool, &cfg);
+    let ids: Vec<String> = svc.tracked_ids().into_iter().map(|m| m.0).collect();
+    let workflows: Vec<Workflow> = repo.workflows.iter().map(|s| s.workflow.clone()).collect();
+
+    let path = std::env::temp_dir().join(format!("dexd-smoke-{}.sock", std::process::id()));
+    let server = {
+        let svc = Arc::clone(&svc);
+        let path = path.clone();
+        std::thread::spawn(move || serve_unix(svc, &path))
+    };
+    let started = Instant::now();
+    let mut client = loop {
+        match SocketClient::connect(&path) {
+            Ok(c) => break c,
+            Err(e) => {
+                assert!(
+                    started.elapsed() < Duration::from_secs(10),
+                    "smoke: daemon never bound {}: {e}",
+                    path.display()
+                );
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    };
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut requests = 0u64;
+    for i in 0..100usize {
+        let req = if i == 50 {
+            // One write in the middle of the read traffic: withdraw a
+            // module and restore it in the same atomic batch.
+            let id = ids[rng.gen_range(0..ids.len())].clone();
+            Request::ApplyDelta {
+                deltas: vec![
+                    Delta::ModuleWithdraw {
+                        id: id.as_str().into(),
+                    },
+                    Delta::ModuleRestore {
+                        id: id.as_str().into(),
+                    },
+                ],
+            }
+        } else {
+            match i % 10 {
+                0..=4 => Request::FindSubstitutes {
+                    id: ids[rng.gen_range(0..ids.len())].clone(),
+                },
+                5..=7 => Request::AnnotateModule {
+                    id: ids[rng.gen_range(0..ids.len())].clone(),
+                },
+                8 => Request::ValidateWorkflow {
+                    workflow: workflows[rng.gen_range(0..workflows.len())].clone(),
+                },
+                _ => Request::Stats,
+            }
+        };
+        let resp = client.call(&req).expect("smoke: socket call");
+        assert!(
+            !matches!(resp, Response::Error { .. } | Response::Busy),
+            "smoke request {i} failed: {resp:?}"
+        );
+        requests += 1;
+    }
+
+    let stats = match client.call(&Request::Stats).expect("smoke: stats call") {
+        Response::Stats(s) => s,
+        other => panic!("smoke: stats answered {other:?}"),
+    };
+    assert!(
+        stats.cache_hit_rate > 0.0,
+        "smoke: invocation cache recorded no hits"
+    );
+    assert!(
+        stats.deltas_applied >= 1,
+        "smoke: the ApplyDelta was not counted"
+    );
+
+    let resp = client
+        .call(&Request::Shutdown)
+        .expect("smoke: shutdown call");
+    assert!(
+        matches!(resp, Response::ShuttingDown),
+        "smoke: shutdown answered {resp:?}"
+    );
+    server
+        .join()
+        .expect("smoke: server thread")
+        .expect("smoke: serve_unix");
+    svc.join();
+    eprintln!(
+        "dexd_bench: smoke ok — {requests} requests, hit rate {:.1}%, clean shutdown",
+        stats.cache_hit_rate * 100.0
+    );
+    SmokeReport {
+        requests: requests + 2,
+        cache_hit_rate: stats.cache_hit_rate,
+        deltas_applied: stats.deltas_applied,
+        clean_shutdown: true,
+    }
+}

@@ -9,8 +9,9 @@
 //!
 //! In `--scale` mode each wave withdraws `--fault-rate`% of the available
 //! modules through the incremental delta pipeline (no cold re-runs), repairs
-//! every workflow the wave broke, and prints throughput (repairs/s) plus
-//! p50/p95/p99 per-workflow repair latency.
+//! every currently broken workflow — the wave's own victims plus the
+//! carried-forward broken set from earlier waves — and prints throughput
+//! (repairs/s), re-repair counts, and p50/p95/p99 per-workflow latency.
 
 use dex_experiments::{run_continuous, ContinuousConfig};
 use dex_repair::RepositoryPlan;
@@ -60,10 +61,12 @@ fn main() {
                 p.build_ms, p.bootstrap_ms, p.harvest_ms, p.harvested_instances
             );
             println!(
-                "{:<5} {:>9} {:>9} {:>7} {:>7} {:>7} {:>6} {:>10} {:>9} {:>9} {:>9}",
+                "{:<5} {:>9} {:>9} {:>8} {:>8} {:>7} {:>7} {:>7} {:>6} {:>10} {:>9} {:>9} {:>9}",
                 "wave",
                 "withdrawn",
                 "affected",
+                "carried",
+                "rerepair",
                 "full",
                 "partial",
                 "none",
@@ -75,10 +78,12 @@ fn main() {
             );
             for w in &report.waves {
                 println!(
-                    "{:<5} {:>9} {:>9} {:>7} {:>7} {:>7} {:>6} {:>10.1} {:>9.3} {:>9.3} {:>9.3}",
+                    "{:<5} {:>9} {:>9} {:>8} {:>8} {:>7} {:>7} {:>7} {:>6} {:>10.1} {:>9.3} {:>9.3} {:>9.3}",
                     w.wave,
                     w.withdrawals,
                     w.affected_workflows,
+                    w.carried_broken,
+                    w.re_repaired,
                     w.fully_repaired,
                     w.partially_repaired,
                     w.unrepaired,
@@ -90,8 +95,9 @@ fn main() {
                 );
             }
             println!(
-                "total: {} substitutions across {} waves | overall p50 {:.3} ms p95 {:.3} ms p99 {:.3} ms",
+                "total: {} substitutions, {} re-repaired across {} waves | overall p50 {:.3} ms p95 {:.3} ms p99 {:.3} ms",
                 report.total_substitutions(),
+                report.total_re_repaired(),
                 report.waves.len(),
                 report.latency_overall.p50_ns as f64 / 1e6,
                 report.latency_overall.p95_ns as f64 / 1e6,

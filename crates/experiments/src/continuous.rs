@@ -1,26 +1,33 @@
 //! Continuous decay-and-repair over scaled universes — §6's workflow-decay
 //! study run as a *workload* instead of a one-shot experiment.
 //!
-//! One [`run_continuous`] call stands up a scaled world
+//! [`ContinuousState::prepare`] stands up a scaled world
 //! ([`dex_universe::scale::build_scaled`]), bootstraps the incremental
-//! pipeline over it, streams the repository's pre-decay provenance through a
-//! [`HarvestSink`] (sharing the pipeline's warm invocation cache), and then
-//! drives `waves` rounds of seeded decay:
+//! pipeline over it, and streams the repository's pre-decay provenance
+//! through a [`HarvestSink`] (sharing the pipeline's warm invocation
+//! cache). Each subsequent wave ([`ContinuousState::decay_wave`], or
+//! [`ContinuousState::apply_wave`] for a caller-chosen delta schedule):
 //!
-//! 1. a seeded RNG withdraws a percentage of the still-available modules,
-//!    routed through [`Delta::ModuleWithdraw`] events so the incremental
-//!    engine absorbs them — **zero** cold regenerations per wave, asserted
-//!    against the delta accounting;
+//! 1. routes its withdrawals/restores through [`Delta`] events so the
+//!    incremental engine absorbs them — **zero** cold regenerations per
+//!    withdraw-only wave, asserted against the delta accounting;
 //! 2. the engine's carried-forward matching study (fingerprint-prefiltered
 //!    ranked verdicts captured at withdrawal time) proposes substitutes;
-//! 3. every workflow hit by the wave is repaired by trace-replay-verified
-//!    substitution and healed in place, with per-workflow repair latency
-//!    recorded into the `dex.repair.workflow_ns` histogram and per-wave
-//!    p50/p95/p99 + repairs/s derived from the same log-bucketed
-//!    [`HistogramSnapshot`] scheme the rest of the telemetry uses.
+//! 3. every *currently broken* workflow — hit by this wave **or carried
+//!    over from an earlier one** — is repaired by trace-replay-verified
+//!    substitution and healed in place. Carrying the broken set forward is
+//!    what lets a workflow left unrepaired in wave N succeed in wave N+1
+//!    once a viable substitute (re)appears; such recoveries are reported as
+//!    [`WaveReport::re_repaired`].
+//!
+//! Per-workflow repair latency is recorded into the
+//! `dex.repair.workflow_ns` histogram with per-wave p50/p95/p99 +
+//! repairs/s derived from the same log-bucketed [`HistogramSnapshot`]
+//! scheme the rest of the telemetry uses.
 //!
 //! `exp_repair --scale N --waves W` and `bench_repair` are thin front-ends
-//! over this module.
+//! over [`run_continuous`], which drives seeded decay waves over one
+//! prepared state.
 
 use crate::incremental::IncrementalPipeline;
 use dex_core::delta::{Delta, DeltaReport};
@@ -30,7 +37,7 @@ use dex_pool::build_text_pool;
 use dex_provenance::{HarvestSink, ProvenanceCorpus};
 use dex_repair::{generate_repository, repair_repository_with, RepositoryPlan, WorkflowRepository};
 use dex_telemetry::{HistogramSnapshot, BUCKET_BOUNDS_NS};
-use dex_universe::scale::{build_scaled, ScalePlan};
+use dex_universe::scale::{build_scaled, FamilyInfo, ScalePlan};
 use dex_values::classify::classify_concept;
 use dex_workflow::{enact_cached, EnactmentTrace};
 use rand::rngs::StdRng;
@@ -104,8 +111,14 @@ pub struct WaveReport {
     pub withdrawals: usize,
     /// The incremental engine's delta accounting for the wave's batch.
     pub delta: DeltaReport,
-    /// Workflows hit by this wave's withdrawals (repair attempts).
+    /// Repair attempts this wave: workflows broken by this wave's
+    /// withdrawals plus still-broken carryover from earlier waves.
     pub affected_workflows: usize,
+    /// Still-broken workflows carried into this wave from earlier ones.
+    pub carried_broken: usize,
+    /// Carried-over broken workflows that ended this wave fully healed —
+    /// the re-repairs the pre-fix driver could never attempt.
+    pub re_repaired: usize,
     /// Repair outcomes across the attempts.
     pub fully_repaired: usize,
     /// Workflows where only part of the broken steps could be fixed.
@@ -141,6 +154,11 @@ impl ContinuousReport {
         self.waves.iter().map(|w| w.substitutions).sum()
     }
 
+    /// Carried-over broken workflows healed across all waves.
+    pub fn total_re_repaired(&self) -> usize {
+        self.waves.iter().map(|w| w.re_repaired).sum()
+    }
+
     /// Minimum per-wave repair throughput, substitutions per second.
     pub fn min_repairs_per_sec(&self) -> f64 {
         self.waves
@@ -155,14 +173,14 @@ impl ContinuousReport {
 /// as every other latency in the system — without needing the global
 /// subscriber enabled.
 #[derive(Default)]
-struct LatencyHistogram {
+pub(crate) struct LatencyHistogram {
     buckets: Vec<u64>,
     count: u64,
     sum_ns: u64,
 }
 
 impl LatencyHistogram {
-    fn new() -> LatencyHistogram {
+    pub(crate) fn new() -> LatencyHistogram {
         LatencyHistogram {
             buckets: vec![0; BUCKET_BOUNDS_NS.len() + 1],
             count: 0,
@@ -170,7 +188,7 @@ impl LatencyHistogram {
         }
     }
 
-    fn record(&mut self, ns: u64) {
+    pub(crate) fn record(&mut self, ns: u64) {
         let idx = BUCKET_BOUNDS_NS
             .iter()
             .position(|&bound| ns <= bound)
@@ -180,7 +198,7 @@ impl LatencyHistogram {
         self.sum_ns += ns;
     }
 
-    fn snapshot(&self) -> HistogramSnapshot {
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
         let mut snap = HistogramSnapshot {
             count: self.count,
             sum_ns: self.sum_ns,
@@ -196,129 +214,195 @@ impl LatencyHistogram {
     }
 }
 
-/// Drives one full continuous decay-and-repair run.
-///
-/// # Panics
-/// Panics if a pre-decay enactment fails (a bug in the scaled generator) or
-/// if a withdraw-only wave reports a cold regeneration (a violation of the
-/// incremental engine's contract).
-pub fn run_continuous(cfg: &ContinuousConfig) -> ContinuousReport {
-    let _span = dex_telemetry::span("continuous.run");
+/// Live state of a continuous decay-and-repair workload: the prepared
+/// world, the incremental pipeline, the workflow repository being healed in
+/// place, and — crucially — the set of workflows still broken after
+/// earlier waves, which every subsequent wave retries.
+pub struct ContinuousState {
+    cfg: ContinuousConfig,
+    pipeline: IncrementalPipeline,
+    repo: WorkflowRepository,
+    archive: BTreeMap<String, EnactmentTrace>,
+    families: Vec<FamilyInfo>,
+    /// Indices of workflows currently referencing an unavailable module —
+    /// the carryover each wave's repair pass must retry.
+    broken: BTreeSet<usize>,
+    prepare: PrepareStats,
+    overall: LatencyHistogram,
+    rng: StdRng,
+    waves: Vec<WaveReport>,
+}
 
-    // ---- Build: world, pool, repository. ---------------------------------
-    let t = Instant::now();
-    let world = build_scaled(&ScalePlan::new(cfg.scale, cfg.seed));
-    let families = world.families.len();
-    let concepts = world.universe.ontology.len();
-    let pool = build_text_pool(&world.universe.ontology, cfg.pool_depth, cfg.seed);
-    let plan = RepositoryPlan {
-        healthy: cfg.workflows,
-        equivalent_full: 0,
-        equivalent_partial: 0,
-        overlap_full: 0,
-        overlap_partial: 0,
-        overlap_odd: 0,
-        none_only: 0,
-        seed: cfg.seed,
-    };
-    let mut repo = generate_repository(&world.universe, &pool, &plan);
-    let build_ms = t.elapsed().as_secs_f64() * 1000.0;
+impl ContinuousState {
+    /// Builds the world, repository, pipeline bootstrap, and streaming
+    /// provenance harvest — everything a wave needs.
+    ///
+    /// # Panics
+    /// Panics if a pre-decay enactment fails (a bug in the scaled
+    /// generator).
+    pub fn prepare(cfg: &ContinuousConfig) -> ContinuousState {
+        let _span = dex_telemetry::span("continuous.prepare");
 
-    // ---- Bootstrap the incremental pipeline (warm cache starts here). ----
-    let t = Instant::now();
-    let mut pipeline =
-        IncrementalPipeline::bootstrap(world.universe, pool, GenerationConfig::default());
-    let bootstrap_ms = t.elapsed().as_secs_f64() * 1000.0;
+        // ---- Build: world, pool, repository. -----------------------------
+        let t = Instant::now();
+        let world = build_scaled(&ScalePlan::new(cfg.scale, cfg.seed));
+        let families = world.families;
+        let concepts = world.universe.ontology.len();
+        let pool = build_text_pool(&world.universe.ontology, cfg.pool_depth, cfg.seed);
+        let plan = RepositoryPlan {
+            healthy: cfg.workflows,
+            equivalent_full: 0,
+            equivalent_partial: 0,
+            overlap_full: 0,
+            overlap_partial: 0,
+            overlap_odd: 0,
+            none_only: 0,
+            seed: cfg.seed,
+        };
+        let repo = generate_repository(&world.universe, &pool, &plan);
+        let build_ms = t.elapsed().as_secs_f64() * 1000.0;
 
-    // ---- Streaming harvest of the pre-decay provenance. ------------------
-    // Each workflow is enacted once against the pipeline's warm invocation
-    // cache and its trace goes straight into the sink — no corpus is ever
-    // materialized for the harvest. The per-workflow trace is archived
-    // (that's the provenance store repair verifies against), but harvest
-    // memory is bounded by distinct data, not enactment volume.
-    let t = Instant::now();
-    let mut archive: BTreeMap<String, EnactmentTrace> = BTreeMap::new();
-    let harvested = {
-        let catalog = &pipeline.universe().catalog;
-        let mut sink = HarvestSink::new("scaled-harvest", catalog, classify_concept);
-        for stored in &repo.workflows {
-            let trace = enact_cached(
-                &stored.workflow,
-                catalog,
-                &stored.sample_inputs,
-                pipeline.invocation_cache(),
-            )
-            .unwrap_or_else(|e| panic!("pre-decay enactment of {}: {e}", stored.workflow.id));
-            sink.absorb(&trace);
-            archive.insert(stored.workflow.id.clone(), trace);
+        // ---- Bootstrap the incremental pipeline (warm cache starts here).
+        let t = Instant::now();
+        let pipeline =
+            IncrementalPipeline::bootstrap(world.universe, pool, GenerationConfig::default());
+        let bootstrap_ms = t.elapsed().as_secs_f64() * 1000.0;
+
+        // ---- Streaming harvest of the pre-decay provenance. --------------
+        // Each workflow is enacted once against the pipeline's warm
+        // invocation cache and its trace goes straight into the sink — no
+        // corpus is ever materialized for the harvest. The per-workflow
+        // trace is archived (that's the provenance store repair verifies
+        // against), but harvest memory is bounded by distinct data, not
+        // enactment volume.
+        let t = Instant::now();
+        let mut archive: BTreeMap<String, EnactmentTrace> = BTreeMap::new();
+        let harvested = {
+            let catalog = &pipeline.universe().catalog;
+            let mut sink = HarvestSink::new("scaled-harvest", catalog, classify_concept);
+            for stored in &repo.workflows {
+                let trace = enact_cached(
+                    &stored.workflow,
+                    catalog,
+                    &stored.sample_inputs,
+                    pipeline.invocation_cache(),
+                )
+                .unwrap_or_else(|e| panic!("pre-decay enactment of {}: {e}", stored.workflow.id));
+                sink.absorb(&trace);
+                archive.insert(stored.workflow.id.clone(), trace);
+            }
+            sink.finish()
+        };
+        let harvest_ms = t.elapsed().as_secs_f64() * 1000.0;
+
+        let prepare = PrepareStats {
+            modules: cfg.scale,
+            families: families.len(),
+            concepts,
+            workflows: repo.len(),
+            build_ms,
+            bootstrap_ms,
+            harvest_ms,
+            harvested_instances: harvested.len(),
+        };
+
+        ContinuousState {
+            cfg: cfg.clone(),
+            pipeline,
+            repo,
+            archive,
+            families,
+            broken: BTreeSet::new(),
+            prepare,
+            overall: LatencyHistogram::new(),
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0xDECA_F000_0000_0001),
+            waves: Vec::new(),
         }
-        sink.finish()
-    };
-    let harvest_ms = t.elapsed().as_secs_f64() * 1000.0;
+    }
 
-    let prepare = PrepareStats {
-        modules: cfg.scale,
-        families,
-        concepts,
-        workflows: repo.len(),
-        build_ms,
-        bootstrap_ms,
-        harvest_ms,
-        harvested_instances: harvested.len(),
-    };
-
-    // ---- Decay waves. ----------------------------------------------------
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xDECA_F000_0000_0001);
-    let mut overall = LatencyHistogram::new();
-    let mut waves = Vec::with_capacity(cfg.waves);
-
-    for wave in 0..cfg.waves {
-        let _wave_span = dex_telemetry::span("continuous.wave");
-        let mut alive: Vec<ModuleId> = pipeline
+    /// One seeded decay wave: withdraws `fault_pct`% of the still-available
+    /// modules and repairs. `None` once nothing is left to withdraw.
+    pub fn decay_wave(&mut self) -> Option<&WaveReport> {
+        let mut alive: Vec<ModuleId> = self
+            .pipeline
             .tracked_ids()
             .iter()
-            .filter(|id| pipeline.universe().catalog.is_available(id))
+            .filter(|id| self.pipeline.universe().catalog.is_available(id))
             .cloned()
             .collect();
         if alive.is_empty() {
-            break;
+            return None;
         }
-        let quota = ((alive.len() * cfg.fault_pct as usize) / 100)
+        let quota = ((alive.len() * self.cfg.fault_pct as usize) / 100)
             .max(1)
             .min(alive.len());
         let mut victims = Vec::with_capacity(quota);
         for _ in 0..quota {
-            let i = rng.gen_range(0..alive.len());
+            let i = self.rng.gen_range(0..alive.len());
             victims.push(alive.swap_remove(i));
         }
-
         let deltas: Vec<Delta> = victims
-            .iter()
-            .map(|id| Delta::ModuleWithdraw { id: id.clone() })
+            .into_iter()
+            .map(|id| Delta::ModuleWithdraw { id })
             .collect();
-        let regen_before = dex_telemetry::counter_value("dex.delta.recomputed_modules");
-        let delta = pipeline.apply(&deltas);
-        assert_eq!(
-            delta.regenerated_modules, 0,
-            "withdraw-only wave {wave} must not cold-regenerate"
-        );
-        assert_eq!(
-            dex_telemetry::counter_value("dex.delta.recomputed_modules"),
-            regen_before,
-            "dex.delta counters must confirm zero regenerations in wave {wave}"
-        );
+        Some(self.apply_wave(deltas))
+    }
 
-        let study = pipeline.matching_study();
-        let victim_set: BTreeSet<&ModuleId> = victims.iter().collect();
-        let affected: Vec<usize> = repo
+    /// Applies one caller-chosen delta batch as a wave and repairs every
+    /// currently broken workflow — the ones this batch broke *and* the
+    /// still-broken carryover from earlier waves.
+    ///
+    /// # Panics
+    /// Panics if a withdraw-only batch reports a cold regeneration (a
+    /// violation of the incremental engine's contract).
+    pub fn apply_wave(&mut self, deltas: Vec<Delta>) -> &WaveReport {
+        let _wave_span = dex_telemetry::span("continuous.wave");
+        let wave = self.waves.len();
+        let withdrawn_ids: BTreeSet<ModuleId> = deltas
+            .iter()
+            .filter_map(|d| match d {
+                Delta::ModuleWithdraw { id } => Some(id.clone()),
+                _ => None,
+            })
+            .collect();
+        let withdraw_only = withdrawn_ids.len() == deltas.len();
+
+        let regen_before = dex_telemetry::counter_value("dex.delta.recomputed_modules");
+        let delta = self.pipeline.apply(&deltas);
+        if withdraw_only {
+            assert_eq!(
+                delta.regenerated_modules, 0,
+                "withdraw-only wave {wave} must not cold-regenerate"
+            );
+            assert_eq!(
+                dex_telemetry::counter_value("dex.delta.recomputed_modules"),
+                regen_before,
+                "dex.delta counters must confirm zero regenerations in wave {wave}"
+            );
+        }
+
+        let study = self.pipeline.matching_study();
+        let carried = std::mem::take(&mut self.broken);
+        // Repair pass = workflows this batch broke ∪ carryover, narrowed to
+        // the ones actually broken now (a restore in the batch may have
+        // healed carryover outright).
+        let catalog = &self.pipeline.universe().catalog;
+        let attempts: Vec<usize> = self
+            .repo
             .workflows
             .iter()
             .enumerate()
-            .filter(|(_, s)| {
-                s.workflow
+            .filter(|(i, s)| {
+                let hit = s
+                    .workflow
                     .steps
                     .iter()
-                    .any(|step| victim_set.contains(&step.module))
+                    .any(|step| withdrawn_ids.contains(&step.module));
+                (hit || carried.contains(i))
+                    && s.workflow
+                        .steps
+                        .iter()
+                        .any(|step| !catalog.is_available(&step.module))
             })
             .map(|(i, _)| i)
             .collect();
@@ -329,26 +413,26 @@ pub fn run_continuous(cfg: &ContinuousConfig) -> ContinuousReport {
         let mut unrepaired = 0usize;
         let mut substitutions = 0usize;
         let repair_t = Instant::now();
-        for i in &affected {
+        for i in &attempts {
             let single = WorkflowRepository {
-                workflows: vec![repo.workflows[*i].clone()],
+                workflows: vec![self.repo.workflows[*i].clone()],
             };
             let mut mini_corpus = ProvenanceCorpus::new("wave");
-            if let Some(trace) = archive.get(&single.workflows[0].workflow.id) {
+            if let Some(trace) = self.archive.get(&single.workflows[0].workflow.id) {
                 mini_corpus.add(trace.clone());
             }
             let t = Instant::now();
             let (outcomes, summary) = repair_repository_with(
                 &single,
-                &pipeline.universe().catalog,
+                &self.pipeline.universe().catalog,
                 &study,
                 &mini_corpus,
-                &pipeline.universe().ontology,
-                cfg.retry,
+                &self.pipeline.universe().ontology,
+                self.cfg.retry,
             );
             let ns = t.elapsed().as_nanos() as u64;
             wave_hist.record(ns);
-            overall.record(ns);
+            self.overall.record(ns);
             dex_telemetry::observe_ns("dex.repair.workflow_ns", ns);
 
             fully += summary.fully_repaired;
@@ -360,28 +444,39 @@ pub fn run_continuous(cfg: &ContinuousConfig) -> ContinuousReport {
             // which verified substitutes reproduce byte-for-byte, so it
             // stays the valid reference for future waves.
             for s in &outcome.substitutions {
-                repo.workflows[*i].workflow.steps[s.step].module = s.to.clone();
+                self.repo.workflows[*i].workflow.steps[s.step].module = s.to.clone();
             }
         }
         let repair_secs = repair_t.elapsed().as_secs_f64();
-        let broken_after = repo
+
+        let catalog = &self.pipeline.universe().catalog;
+        let broken_now: BTreeSet<usize> = self
+            .repo
             .workflows
             .iter()
-            .filter(|s| {
+            .enumerate()
+            .filter(|(_, s)| {
                 s.workflow
                     .steps
                     .iter()
-                    .any(|step| !pipeline.universe().catalog.is_available(&step.module))
+                    .any(|step| !catalog.is_available(&step.module))
             })
-            .count();
+            .map(|(i, _)| i)
+            .collect();
+        let re_repaired = carried.iter().filter(|i| !broken_now.contains(i)).count();
+        let broken_after = broken_now.len();
+        self.broken = broken_now;
 
         dex_telemetry::counter_add("dex.repair.waves", 1);
         dex_telemetry::counter_add("dex.repair.substitutions", substitutions as u64);
-        waves.push(WaveReport {
+        dex_telemetry::counter_add("dex.repair.re_repaired", re_repaired as u64);
+        self.waves.push(WaveReport {
             wave,
-            withdrawals: victims.len(),
+            withdrawals: withdrawn_ids.len(),
             delta,
-            affected_workflows: affected.len(),
+            affected_workflows: attempts.len(),
+            carried_broken: carried.len(),
+            re_repaired,
             fully_repaired: fully,
             partially_repaired: partially,
             unrepaired,
@@ -395,18 +490,66 @@ pub fn run_continuous(cfg: &ContinuousConfig) -> ContinuousReport {
             },
             latency: wave_hist.snapshot(),
         });
+        self.waves.last().expect("wave just pushed")
     }
 
-    ContinuousReport {
-        prepare,
-        waves,
-        latency_overall: overall.snapshot(),
+    /// The live incremental pipeline.
+    pub fn pipeline(&self) -> &IncrementalPipeline {
+        &self.pipeline
     }
+
+    /// The workflow repository, healed in place as waves run.
+    pub fn repository(&self) -> &WorkflowRepository {
+        &self.repo
+    }
+
+    /// Ground-truth behavior families of the scaled world.
+    pub fn families(&self) -> &[FamilyInfo] {
+        &self.families
+    }
+
+    /// Indices of workflows still referencing an unavailable module.
+    pub fn broken_workflows(&self) -> &BTreeSet<usize> {
+        &self.broken
+    }
+
+    /// Setup-phase accounting.
+    pub fn prepare_stats(&self) -> &PrepareStats {
+        &self.prepare
+    }
+
+    /// Finalizes the run into its report.
+    pub fn finish(self) -> ContinuousReport {
+        ContinuousReport {
+            prepare: self.prepare,
+            waves: self.waves,
+            latency_overall: self.overall.snapshot(),
+        }
+    }
+}
+
+/// Drives one full continuous decay-and-repair run: prepare, then `waves`
+/// seeded decay waves (stopping early if the registry empties out).
+///
+/// # Panics
+/// Panics if a pre-decay enactment fails (a bug in the scaled generator) or
+/// if a withdraw-only wave reports a cold regeneration (a violation of the
+/// incremental engine's contract).
+pub fn run_continuous(cfg: &ContinuousConfig) -> ContinuousReport {
+    let _span = dex_telemetry::span("continuous.run");
+    let mut state = ContinuousState::prepare(cfg);
+    for _ in 0..cfg.waves {
+        if state.decay_wave().is_none() {
+            break;
+        }
+    }
+    state.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dex_core::MatchVerdict;
 
     #[test]
     fn continuous_run_repairs_decayed_workflows_without_regeneration() {
@@ -463,9 +606,129 @@ mod tests {
             assert_eq!(
                 wave.affected_workflows,
                 wave.fully_repaired + wave.partially_repaired + wave.unrepaired,
-                "every affected workflow gets exactly one outcome"
+                "every repair attempt gets exactly one outcome"
             );
             assert!(wave.latency.count == wave.affected_workflows as u64);
+            // A wave can never re-repair more workflows than it carried in.
+            assert!(wave.re_repaired <= wave.carried_broken);
         }
+        // Wave 0 has nothing to carry.
+        assert_eq!(report.waves[0].carried_broken, 0);
+        assert_eq!(report.waves[0].re_repaired, 0);
+    }
+
+    /// Broken workflows must be *retried* in later waves, not forgotten:
+    /// when both members of a two-member behavior family (anchor +
+    /// equivalent twin) go down in one wave, every workflow using them is
+    /// unrepairable — the captured best substitute is the twin, and the
+    /// twin is down. When the twin comes back in a later wave, the
+    /// carried-forward broken set must get it repaired (`re_repaired > 0`).
+    /// The pre-fix driver only ever looked at workflows hit by the current
+    /// wave's withdrawals, so these workflows stayed broken forever.
+    #[test]
+    fn carried_broken_workflows_re_repair_when_substitute_returns() {
+        let cfg = ContinuousConfig {
+            scale: 240,
+            workflows: 120,
+            waves: 0,
+            fault_pct: 10,
+            seed: 11,
+            pool_depth: 4,
+            retry: RetryPolicy::none(),
+        };
+        let mut state = ContinuousState::prepare(&cfg);
+
+        // Two-member families: the anchor's only equivalent is its twin.
+        let pairs: Vec<(ModuleId, ModuleId)> = state
+            .families()
+            .iter()
+            .filter(|f| f.members.len() == 2)
+            .map(|f| (f.members[0].clone(), f.members[1].clone()))
+            .collect();
+        let used: Vec<(ModuleId, ModuleId)> = pairs
+            .into_iter()
+            .filter(|(a, b)| {
+                state.repository().workflows.iter().any(|s| {
+                    s.workflow
+                        .steps
+                        .iter()
+                        .any(|st| st.module == *a || st.module == *b)
+                })
+            })
+            .collect();
+        assert!(
+            !used.is_empty(),
+            "expected some two-member family to appear in a stored workflow"
+        );
+
+        // Wave 0: withdraw every used twin pair *entirely*. The captured
+        // best substitute of each member is its equivalent twin — also
+        // down — so replay verification cannot succeed for those steps.
+        let mut deltas = Vec::new();
+        for (a, b) in &used {
+            deltas.push(Delta::ModuleWithdraw { id: a.clone() });
+            deltas.push(Delta::ModuleWithdraw { id: b.clone() });
+        }
+        let w0 = state.apply_wave(deltas).clone();
+        assert!(
+            w0.broken_after > 0,
+            "withdrawing whole twin families must leave workflows broken: {w0:?}"
+        );
+        assert_eq!(w0.re_repaired, 0);
+
+        // Find a still-broken workflow whose broken steps all have a
+        // captured Equivalent substitute that is itself withdrawn.
+        let mut restore: Option<(usize, Vec<ModuleId>)> = None;
+        'workflows: for &i in state.broken_workflows() {
+            let mut twins = Vec::new();
+            for step in &state.repository().workflows[i].workflow.steps {
+                if state
+                    .pipeline()
+                    .universe()
+                    .catalog
+                    .is_available(&step.module)
+                {
+                    continue;
+                }
+                match state.pipeline().substitute_for(&step.module) {
+                    Some((cand, MatchVerdict::Equivalent { .. }))
+                        if !state.pipeline().universe().catalog.is_available(cand) =>
+                    {
+                        twins.push(cand.clone());
+                    }
+                    _ => continue 'workflows,
+                }
+            }
+            if !twins.is_empty() {
+                restore = Some((i, twins));
+                break;
+            }
+        }
+        let (target, twins) =
+            restore.expect("a broken workflow whose equivalent substitutes are all withdrawn");
+
+        // Wave 1: the substitute family comes back. No new withdrawals —
+        // only the carried-forward broken set gives repair anything to do.
+        let w1 = state
+            .apply_wave(
+                twins
+                    .into_iter()
+                    .map(|id| Delta::ModuleRestore { id })
+                    .collect(),
+            )
+            .clone();
+        assert!(
+            w1.carried_broken > 0,
+            "wave 1 must carry wave 0's broken workflows"
+        );
+        assert!(
+            w1.re_repaired >= 1,
+            "restoring the twin must re-repair a carried broken workflow: {w1:?}"
+        );
+        assert!(
+            !state.broken_workflows().contains(&target),
+            "the targeted workflow must be healed"
+        );
+        assert!(w1.broken_after < w0.broken_after);
     }
 }

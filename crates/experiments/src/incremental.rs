@@ -580,6 +580,117 @@ impl IncrementalPipeline {
     pub fn invocation_cache(&self) -> &InvocationCache {
         &self.cache
     }
+
+    /// Whether `id` is tracked, and if so whether it is currently
+    /// available.
+    pub fn availability(&self, id: &ModuleId) -> Option<bool> {
+        self.slot_of.get(id).map(|&i| self.available[i])
+    }
+
+    /// Tracked modules currently available.
+    pub fn available_count(&self) -> usize {
+        self.available.iter().filter(|&&a| a).count()
+    }
+
+    /// The maintained annotation of one tracked module: its availability
+    /// plus the generation outcome in force (frozen at withdrawal time for
+    /// withdrawn modules).
+    pub fn annotation(
+        &self,
+        id: &ModuleId,
+    ) -> Option<(bool, &Result<GenerationReport, GenerationError>)> {
+        let &i = self.slot_of.get(id)?;
+        Some((self.available[i], &*self.reports[i]))
+    }
+
+    /// The fingerprint bucket key of an available tracked module — the
+    /// coalescing key `dexd` groups substitute lookups under, so lookups
+    /// sharing a bucket are answered in one matrix pass. `None` for
+    /// withdrawn or untracked modules.
+    pub fn bucket_key(&self, id: &ModuleId) -> Option<u64> {
+        let &i = self.slot_of.get(id)?;
+        if !self.available[i] {
+            return None;
+        }
+        self.index.fingerprint(i).map(|fp| fp.stable_hash())
+    }
+
+    /// Ranks the current substitutes for a tracked module, best first,
+    /// using the §6 study's ordering ([`pick_better_substitute`]).
+    /// Available modules are answered from their live row verdicts;
+    /// withdrawn modules return their carried-forward capture (best only —
+    /// that is all that is kept at withdrawal).
+    pub fn substitutes(&self, id: &ModuleId) -> Option<SubstituteAnswer> {
+        let &i = self.slot_of.get(id)?;
+        if !self.available[i] {
+            let carried = self.substitutes.get(id)?;
+            return Some(SubstituteAnswer {
+                module: id.clone(),
+                available: false,
+                candidates_compared: carried.candidates_compared,
+                ranked: carried.best.clone().into_iter().collect(),
+            });
+        }
+        let mut compared = 0usize;
+        let mut ranked: Vec<(ModuleId, MatchVerdict)> = Vec::new();
+        for ((_, c), outcome) in self.verdicts.range((i, 0)..=(i, usize::MAX)) {
+            if let MatchOutcome::Verdict(v) = outcome {
+                compared += 1;
+                if v.is_usable() {
+                    ranked.push((self.ids[*c].clone(), *v));
+                }
+            }
+        }
+        // Descending study rank; ties break toward the smaller id, which is
+        // exactly what the incumbent-wins fold over ascending slot order
+        // produces, so `ranked.first()` agrees with `pick_better_substitute`.
+        ranked.sort_by(|a, b| {
+            substitute_rank(&b.1)
+                .partial_cmp(&substitute_rank(&a.1))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        Some(SubstituteAnswer {
+            module: id.clone(),
+            available: true,
+            candidates_compared: compared,
+            ranked,
+        })
+    }
+}
+
+/// The §6 study's candidate ordering as a sort key (see
+/// [`pick_better_substitute`]).
+fn substitute_rank(v: &MatchVerdict) -> (u8, f64) {
+    match v {
+        MatchVerdict::Equivalent { .. } => (2, 1.0),
+        MatchVerdict::Overlapping { agreeing, compared } => {
+            (1, *agreeing as f64 / *compared as f64)
+        }
+        MatchVerdict::Disjoint { .. } => (0, 0.0),
+    }
+}
+
+/// One substitute lookup, answered from live pipeline state with zero
+/// replay invocations.
+#[derive(Debug, Clone)]
+pub struct SubstituteAnswer {
+    /// The module the lookup targeted.
+    pub module: ModuleId,
+    /// Whether it is currently available (live row scan) or withdrawn
+    /// (carried-forward capture).
+    pub available: bool,
+    /// Verdict-bearing comparisons behind the ranking.
+    pub candidates_compared: usize,
+    /// Usable candidates, best first.
+    pub ranked: Vec<(ModuleId, MatchVerdict)>,
+}
+
+impl SubstituteAnswer {
+    /// The top-ranked candidate, if any verdict was usable.
+    pub fn best(&self) -> Option<&(ModuleId, MatchVerdict)> {
+        self.ranked.first()
+    }
 }
 
 /// Whether two generation outcomes differ in anything a strict-mapping

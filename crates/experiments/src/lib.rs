@@ -33,7 +33,9 @@ pub mod incremental;
 pub mod parallel;
 pub mod telemetry;
 
-pub use continuous::{run_continuous, ContinuousConfig, ContinuousReport, WaveReport};
+pub use continuous::{
+    run_continuous, ContinuousConfig, ContinuousReport, ContinuousState, WaveReport,
+};
 pub use faults::FaultConfig;
 pub use incremental::IncrementalPipeline;
 pub use parallel::{BatchConfig, BlockedMatchMatrix, BlockedMatchSummary};

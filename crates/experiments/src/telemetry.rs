@@ -228,19 +228,36 @@ impl TelemetryRun {
 /// the hook records the panic itself as a flight event, dumps to the
 /// configured flight path, then defers to the previous hook. Installed once
 /// per process.
+///
+/// The capture path is hardened against double panics: a panic raised
+/// *inside* the capture (a poisoned lock, an allocation failure, a bug in
+/// the dump path) re-enters this hook, where a thread-local guard makes the
+/// re-entry skip straight to the previous hook, and the surrounding
+/// `catch_unwind` contains the inner unwind — so the original panic still
+/// unwinds normally instead of aborting the process and losing the
+/// post-mortem.
 pub fn install_flight_panic_hook() {
     static HOOKED: std::sync::Once = std::sync::Once::new();
     HOOKED.call_once(|| {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if dex_telemetry::flight_on() {
-                dex_telemetry::flight(
-                    dex_telemetry::FlightKind::Panic,
-                    "panic",
-                    info.to_string(),
-                    0,
-                );
-                dex_telemetry::dump_flight("panic");
+            thread_local! {
+                static IN_HOOK: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+            }
+            let first_entry = IN_HOOK.with(|in_hook| !in_hook.replace(true));
+            if first_entry {
+                if dex_telemetry::flight_on() {
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        dex_telemetry::flight(
+                            dex_telemetry::FlightKind::Panic,
+                            "panic",
+                            info.to_string(),
+                            0,
+                        );
+                        dex_telemetry::dump_flight("panic");
+                    }));
+                }
+                IN_HOOK.with(|in_hook| in_hook.set(false));
             }
             previous(info);
         }));

@@ -180,6 +180,12 @@ pub fn set_flight_path(path: Option<PathBuf>) {
 /// [`FlightDump`]. Returns `true` when a non-empty dump was written.
 /// No-op (returns `false`) when no path is configured or no events exist —
 /// post-mortems are only useful when there is history to show.
+///
+/// This function runs inside the chained panic hook, so it is *infallible
+/// by construction*: any serialization or IO failure is reported to stderr
+/// (best-effort — even the report cannot panic) and swallowed, because a
+/// panic here would turn a recoverable unwind into a double-panic abort
+/// that loses the post-mortem entirely.
 pub fn dump_flight(reason: &str) -> bool {
     let Some(path) = lock(&DUMP_PATH).clone() else {
         return false;
@@ -193,16 +199,33 @@ pub fn dump_flight(reason: &str) -> bool {
         total_recorded: flight_total(),
         events,
     };
-    match dump.to_json() {
-        Ok(json) => {
-            let written = std::fs::write(&path, json).is_ok();
-            if written {
-                DUMPED.store(true, Ordering::Relaxed);
-            }
-            written
+    let json = match dump.to_json() {
+        Ok(json) => json,
+        Err(e) => {
+            best_effort_stderr(&format!("flight recorder: cannot serialize dump: {e}"));
+            return false;
         }
-        Err(_) => false,
+    };
+    match std::fs::write(&path, json) {
+        Ok(()) => {
+            DUMPED.store(true, Ordering::Relaxed);
+            true
+        }
+        Err(e) => {
+            best_effort_stderr(&format!(
+                "flight recorder: cannot write {}: {e}",
+                path.display()
+            ));
+            false
+        }
     }
+}
+
+/// Stderr reporting that can never panic: `eprintln!` panics when stderr is
+/// unwritable, which on the dump path would escalate into an abort.
+fn best_effort_stderr(msg: &str) {
+    use std::io::Write as _;
+    let _ = writeln!(std::io::stderr(), "{msg}");
 }
 
 /// Run-end variant of [`dump_flight`] that never clobbers an earlier
@@ -327,6 +350,34 @@ mod tests {
         assert_eq!(dump.events[0].kind, FlightKind::FaultInjected);
         assert_eq!(dump.events[1].kind, FlightKind::ModuleWithdrawn);
         let _ = std::fs::remove_file(&path);
+        set_flight_path(None);
+        crate::disable();
+    }
+
+    #[test]
+    fn dump_into_unwritable_directory_fails_without_panicking() {
+        let _g = testing::guard();
+        crate::enable();
+        crate::reset();
+        set_flight_enabled(true);
+        flight(FlightKind::Panic, "m", "incident".into(), 0);
+        // Point the dump at a directory that does not exist: the write must
+        // fail, be reported, and leave the sticky dump flag unset so a
+        // later dump to a good path still lands.
+        let bad = std::env::temp_dir()
+            .join("dex_flight_no_such_dir")
+            .join("FLIGHT.json");
+        set_flight_path(Some(bad));
+        assert!(!dump_flight("panic"), "unwritable path cannot dump");
+        let good = std::env::temp_dir().join("dex_flight_recovered.json");
+        set_flight_path(Some(good.clone()));
+        assert!(
+            dump_flight_fallback("run end"),
+            "failed dump must not mark the incident as dumped"
+        );
+        let dump = FlightDump::from_json(&std::fs::read_to_string(&good).unwrap()).unwrap();
+        assert_eq!(dump.reason, "run end");
+        let _ = std::fs::remove_file(&good);
         set_flight_path(None);
         crate::disable();
     }
